@@ -1,0 +1,287 @@
+//! Balanced-parallel ("BP") computations (§III-C).
+//!
+//! The paper schedules SPMS by observing that its glue steps are "a
+//! constant number of applications of prefix sums and other *balanced
+//! parallel computations* ('BP' computations) that can be scheduled under
+//! CGC". This module packages that vocabulary as reusable primitives so
+//! new MO algorithms can be assembled the way the paper assembles sorting
+//! and list ranking:
+//!
+//! * [`mo_map`] — elementwise transform (one CGC pass);
+//! * [`mo_gather`] / [`mo_scatter`] — index-directed moves;
+//! * [`mo_pack`] — stable compaction of the elements selected by a flag
+//!   array (flags → prefix sum → scatter, the canonical BP pipeline);
+//! * [`mo_segmented_scan`] — exclusive sums restarting at segment heads,
+//!   via the standard (value, flag) pair trick on a Blelloch sweep.
+//!
+//! All primitives are `[CGC]` loops plus [`crate::scan`] sweeps, so their
+//! schedules inherit the scan bounds of Table II row 1.
+
+use mo_core::{Arr, Recorder};
+
+use crate::scan::mo_prefix_sum_total;
+
+/// Elementwise transform: `out[k] = f(k, a[k])` as one CGC pass.
+pub fn mo_map(rec: &mut Recorder, a: Arr, out: Arr, n: usize, f: impl Fn(usize, u64) -> u64) {
+    assert!(a.len() >= n && out.len() >= n);
+    rec.cgc_for(n, |rec, k| {
+        let v = rec.read(a, k);
+        rec.write(out, k, f(k, v));
+    });
+}
+
+/// Gather: `out[k] = a[idx[k]]`.
+pub fn mo_gather(rec: &mut Recorder, a: Arr, idx: Arr, out: Arr, n: usize) {
+    assert!(idx.len() >= n && out.len() >= n);
+    rec.cgc_for(n, |rec, k| {
+        let i = rec.read(idx, k) as usize;
+        let v = rec.read(a, i);
+        rec.write(out, k, v);
+    });
+}
+
+/// Scatter: `out[idx[k]] = a[k]` (indices must be distinct).
+pub fn mo_scatter(rec: &mut Recorder, a: Arr, idx: Arr, out: Arr, n: usize) {
+    assert!(a.len() >= n && idx.len() >= n);
+    rec.cgc_for(n, |rec, k| {
+        let v = rec.read(a, k);
+        let i = rec.read(idx, k) as usize;
+        rec.write(out, i, v);
+    });
+}
+
+/// Stable pack: copy `a[k]` for which `flags[k] == 1` to the front of
+/// `out`, preserving order. Returns the number of survivors.
+///
+/// The canonical BP pipeline: copy flags into a scratch array, exclusive
+/// prefix sum over it, then one scatter pass.
+pub fn mo_pack(rec: &mut Recorder, a: Arr, flags: Arr, out: Arr, n: usize) -> usize {
+    assert!(a.len() >= n && flags.len() >= n);
+    let m = n.next_power_of_two();
+    let offsets = rec.alloc(m);
+    rec.cgc_for(n, |rec, k| {
+        let f = rec.read(flags, k);
+        debug_assert!(f <= 1);
+        rec.write(offsets, k, f);
+    });
+    let kept = mo_prefix_sum_total(rec, offsets, m) as usize;
+    assert!(out.len() >= kept);
+    rec.cgc_for(n, |rec, k| {
+        if rec.read(flags, k) == 1 {
+            let dst = rec.read(offsets, k) as usize;
+            let v = rec.read(a, k);
+            rec.write(out, dst, v);
+        }
+    });
+    kept
+}
+
+/// Exclusive segmented prefix sum: `out[k] = Σ a[t]` over `t < k` back to
+/// the nearest segment head (`heads[k] == 1` starts a segment; position 0
+/// is implicitly a head). One CGC pass per tree level, like the scan.
+pub fn mo_segmented_scan(rec: &mut Recorder, a: Arr, heads: Arr, out: Arr, n: usize) {
+    assert!(a.len() >= n && heads.len() >= n && out.len() >= n);
+    let m = n.next_power_of_two();
+    // Pair representation: value and flag arrays, swept together with the
+    // segmented-scan combiner (fv, f | g where g ? y : x + y).
+    let vals = rec.alloc(m);
+    let flags = rec.alloc(m);
+    rec.cgc_for(n, |rec, k| {
+        let v = rec.read(a, k);
+        let h = rec.read(heads, k);
+        rec.write(vals, k, v);
+        rec.write(flags, k, h);
+    });
+    // Up-sweep.
+    let mut stride = 2usize;
+    while stride <= m {
+        let pairs = m / stride;
+        rec.cgc_for(pairs, |rec, k| {
+            let hi = k * stride + stride - 1;
+            let lo = k * stride + stride / 2 - 1;
+            let (xv, xf) = (rec.read(vals, lo), rec.read(flags, lo));
+            let (yv, yf) = (rec.read(vals, hi), rec.read(flags, hi));
+            let combined = if yf == 1 { yv } else { xv.wrapping_add(yv) };
+            rec.write(vals, hi, combined);
+            rec.write(flags, hi, xf | yf);
+        });
+        stride *= 2;
+    }
+    // Down-sweep (segmented variant: the right child receives the left
+    // child's total unless a segment boundary intervenes).
+    rec.write(vals, m - 1, 0);
+    let mut stride = m;
+    while stride >= 2 {
+        let pairs = m / stride;
+        rec.cgc_for(pairs, |rec, k| {
+            let hi = k * stride + stride - 1;
+            let lo = k * stride + stride / 2 - 1;
+            let lv = rec.read(vals, lo);
+            let hv = rec.read(vals, hi);
+            let lf_orig = rec.read(flags, lo);
+            rec.write(vals, lo, hv);
+            // If the left subtree *ends* a segment boundary, the right
+            // subtree restarts from the left subtree's own sum.
+            let rhs = if lf_orig == 1 { lv } else { lv.wrapping_add(hv) };
+            rec.write(vals, hi, rhs);
+        });
+        stride /= 2;
+    }
+    // Down-sweep flags are consumed; one fix-up pass: positions that ARE
+    // heads restart at zero.
+    rec.cgc_for(n, |rec, k| {
+        let h = rec.read(heads, k);
+        let v = if h == 1 { 0 } else { rec.read(vals, k) };
+        rec.write(out, k, v);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mo_core::Recorder;
+
+    #[test]
+    fn map_gather_scatter_roundtrip() {
+        let n = 100usize;
+        let data: Vec<u64> = (0..n as u64).map(|x| x * 3).collect();
+        let perm: Vec<u64> = (0..n as u64).map(|x| (x * 37) % n as u64).collect();
+        let mut h = None;
+        let prog = Recorder::record(8 * n, |rec| {
+            let a = rec.alloc_init(&data);
+            let idx = rec.alloc_init(&perm);
+            let tmp = rec.alloc(n);
+            let back = rec.alloc(n);
+            // scatter then gather with the same permutation = identity.
+            mo_scatter(rec, a, idx, tmp, n);
+            mo_gather(rec, tmp, idx, back, n);
+            let doubled = rec.alloc(n);
+            mo_map(rec, back, doubled, n, |_, v| v * 2);
+            h = Some((back, doubled));
+        });
+        let (back, doubled) = h.unwrap();
+        assert_eq!(prog.slice(back), data.as_slice());
+        let want: Vec<u64> = data.iter().map(|v| v * 2).collect();
+        assert_eq!(prog.slice(doubled), want.as_slice());
+    }
+
+    #[test]
+    fn pack_is_stable_and_counts() {
+        let n = 200usize;
+        let data: Vec<u64> = (0..n as u64).collect();
+        let flags: Vec<u64> = (0..n as u64).map(|x| (x % 3 == 0) as u64).collect();
+        let mut h = None;
+        let mut kept = 0;
+        let prog = Recorder::record(8 * n, |rec| {
+            let a = rec.alloc_init(&data);
+            let f = rec.alloc_init(&flags);
+            let out = rec.alloc(n);
+            kept = mo_pack(rec, a, f, out, n);
+            h = Some(out);
+        });
+        let want: Vec<u64> = (0..n as u64).filter(|x| x % 3 == 0).collect();
+        assert_eq!(kept, want.len());
+        assert_eq!(&prog.slice(h.unwrap())[..kept], want.as_slice());
+    }
+
+    #[test]
+    fn pack_handles_all_and_none() {
+        for keep_all in [true, false] {
+            let n = 64usize;
+            let data: Vec<u64> = (0..n as u64).collect();
+            let flags = vec![keep_all as u64; n];
+            let mut kept = 0;
+            let _ = Recorder::record(8 * n, |rec| {
+                let a = rec.alloc_init(&data);
+                let f = rec.alloc_init(&flags);
+                let out = rec.alloc(n);
+                kept = mo_pack(rec, a, f, out, n);
+            });
+            assert_eq!(kept, if keep_all { n } else { 0 });
+        }
+    }
+
+    #[test]
+    fn segmented_scan_matches_reference() {
+        let n = 96usize;
+        let data: Vec<u64> = (0..n as u64).map(|x| x % 5 + 1).collect();
+        let heads: Vec<u64> =
+            (0..n).map(|k| (k == 0 || k == 10 || k == 11 || k == 50) as u64).collect();
+        let mut h = None;
+        let prog = Recorder::record(16 * n, |rec| {
+            let a = rec.alloc_init(&data);
+            let hd = rec.alloc_init(&heads);
+            let out = rec.alloc(n);
+            mo_segmented_scan(rec, a, hd, out, n);
+            h = Some(out);
+        });
+        let got = prog.slice(h.unwrap());
+        let mut acc = 0u64;
+        for k in 0..n {
+            if heads[k] == 1 || k == 0 {
+                acc = 0;
+            }
+            assert_eq!(got[k], acc, "at {k}");
+            acc += data[k];
+        }
+    }
+
+    #[test]
+    fn segmented_scan_single_segment_equals_plain_scan() {
+        let n = 64usize;
+        let data: Vec<u64> = (0..n as u64).map(|x| x + 1).collect();
+        let mut heads = vec![0u64; n];
+        heads[0] = 1;
+        let mut h = None;
+        let prog = Recorder::record(16 * n, |rec| {
+            let a = rec.alloc_init(&data);
+            let hd = rec.alloc_init(&heads);
+            let out = rec.alloc(n);
+            mo_segmented_scan(rec, a, hd, out, n);
+            h = Some(out);
+        });
+        let got = prog.slice(h.unwrap());
+        let mut acc = 0u64;
+        for k in 0..n {
+            assert_eq!(got[k], acc);
+            acc += data[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod segmented_random_tests {
+    use super::*;
+    use mo_core::Recorder;
+
+    #[test]
+    fn segmented_scan_random_heads_many_seeds() {
+        for seed in 0..20u64 {
+            let n = 128usize;
+            let mut x = seed | 1;
+            let mut rnd = move || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x >> 33
+            };
+            let data: Vec<u64> = (0..n).map(|_| rnd() % 9).collect();
+            let heads: Vec<u64> = (0..n).map(|_| (rnd() % 4 == 0) as u64).collect();
+            let mut h = None;
+            let prog = Recorder::record(16 * n, |rec| {
+                let a = rec.alloc_init(&data);
+                let hd = rec.alloc_init(&heads);
+                let out = rec.alloc(n);
+                mo_segmented_scan(rec, a, hd, out, n);
+                h = Some(out);
+            });
+            let got = prog.slice(h.unwrap());
+            let mut acc = 0u64;
+            for k in 0..n {
+                if k == 0 || heads[k] == 1 {
+                    acc = 0;
+                }
+                assert_eq!(got[k], acc, "seed {seed} at {k} heads={heads:?}");
+                acc += data[k];
+            }
+        }
+    }
+}

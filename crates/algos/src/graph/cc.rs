@@ -1,0 +1,369 @@
+//! MO connected components (§VI-A, Theorem 8).
+//!
+//! The paper's algorithm adapts the CREW PRAM algorithm of Chin, Lam and
+//! Chen to adjacency lists, using the MO sorting/scanning primitives and
+//! recursive contraction down to constant size. This module implements
+//! that scheme:
+//!
+//! 1. **Hook**: every vertex points to the minimum of itself and its
+//!    neighbours (a min-CRCW step; recorded serially, which computes the
+//!    same minimum since `min` is commutative and associative);
+//! 2. **Star formation**: `⌈log₂ n⌉` pointer-jumping `[CGC]` rounds;
+//! 3. **Contract**: compact the star roots with a prefix-sum scan,
+//!    relabel the edge list, and remove self-loops and duplicates with an
+//!    MO sort + scan compaction;
+//! 4. **Recurse** on the contracted graph (an SB task), then map the
+//!    labels back with one `[CGC]` gather.
+//!
+//! Every vertex with an edge hooks to a strictly smaller id, so the
+//! vertex count drops every round and the recursion depth is `O(log n)`.
+
+use mo_core::{spawn, Arr, ForkHint, Program, Recorder};
+
+use crate::scan::mo_prefix_sum_total;
+use crate::sort::mo_sort;
+
+const NO_EDGE: u64 = u64::MAX;
+
+/// Recursive contraction. `comp` (length `n`) receives component labels
+/// (arbitrary but consistent representatives). `eorig[k]` carries the
+/// original-graph edge index each contracted edge represents; when a
+/// vertex hooks, the witnessing original edge is flagged in `forest`,
+/// which therefore accumulates a spanning forest (Borůvka provenance).
+#[allow(clippy::too_many_arguments)] // mirrors the contraction state tuple
+fn cc_rec(
+    rec: &mut Recorder,
+    eu: Arr,
+    ev: Arr,
+    eorig: Arr,
+    m: usize,
+    n: usize,
+    comp: Arr,
+    forest: Arr,
+) {
+    if m == 0 {
+        rec.cgc_for(n, |rec, v| rec.write(comp, v, v as u64));
+        return;
+    }
+    // 1: hook to the minimum neighbour (min-CRCW emulated by traced
+    // read-modify-write; the result is order-independent).
+    let parent = rec.alloc(n);
+    rec.cgc_for(n, |rec, v| rec.write(parent, v, v as u64));
+    rec.cgc_for(m, |rec, k| {
+        let u = rec.read(eu, k) as usize;
+        let v = rec.read(ev, k) as usize;
+        let pu = rec.read(parent, u);
+        if (v as u64) < pu {
+            rec.write(parent, u, v as u64);
+        }
+        let pv = rec.read(parent, v);
+        if (u as u64) < pv {
+            rec.write(parent, v, u as u64);
+        }
+    });
+    // 1b: spanning-forest provenance — for each hooked vertex, record
+    // the smallest original edge witnessing its hook.
+    let winner = rec.alloc(n);
+    rec.cgc_for(n, |rec, v| rec.write(winner, v, NO_EDGE));
+    rec.cgc_for(m, |rec, k| {
+        let u = rec.read(eu, k) as usize;
+        let v = rec.read(ev, k) as usize;
+        let o = rec.read(eorig, k);
+        if rec.read(parent, v) == u as u64 {
+            let w = rec.read(winner, v);
+            if o < w {
+                rec.write(winner, v, o);
+            }
+        }
+        if rec.read(parent, u) == v as u64 {
+            let w = rec.read(winner, u);
+            if o < w {
+                rec.write(winner, u, o);
+            }
+        }
+    });
+    rec.cgc_for(n, |rec, v| {
+        if rec.read(parent, v) != v as u64 {
+            let w = rec.read(winner, v);
+            debug_assert_ne!(w, NO_EDGE, "hooked vertices have a witness edge");
+            rec.write(forest, w as usize, 1);
+        }
+    });
+    // 2: pointer jumping to stars.
+    let rounds = usize::BITS as usize - n.leading_zeros() as usize; // ⌈log₂ n⌉ + O(1)
+    for _ in 0..rounds {
+        rec.cgc_for(n, |rec, v| {
+            let p = rec.read(parent, v) as usize;
+            let pp = rec.read(parent, p);
+            rec.write(parent, v, pp);
+        });
+    }
+    // 3a: compact the roots.
+    let pad = n.next_power_of_two();
+    let newid = rec.alloc(pad);
+    rec.cgc_for(n, |rec, v| {
+        let is_root = (rec.read(parent, v) == v as u64) as u64;
+        rec.write(newid, v, is_root);
+    });
+    let n2 = mo_prefix_sum_total(rec, newid, pad) as usize;
+    debug_assert!(n2 < n, "hooking must contract when edges exist");
+    // 3b: relabel edges into packed (u', v', orig) records: endpoints in
+    // the high 40 bits (20 each) so the sort groups parallel edges, the
+    // provenance index in the low 24.
+    debug_assert!(n < (1 << 20) && m < (1 << 24), "packing limits");
+    let packed = rec.alloc(m);
+    rec.cgc_for(m, |rec, k| {
+        let u = rec.read(eu, k) as usize;
+        let v = rec.read(ev, k) as usize;
+        let o = rec.read(eorig, k);
+        let ru = rec.read(parent, u) as usize;
+        let rv = rec.read(parent, v) as usize;
+        let nu = rec.read(newid, ru);
+        let nv = rec.read(newid, rv);
+        let (a, b) = if nu <= nv { (nu, nv) } else { (nv, nu) };
+        rec.write(packed, k, (a << 44) | (b << 24) | o);
+    });
+    // 3c: sort, then flag survivors (non-self, first occurrence of each
+    // endpoint pair — comparing the high bits only).
+    mo_sort(rec, packed, m);
+    let mpad = m.next_power_of_two();
+    let keep = rec.alloc(mpad);
+    rec.cgc_for(m, |rec, k| {
+        let e = rec.read(packed, k);
+        let (a, b) = ((e >> 44) & 0xFFFFF, (e >> 24) & 0xFFFFF);
+        let self_loop = a == b;
+        let dup = k > 0 && rec.read(packed, k - 1) >> 24 == e >> 24;
+        rec.write(keep, k, (!self_loop && !dup) as u64);
+    });
+    let m2 = mo_prefix_sum_total(rec, keep, mpad) as usize;
+    let eu2 = rec.alloc(m2.max(1));
+    let ev2 = rec.alloc(m2.max(1));
+    let eorig2 = rec.alloc(m2.max(1));
+    rec.cgc_for(m, |rec, k| {
+        let e = rec.read(packed, k);
+        let (a, b) = ((e >> 44) & 0xFFFFF, (e >> 24) & 0xFFFFF);
+        let dup = k > 0 && rec.read(packed, k - 1) >> 24 == e >> 24;
+        if a != b && !dup {
+            let idx = rec.read(keep, k) as usize;
+            rec.write(eu2, idx, a);
+            rec.write(ev2, idx, b);
+            rec.write(eorig2, idx, e & 0xFF_FFFF);
+        }
+    });
+    // 4: recurse on the contracted graph as an SB task.
+    let comp2 = rec.alloc(n2.max(1));
+    rec.fork(
+        ForkHint::Sb,
+        vec![spawn(8 * (n2 + m2).max(1), move |r: &mut Recorder| {
+            cc_rec(r, eu2, ev2, eorig2, m2, n2.max(1), comp2, forest);
+        })],
+    );
+    // Map back.
+    rec.cgc_for(n, |rec, v| {
+        let r = rec.read(parent, v) as usize;
+        let id = rec.read(newid, r) as usize;
+        let c = rec.read(comp2, id);
+        rec.write(comp, v, c);
+    });
+}
+
+/// Entry point: label the components of the graph `(n, edges)`.
+/// `forest` (length ≥ `m`, zero-initialized) receives spanning-forest
+/// flags: `forest[k] = 1` iff original edge `k` witnessed a hook.
+pub fn mo_cc(rec: &mut Recorder, eu: Arr, ev: Arr, m: usize, n: usize, comp: Arr, forest: Arr) {
+    let eorig = rec.alloc(m.max(1));
+    rec.cgc_for(m, |rec, k| rec.write(eorig, k, k as u64));
+    cc_rec(rec, eu, ev, eorig, m, n, comp, forest);
+}
+
+/// A recorded connected-components run.
+pub struct CcProgram {
+    /// The recorded program.
+    pub program: Program,
+    /// Component labels (arbitrary representatives).
+    pub comp: Arr,
+    /// Spanning-forest flags per input edge.
+    pub forest: Arr,
+    /// Number of vertices.
+    pub n: usize,
+}
+
+impl CcProgram {
+    /// Labels, normalized so the representative of each component is its
+    /// smallest member (stable for comparisons).
+    pub fn normalized_labels(&self) -> Vec<u64> {
+        let raw = self.program.slice(self.comp);
+        let mut min_of = std::collections::HashMap::new();
+        for (v, &c) in raw.iter().enumerate() {
+            let e = min_of.entry(c).or_insert(v as u64);
+            *e = (*e).min(v as u64);
+        }
+        raw.iter().map(|c| min_of[c]).collect()
+    }
+}
+
+/// Record connected components of an undirected graph.
+pub fn cc_program(n: usize, edges: &[(usize, usize)]) -> CcProgram {
+    let m = edges.len();
+    let eu_data: Vec<u64> = edges.iter().map(|e| e.0 as u64).collect();
+    let ev_data: Vec<u64> = edges.iter().map(|e| e.1 as u64).collect();
+    let mut h = None;
+    let program = Recorder::record(8 * (n + m).max(1), |rec| {
+        let eu = rec.alloc_init(&eu_data);
+        let ev = rec.alloc_init(&ev_data);
+        let comp = rec.alloc(n);
+        let forest = rec.alloc(m.max(1));
+        mo_cc(rec, eu, ev, m, n, comp, forest);
+        h = Some((comp, forest));
+    });
+    let (comp, forest) = h.unwrap();
+    CcProgram { program, comp, forest, n }
+}
+
+impl CcProgram {
+    /// The indices of the input edges selected into the spanning forest.
+    pub fn forest_edges(&self) -> Vec<usize> {
+        self.program
+            .slice(self.forest)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f == 1)
+            .map(|(k, _)| k)
+            .collect()
+    }
+}
+
+/// Reference labels via union-find (smallest member as representative).
+pub fn reference_components(n: usize, edges: &[(usize, usize)]) -> Vec<u64> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut Vec<usize>, v: usize) -> usize {
+        if p[v] != v {
+            let r = find(p, p[v]);
+            p[v] = r;
+        }
+        p[v]
+    }
+    for &(u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            let (lo, hi) = (ru.min(rv), ru.max(rv));
+            parent[hi] = lo;
+        }
+    }
+    (0..n).map(|v| find(&mut parent, v) as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(n: usize, edges: &[(usize, usize)]) {
+        let cp = cc_program(n, edges);
+        assert_eq!(cp.normalized_labels(), reference_components(n, edges));
+    }
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> Vec<(usize, usize)> {
+        let mut x = seed | 1;
+        (0..m)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = ((x >> 33) as usize) % n;
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = ((x >> 33) as usize) % n;
+                (u, v.max(1).min(n - 1))
+            })
+            .filter(|&(u, v)| u != v)
+            .collect()
+    }
+
+    #[test]
+    fn empty_graph_is_all_singletons() {
+        check(10, &[]);
+    }
+
+    #[test]
+    fn single_edge() {
+        check(4, &[(1, 3)]);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let n = 50;
+        let edges: Vec<_> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        check(n, &edges);
+    }
+
+    #[test]
+    fn disjoint_cliques() {
+        let mut edges = Vec::new();
+        for c in 0..4 {
+            let base = c * 10;
+            for i in 0..10 {
+                for j in i + 1..10 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        check(40, &edges);
+    }
+
+    #[test]
+    fn forest_components() {
+        // Three paths of different lengths + isolated vertices.
+        let mut edges = Vec::new();
+        for v in 0..9 {
+            edges.push((v, v + 1));
+        }
+        for v in 20..25 {
+            edges.push((v, v + 1));
+        }
+        edges.push((30, 31));
+        check(40, &edges);
+    }
+
+    #[test]
+    fn random_graphs_across_densities() {
+        for (n, m, seed) in [(30, 15, 1u64), (100, 50, 2), (100, 300, 3), (200, 100, 4)] {
+            let edges = random_graph(n, m, seed);
+            check(n, &edges);
+        }
+    }
+
+    #[test]
+    fn spanning_forest_is_a_spanning_forest() {
+        for (n, m, seed) in [(40usize, 60usize, 1u64), (120, 200, 2), (80, 40, 3)] {
+            let edges = random_graph(n, m, seed);
+            let cp = cc_program(n, &edges);
+            let labels = cp.normalized_labels();
+            let mut comps: Vec<u64> = labels.clone();
+            comps.sort_unstable();
+            comps.dedup();
+            let forest = cp.forest_edges();
+            // Exactly n - #components edges.
+            assert_eq!(forest.len(), n - comps.len(), "n={n} m={m}");
+            // They connect the same components and are acyclic: union-find
+            // over forest edges must perform a union for every edge.
+            let mut parent: Vec<usize> = (0..n).collect();
+            fn find(p: &mut Vec<usize>, v: usize) -> usize {
+                if p[v] != v {
+                    let r = find(p, p[v]);
+                    p[v] = r;
+                }
+                p[v]
+            }
+            for &k in &forest {
+                let (u, v) = edges[k];
+                let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+                assert_ne!(ru, rv, "forest edge {k} creates a cycle");
+                parent[ru] = rv;
+            }
+            let forest_edges: Vec<(usize, usize)> = forest.iter().map(|&k| edges[k]).collect();
+            assert_eq!(reference_components(n, &forest_edges), labels);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_parallel_edges() {
+        check(6, &[(0, 1), (1, 0), (0, 1), (2, 3), (2, 3), (4, 5), (5, 4)]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Euler tour technique and tree computations (§VI-A, "Other Graph
+//! Problems"): rooting, vertex depth, subtree size, and traversal
+//! (preorder) numbering — all by list-ranking the Euler tour, as in
+//! JáJá / the PEM graph algorithms the paper cites.
+//!
+//! Each tree edge `{parent(v), v}` contributes two arcs: the *down* arc
+//! `parent(v) → v` and the *up* arc `v → parent(v)`. The tour successor
+//! rule is the classic one: the successor of arc `(x → y)` is the next
+//! outgoing arc of `y` after the twin `(y → x)` in `y`'s circular
+//! adjacency ring. Cutting the circuit at the root's first outgoing arc
+//! yields a linked list of `2(n-1)` arcs, which is ranked twice with
+//! MO-LR (unit weights for positions, ±1 weights for depth) and then a
+//! handful of `[CGC]` passes extract every per-vertex quantity.
+
+use mo_core::{Arr, Program, Recorder};
+
+use super::Tree;
+use crate::listrank::mo_listrank_weighted;
+
+/// Results of the Euler-tour pipeline.
+pub struct EulerProgram {
+    /// The recorded program.
+    pub program: Program,
+    /// Parent of each vertex as *recomputed from the tour* (root points
+    /// to itself) — this is the §VI "rooting a tree" output.
+    pub parent: Arr,
+    /// Depth of each vertex (root 0).
+    pub depth: Arr,
+    /// Subtree size of each vertex.
+    pub size: Arr,
+    /// Preorder number of each vertex (root 0).
+    pub preorder: Arr,
+    /// Number of vertices.
+    pub n: usize,
+}
+
+impl EulerProgram {
+    /// Extract one output array.
+    fn vec(&self, a: Arr) -> Vec<u64> {
+        self.program.slice(a).to_vec()
+    }
+
+    /// Parent array (rooting output).
+    pub fn parents(&self) -> Vec<u64> {
+        self.vec(self.parent)
+    }
+
+    /// Depth array.
+    pub fn depths(&self) -> Vec<u64> {
+        self.vec(self.depth)
+    }
+
+    /// Subtree-size array.
+    pub fn sizes(&self) -> Vec<u64> {
+        self.vec(self.size)
+    }
+
+    /// Preorder-number array.
+    pub fn preorders(&self) -> Vec<u64> {
+        self.vec(self.preorder)
+    }
+}
+
+/// Record the Euler-tour pipeline on `tree`.
+///
+/// The adjacency-ring representation (`twin`, `ring_next`, per-vertex
+/// first arc) is the input format, built host-side; everything from the
+/// tour-successor computation onwards is recorded.
+pub fn euler_program(tree: &Tree) -> EulerProgram {
+    let n = tree.len();
+    assert!(n >= 2, "Euler tour needs at least one edge");
+    let root = tree.root;
+    // Arc numbering: edge of child v (v ≠ root) gets arcs 2e (down:
+    // parent→v) and 2e+1 (up: v→parent), e = rank of v among non-root
+    // vertices.
+    let mut child_edge = vec![usize::MAX; n];
+    let mut e = 0usize;
+    #[allow(clippy::needless_range_loop)] // indexes two arrays in lockstep
+    for v in 0..n {
+        if v != root {
+            child_edge[v] = e;
+            e += 1;
+        }
+    }
+    let num_arcs = 2 * e;
+    let sent = num_arcs as u64;
+    // Outgoing arcs per vertex, ring order = (up arc first if any, then
+    // down arcs to children in id order).
+    let mut out = vec![Vec::new(); n];
+    for v in 0..n {
+        if v != root {
+            out[v].push(2 * child_edge[v] + 1); // up arc v→parent
+            out[tree.parent[v]].push(2 * child_edge[v]); // down arc
+        }
+    }
+    // Sort each ring so the layout is deterministic w.r.t. arc ids.
+    for ring in &mut out {
+        ring.sort_unstable();
+    }
+    let mut twin = vec![0u64; num_arcs];
+    let mut ring_next = vec![0u64; num_arcs];
+    for v in 0..n {
+        if v != root {
+            twin[2 * child_edge[v]] = (2 * child_edge[v] + 1) as u64;
+            twin[2 * child_edge[v] + 1] = (2 * child_edge[v]) as u64;
+        }
+    }
+    for ring in &out {
+        for (i, &a) in ring.iter().enumerate() {
+            ring_next[a] = ring[(i + 1) % ring.len()] as u64;
+        }
+    }
+    let a0 = out[root][0] as u64; // tour start: root's first outgoing arc
+    // Map edge index back to the child vertex.
+    let mut edge_child = vec![0u64; e];
+    for v in 0..n {
+        if v != root {
+            edge_child[child_edge[v]] = v as u64;
+        }
+    }
+    let parent_arr: Vec<u64> = tree.parent.iter().map(|&p| p as u64).collect();
+
+    let mut handles = None;
+    let program = Recorder::record(16 * num_arcs, |rec| {
+        let twin_a = rec.alloc_init(&twin);
+        let ring_a = rec.alloc_init(&ring_next);
+        let echild = rec.alloc_init(&edge_child);
+        let par_in = rec.alloc_init(&parent_arr);
+
+        // Tour successor: succ(a) = ring_next[twin(a)], cut at a0.
+        let succ = rec.alloc(num_arcs);
+        rec.cgc_for(num_arcs, |rec, a| {
+            let t = rec.read(twin_a, a) as usize;
+            let s = rec.read(ring_a, t);
+            rec.write(succ, a, if s == a0 { sent } else { s });
+        });
+        // Predecessors by inversion.
+        let pred = rec.alloc(num_arcs);
+        rec.cgc_for(num_arcs, |rec, a| rec.write(pred, a, sent));
+        rec.cgc_for(num_arcs, |rec, a| {
+            let s = rec.read(succ, a);
+            if s != sent {
+                rec.write(pred, s as usize, a as u64);
+            }
+        });
+
+        // Unit-weight ranking → positions.
+        let dist1 = rec.alloc(num_arcs);
+        rec.cgc_for(num_arcs, |rec, a| rec.write(dist1, a, 1));
+        let rank1 = rec.alloc(num_arcs);
+        mo_listrank_weighted(rec, succ, pred, dist1, rank1, num_arcs);
+
+        // Offset ±1 weights (down = +1 → 2, up = −1 → 0) → depth sums.
+        let dist2 = rec.alloc(num_arcs);
+        rec.cgc_for(num_arcs, |rec, a| rec.write(dist2, a, if a % 2 == 0 { 2 } else { 0 }));
+        let rank2 = rec.alloc(num_arcs);
+        mo_listrank_weighted(rec, succ, pred, dist2, rank2, num_arcs);
+
+        // Positions: pos(a) = (N−1) − rank1(a).
+        let pos = rec.alloc(num_arcs);
+        rec.cgc_for(num_arcs, |rec, a| {
+            let r = rec.read(rank1, a);
+            rec.write(pos, a, (num_arcs as u64 - 1) - r);
+        });
+
+        // Per-vertex outputs.
+        let parent = rec.alloc(n);
+        let depth = rec.alloc(n);
+        let size = rec.alloc(n);
+        let preorder = rec.alloc(n);
+        // Root values.
+        rec.cgc_for(n, |rec, v| {
+            if v == root {
+                rec.write(parent, v, root as u64);
+                rec.write(depth, v, 0);
+                rec.write(size, v, n as u64);
+                rec.write(preorder, v, 0);
+            }
+        });
+        // One CGC pass over edges derives everything for the child side.
+        rec.cgc_for(e, |rec, idx| {
+            let v = rec.read(echild, idx) as usize;
+            let down = 2 * idx;
+            let up = 2 * idx + 1;
+            let pd = rec.read(pos, down);
+            let pu = rec.read(pos, up);
+            // Rooting: the down arc is the one visited first. Our input
+            // is already rooted, so this both *computes* and checks; a
+            // mis-rooted tour would flip the comparison.
+            debug_assert!(pd < pu, "down arc must precede up arc");
+            let par = rec.read(par_in, v);
+            rec.write(parent, v, par);
+            // depth(v) = 2 − (rank2 − rank1) at the down arc (suffix-sum
+            // algebra; the tour's total ±1 weight is 0 and its tail is an
+            // up arc).
+            let r1 = rec.read(rank1, down);
+            let r2 = rec.read(rank2, down);
+            let sw = r2.wrapping_sub(r1); // suffix weight, ≥ tail-adjusted
+            let d = 2u64.wrapping_sub(sw);
+            rec.write(depth, v, d);
+            // subtree size = (pos(up) − pos(down) + 1) / 2.
+            rec.write(size, v, (pu - pd).div_ceil(2));
+            // preorder = (pos(down) + 1 + depth) / 2.
+            rec.write(preorder, v, (pd + 1 + d) / 2);
+        });
+        handles = Some((parent, depth, size, preorder));
+    });
+    let (parent, depth, size, preorder) = handles.unwrap();
+    EulerProgram { program, parent, depth, size, preorder, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_tree(t: &Tree) {
+        let ep = euler_program(t);
+        let depths = ep.depths();
+        let sizes = ep.sizes();
+        let parents = ep.parents();
+        let pre = ep.preorders();
+        let want_d = t.reference_depths();
+        let want_s = t.reference_subtree_sizes();
+        for v in 0..t.len() {
+            assert_eq!(depths[v], want_d[v] as u64, "depth of {v}");
+            assert_eq!(sizes[v], want_s[v] as u64, "size of {v}");
+            assert_eq!(parents[v], t.parent[v] as u64, "parent of {v}");
+        }
+        // Preorder: a permutation of 0..n with parent before child.
+        let mut seen = vec![false; t.len()];
+        for &p in &pre {
+            assert!((p as usize) < t.len() && !seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        for v in 0..t.len() {
+            if v != t.root {
+                assert!(pre[v] > pre[t.parent[v]], "preorder order violated at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_tree() {
+        check_tree(&Tree::path(17));
+    }
+
+    #[test]
+    fn star_tree() {
+        check_tree(&Tree::star(20));
+    }
+
+    #[test]
+    fn random_trees() {
+        for n in [2usize, 3, 5, 40, 150, 400] {
+            check_tree(&Tree::random(n, 1000 + n as u64));
+        }
+    }
+
+    #[test]
+    fn binary_tree() {
+        // Complete binary tree on 31 nodes.
+        let n = 31;
+        let parent: Vec<usize> = (0..n).map(|v| if v == 0 { 0 } else { (v - 1) / 2 }).collect();
+        check_tree(&Tree::new(parent, 0));
+    }
+}

@@ -1,0 +1,145 @@
+//! Tree and graph algorithms of §VI: Euler tour, tree computations
+//! (rooting, depth, subtree size, traversal numbering) and connected
+//! components.
+//!
+//! All of them are built from the paper's MO primitive mix — CGC loops,
+//! prefix-sum scans, MO sorting, and MO-LR list ranking — exactly as §VI
+//! prescribes ("it is straightforward to obtain as in \[22\]-\[24\] MO
+//! algorithms for Euler tour, and several tree problems").
+
+pub mod cc;
+pub mod euler;
+
+/// A rooted tree given by its parent array (`parent[root] == root`),
+/// host-side input for [`euler`].
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// Parent of each vertex; the root points to itself.
+    pub parent: Vec<usize>,
+    /// The root vertex.
+    pub root: usize,
+}
+
+impl Tree {
+    /// Validate and wrap a parent array.
+    pub fn new(parent: Vec<usize>, root: usize) -> Self {
+        assert!(root < parent.len());
+        assert_eq!(parent[root], root, "root must be self-parented");
+        Self { parent, root }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// A random tree: vertex `v > 0` gets a parent uniform in `[0, v)`
+    /// after a random relabeling, root 0.
+    pub fn random(n: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        let mut x = seed | 1;
+        let mut rng = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        // Random attachment in a random label order.
+        let mut label: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (rng() as usize) % (i + 1);
+            label.swap(i, j);
+        }
+        let mut parent = vec![0usize; n];
+        parent[label[0]] = label[0];
+        for i in 1..n {
+            let p = (rng() as usize) % i;
+            parent[label[i]] = label[p];
+        }
+        Self::new(parent, label[0])
+    }
+
+    /// A path `0 − 1 − … − n−1` rooted at 0.
+    pub fn path(n: usize) -> Self {
+        let parent = (0..n).map(|v| v.saturating_sub(1)).collect();
+        Self::new(parent, 0)
+    }
+
+    /// A star with center 0.
+    pub fn star(n: usize) -> Self {
+        let mut parent = vec![0usize; n];
+        parent[0] = 0;
+        Self::new(parent, 0)
+    }
+
+    /// Reference depths by direct traversal.
+    pub fn reference_depths(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut depth = vec![usize::MAX; n];
+        depth[self.root] = 0;
+        // Children lists.
+        let mut kids = vec![Vec::new(); n];
+        for v in 0..n {
+            if v != self.root {
+                kids[self.parent[v]].push(v);
+            }
+        }
+        let mut stack = vec![self.root];
+        while let Some(u) = stack.pop() {
+            for &c in &kids[u] {
+                depth[c] = depth[u] + 1;
+                stack.push(c);
+            }
+        }
+        depth
+    }
+
+    /// Reference subtree sizes.
+    pub fn reference_subtree_sizes(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut size = vec![1usize; n];
+        // Process in decreasing depth order.
+        let depth = self.reference_depths();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(depth[v]));
+        for v in order {
+            if v != self.root {
+                size[self.parent[v]] += size[v];
+            }
+        }
+        size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tree_is_connected_and_acyclic() {
+        let t = Tree::random(100, 5);
+        let depths = t.reference_depths();
+        assert!(depths.iter().all(|&d| d != usize::MAX), "all reachable");
+        assert_eq!(depths[t.root], 0);
+    }
+
+    #[test]
+    fn path_depths_are_positions() {
+        let t = Tree::path(10);
+        assert_eq!(t.reference_depths(), (0..10).collect::<Vec<_>>());
+        let sizes = t.reference_subtree_sizes();
+        assert_eq!(sizes, (1..=10).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn star_shapes() {
+        let t = Tree::star(8);
+        let d = t.reference_depths();
+        assert_eq!(d[0], 0);
+        assert!(d[1..].iter().all(|&x| x == 1));
+        assert_eq!(t.reference_subtree_sizes()[0], 8);
+    }
+}

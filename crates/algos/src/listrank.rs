@@ -1,0 +1,477 @@
+//! MO-LR: multicore-oblivious list ranking (§VI-A, Fig. 6, Theorem 7).
+//!
+//! A linked list of `n` nodes is stored as arrays indexed by node id:
+//! `succ[v]` / `pred[v]` (sentinel `n` marks the tail/head). The *rank* of
+//! a node is its distance from the end of the list.
+//!
+//! MO-LR follows the paper's list-contraction scheme:
+//!
+//! 1. find an independent set `S` of size `Θ(n)` with **MO-IS** (Fig. 6):
+//!    a `log log n` coloring via two rounds of deterministic coin
+//!    flipping Cole–Vishkin, nodes grouped by color with an MO sort,
+//!    then colors processed in order — every still-eligible node of the
+//!    current color joins `S` and marks its neighbours ineligible (the
+//!    array-based equivalent of Fig. 6's duplicate mechanism);
+//! 2. splice `S` out of the list (accumulating spliced-out distances into
+//!    the survivors' weights) and compact the survivors with prefix-sum
+//!    scans;
+//! 3. recurse on the contracted list (an SB task of proportionally
+//!    smaller space bound);
+//! 4. extend the solution to `S`: `rank(u) = rank(succ(u)) + dist(u)`.
+//!
+//! All bulk steps are `[CGC]` loops, scans, or `[CGC⇒SB]` sorts, exactly
+//! the primitive mix the paper's Theorem 7 accounting assumes.
+
+use mo_core::{spawn, Arr, ForkHint, Program, Recorder};
+
+use crate::sort::{mo_sort, pack, unpack};
+
+/// Below this size the list is ranked by a serial traced pointer chase.
+pub const BASE: usize = 64;
+
+/// Number of deterministic-coin-flipping rounds (the paper uses 2; the
+/// footnote-4 extension uses larger k for a `log^{(k)} n` color count).
+pub const DEFAULT_DCF_ROUNDS: usize = 2;
+
+/// One deterministic coin-flipping round: given a proper coloring in
+/// `color`, produce a proper coloring with `2·⌈log₂(max+1)⌉ + 2` colors.
+/// The tail is patched in a second pass (it has no successor).
+fn dcf_round(rec: &mut Recorder, succ: Arr, color: Arr, next: Arr, n: usize) {
+    let sent = n as u64;
+    rec.cgc_for(n, |rec, v| {
+        let s = rec.read(succ, v);
+        let cv = rec.read(color, v);
+        if s == sent {
+            // Tail: placeholder, fixed below.
+            rec.write(next, v, 0);
+        } else {
+            let cs = rec.read(color, s as usize);
+            debug_assert_ne!(cv, cs, "input coloring must be proper");
+            let l = (cv ^ cs).trailing_zeros() as u64;
+            rec.write(next, v, 2 * l + ((cv >> l) & 1));
+        }
+    });
+    // Fix the tail: any color in {0,1,2} differing from its predecessor's
+    // new color (the tail has a single neighbour).
+    rec.cgc_for(n, |rec, v| {
+        let s = rec.read(succ, v);
+        if s != sent {
+            let cs = rec.read(next, s as usize);
+            let sn = rec.read(succ, s as usize);
+            if sn == sent {
+                // v is the tail's predecessor: recolor the tail.
+                let cv = rec.read(next, v);
+                let fix = if cv == 0 { 1 } else { 0 };
+                let _ = cs;
+                rec.write(next, s as usize, fix);
+            }
+        }
+    });
+}
+
+/// MO-IS (Fig. 6): mark an independent set in `in_s` (0/1 per node).
+/// Head and tail are kept out of the set (simplifying the splice); the
+/// set still has `≥ (n-2)/3` nodes.
+pub fn mo_is(rec: &mut Recorder, succ: Arr, pred: Arr, in_s: Arr, n: usize, dcf_rounds: usize) {
+    let sent = n as u64;
+    // Step 1: log log n coloring starting from the trivial id-coloring.
+    let mut color = rec.alloc(n);
+    rec.cgc_for(n, |rec, v| rec.write(color, v, v as u64));
+    for _ in 0..dcf_rounds.max(1) {
+        let next = rec.alloc(n);
+        dcf_round(rec, succ, color, next, n);
+        color = next;
+    }
+    // Steps 2–3: group nodes by color by sorting (color, id) records.
+    let recs = rec.alloc(n);
+    rec.cgc_for(n, |rec, v| {
+        let c = rec.read(color, v);
+        rec.write(recs, v, pack(c, v as u64));
+    });
+    mo_sort(rec, recs, n);
+    // Eligibility array: head and tail start excluded.
+    let excluded = rec.alloc(n);
+    rec.cgc_for(n, |rec, v| {
+        let p = rec.read(pred, v);
+        let s = rec.read(succ, v);
+        let e = (p == sent || s == sent) as u64;
+        rec.write(excluded, v, e);
+        rec.write(in_s, v, 0);
+    });
+    // Steps 4–7: per color group (ascending), admit eligible nodes and
+    // exclude their neighbours. Within one color no two nodes are
+    // adjacent, so the group can be processed in parallel.
+    let mut lo = 0usize;
+    while lo < n {
+        let c = unpack(rec.peek(recs, lo)).0;
+        let mut hi = lo;
+        while hi < n && unpack(rec.peek(recs, hi)).0 == c {
+            hi += 1;
+        }
+        rec.cgc_for(hi - lo, |rec, t| {
+            let (_, v) = unpack(rec.read(recs, lo + t));
+            let v = v as usize;
+            if rec.read(excluded, v) == 0 {
+                rec.write(in_s, v, 1);
+                let p = rec.read(pred, v);
+                let s = rec.read(succ, v);
+                debug_assert!(p != sent && s != sent);
+                rec.write(excluded, p as usize, 1);
+                rec.write(excluded, s as usize, 1);
+            }
+        });
+        lo = hi;
+    }
+}
+
+/// Weighted list ranking: `rank(v) = Σ dist(u)` over the nodes `u` from
+/// `v` (inclusive) to the tail (exclusive). Used directly by the Euler
+/// tour computations, which need ±1 weights (encoded with a +1 offset).
+pub fn mo_listrank_weighted(
+    rec: &mut Recorder,
+    succ: Arr,
+    pred: Arr,
+    dist: Arr,
+    rank: Arr,
+    n: usize,
+) {
+    mo_lr_rec(rec, succ, pred, dist, rank, n, DEFAULT_DCF_ROUNDS);
+}
+
+/// Rank the list given by `succ`/`pred` into `rank`, where `dist[v]` is
+/// the current weighted distance from `v` to its successor (1 initially)
+/// and the tail's rank is 0.
+fn mo_lr_rec(
+    rec: &mut Recorder,
+    succ: Arr,
+    pred: Arr,
+    dist: Arr,
+    rank: Arr,
+    n: usize,
+    dcf_rounds: usize,
+) {
+    let sent = n as u64;
+    if n <= BASE {
+        // Serial base: find the head, chase, accumulate from the tail.
+        let mut head = sent;
+        for v in 0..n {
+            if rec.read(pred, v) == sent {
+                head = v as u64;
+            }
+        }
+        debug_assert_ne!(head, sent, "list has no head");
+        // First pass: total weight from head to tail.
+        let mut total = 0u64;
+        let mut v = head;
+        loop {
+            let s = rec.read(succ, v as usize);
+            if s == sent {
+                break;
+            }
+            total += rec.read(dist, v as usize);
+            v = s;
+        }
+        // Second pass: rank = total weight remaining after v.
+        let mut remaining = total;
+        let mut v = head;
+        loop {
+            rec.write(rank, v as usize, remaining);
+            let s = rec.read(succ, v as usize);
+            if s == sent {
+                break;
+            }
+            remaining -= rec.read(dist, v as usize);
+            v = s;
+        }
+        return;
+    }
+
+    // 1: independent set.
+    let in_s = rec.alloc(n);
+    mo_is(rec, succ, pred, in_s, n, dcf_rounds);
+
+    // 2: compaction ids for the survivors via prefix sum.
+    let m_pad = n.next_power_of_two();
+    let newid = rec.alloc(m_pad);
+    rec.cgc_for(n, |rec, v| {
+        let f = 1 - rec.read(in_s, v);
+        rec.write(newid, v, f);
+    });
+    let n1 = crate::scan::mo_prefix_sum_total(rec, newid, m_pad) as usize;
+    debug_assert!(n1 < n, "independent set must be non-empty");
+
+    // Splice & gather the contracted list.
+    let succ2 = rec.alloc(n1);
+    let dist2 = rec.alloc(n1);
+    let pred2 = rec.alloc(n1);
+    let rank2 = rec.alloc(n1);
+    let sent2 = n1 as u64;
+    rec.cgc_for(n, |rec, v| {
+        if rec.read(in_s, v) == 1 {
+            return;
+        }
+        let me = rec.read(newid, v);
+        let s = rec.read(succ, v);
+        let d = rec.read(dist, v);
+        let (s2, d2) = if s == sent {
+            (sent, d)
+        } else if rec.read(in_s, s as usize) == 1 {
+            // Successor spliced out: absorb its weight.
+            (rec.read(succ, s as usize), d + rec.read(dist, s as usize))
+        } else {
+            (s, d)
+        };
+        let mapped = if s2 == sent { sent2 } else { rec.read(newid, s2 as usize) };
+        rec.write(succ2, me as usize, mapped);
+        rec.write(dist2, me as usize, d2);
+    });
+    // Rebuild pred2 from succ2.
+    rec.cgc_for(n1, |rec, v| rec.write(pred2, v, sent2));
+    rec.cgc_for(n1, |rec, v| {
+        let s = rec.read(succ2, v);
+        if s != sent2 {
+            rec.write(pred2, s as usize, v as u64);
+        }
+    });
+
+    // 3: recurse as an SB task with a proportionally smaller bound.
+    rec.fork(
+        ForkHint::Sb,
+        vec![spawn(8 * n1, move |r: &mut Recorder| {
+            mo_lr_rec(r, succ2, pred2, dist2, rank2, n1, dcf_rounds);
+        })],
+    );
+
+    // 4a: copy ranks back to the survivors.
+    rec.cgc_for(n, |rec, v| {
+        if rec.read(in_s, v) == 0 {
+            let me = rec.read(newid, v) as usize;
+            let rk = rec.read(rank2, me);
+            rec.write(rank, v, rk);
+        }
+    });
+    // 4b: extend to the independent set.
+    rec.cgc_for(n, |rec, v| {
+        if rec.read(in_s, v) == 1 {
+            let s = rec.read(succ, v);
+            debug_assert_ne!(s, sent, "tail is never in S");
+            let rk = rec.read(rank, s as usize);
+            let d = rec.read(dist, v);
+            rec.write(rank, v, rk + d);
+        }
+    });
+}
+
+/// Rank the list `succ` (sentinel `n`), returning weighted-unit ranks
+/// (tail = 0). Entry point used by [`listrank_program`].
+pub fn mo_listrank(rec: &mut Recorder, succ: Arr, pred: Arr, rank: Arr, n: usize) {
+    let dist = rec.alloc(n);
+    rec.cgc_for(n, |rec, v| rec.write(dist, v, 1));
+    mo_lr_rec(rec, succ, pred, dist, rank, n, DEFAULT_DCF_ROUNDS);
+}
+
+/// A recorded list-ranking run.
+pub struct ListRankProgram {
+    /// The recorded program.
+    pub program: Program,
+    /// Per-node ranks (distance to the end of the list).
+    pub rank: Arr,
+    /// Number of nodes.
+    pub n: usize,
+}
+
+impl ListRankProgram {
+    /// The rank array.
+    pub fn ranks(&self) -> Vec<u64> {
+        self.program.slice(self.rank).to_vec()
+    }
+}
+
+/// As [`listrank_program`] but with an explicit number of deterministic
+/// coin-flipping rounds — the paper's footnote 3/4 extension: repeating
+/// the coloring `k` times (instead of twice) shrinks the color count to
+/// `O(log^{(k)} n)` and with it the `log log n` factor in the running
+/// time, at the cost of `k − 2` extra coloring passes.
+pub fn listrank_program_with_rounds(succ: &[u64], dcf_rounds: usize) -> ListRankProgram {
+    let n = succ.len();
+    let pred = invert_succ(succ);
+    let mut h = None;
+    let program = Recorder::record(8 * n, |rec| {
+        let s = rec.alloc_init(succ);
+        let p = rec.alloc_init(&pred);
+        let rank = rec.alloc(n);
+        let dist = rec.alloc(n);
+        rec.cgc_for(n, |rec, v| rec.write(dist, v, 1));
+        mo_lr_rec(rec, s, p, dist, rank, n, dcf_rounds);
+        h = Some(rank);
+    });
+    ListRankProgram { program, rank: h.unwrap(), n }
+}
+
+/// Record MO-LR on the list described by `succ` (with sentinel
+/// `succ.len()` marking the tail).
+pub fn listrank_program(succ: &[u64]) -> ListRankProgram {
+    let n = succ.len();
+    let pred = invert_succ(succ);
+    let mut h = None;
+    let program = Recorder::record(8 * n, |rec| {
+        let s = rec.alloc_init(succ);
+        let p = rec.alloc_init(&pred);
+        let rank = rec.alloc(n);
+        mo_listrank(rec, s, p, rank, n);
+        h = Some(rank);
+    });
+    ListRankProgram { program, rank: h.unwrap(), n }
+}
+
+/// Compute `pred` from `succ` (host-side input preparation).
+pub fn invert_succ(succ: &[u64]) -> Vec<u64> {
+    let n = succ.len();
+    let mut pred = vec![n as u64; n];
+    for (v, &s) in succ.iter().enumerate() {
+        if (s as usize) < n {
+            pred[s as usize] = v as u64;
+        }
+    }
+    pred
+}
+
+/// Reference ranks by serial traversal.
+pub fn reference_ranks(succ: &[u64]) -> Vec<u64> {
+    let n = succ.len();
+    let pred = invert_succ(succ);
+    let head = (0..n).find(|&v| pred[v] == n as u64).expect("no head");
+    let mut order = Vec::with_capacity(n);
+    let mut v = head;
+    loop {
+        order.push(v);
+        let s = succ[v];
+        if s == n as u64 {
+            break;
+        }
+        v = s as usize;
+    }
+    assert_eq!(order.len(), n, "succ does not describe a single list");
+    let mut rank = vec![0u64; n];
+    for (pos, &v) in order.iter().enumerate() {
+        rank[v] = (n - 1 - pos) as u64;
+    }
+    rank
+}
+
+/// A random list over ids `0..n` (a uniform permutation defines the
+/// order), returned as its `succ` array.
+pub fn random_list(n: usize, seed: u64) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut x = seed | 1;
+    for i in (1..n).rev() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = ((x >> 33) as usize) % (i + 1);
+        order.swap(i, j);
+    }
+    let mut succ = vec![n as u64; n];
+    for w in order.windows(2) {
+        succ[w[0]] = w[1] as u64;
+    }
+    succ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_model::MachineSpec;
+    use mo_core::sched::{simulate, Policy};
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn ranks_identity_list() {
+        // 0 -> 1 -> 2 -> ... -> n-1
+        let n = 200usize;
+        let succ: Vec<u64> = (1..=n as u64).collect();
+        let lp = listrank_program(&succ);
+        let ranks = lp.ranks();
+        for v in 0..n {
+            assert_eq!(ranks[v], (n - 1 - v) as u64, "node {v}");
+        }
+    }
+
+    #[test]
+    fn ranks_random_lists_across_sizes() {
+        for n in [1usize, 2, 3, 63, 64, 65, 200, 1000] {
+            let succ = random_list(n, 77 + n as u64);
+            let lp = listrank_program(&succ);
+            assert_eq!(lp.ranks(), reference_ranks(&succ), "n = {n}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn independent_set_is_independent_and_large() {
+        let n = 500usize;
+        let succ = random_list(n, 3);
+        let pred = invert_succ(&succ);
+        let mut handles = None;
+        let program = Recorder::record(8 * n, |rec| {
+            let s = rec.alloc_init(&succ);
+            let p = rec.alloc_init(&pred);
+            let in_s = rec.alloc(n);
+            mo_is(rec, s, p, in_s, n, DEFAULT_DCF_ROUNDS);
+            handles = Some(in_s);
+        });
+        let in_s = program.slice(handles.unwrap()).to_vec();
+        let size: u64 = in_s.iter().sum();
+        assert!(size as usize >= (n - 2) / 3, "|S| = {size} < (n-2)/3");
+        for v in 0..n {
+            if in_s[v] == 1 {
+                let s = succ[v];
+                assert_ne!(s, n as u64, "tail must not be in S");
+                assert_eq!(in_s[s as usize], 0, "adjacent nodes {v} and {s} both in S");
+                assert_ne!(pred[v], n as u64, "head must not be in S");
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn dcf_coloring_is_proper_and_small() {
+        let n = 1000usize;
+        let succ = random_list(n, 9);
+        let mut handle = None;
+        let program = Recorder::record(8 * n, |rec| {
+            let s = rec.alloc_init(&succ);
+            let mut color = rec.alloc(n);
+            rec.cgc_for(n, |rec, v| rec.write(color, v, v as u64));
+            for _ in 0..2 {
+                let next = rec.alloc(n);
+                dcf_round(rec, s, color, next, n);
+                color = next;
+            }
+            handle = Some(color);
+        });
+        let colors = program.slice(handle.unwrap());
+        let maxc = *colors.iter().max().unwrap();
+        assert!(maxc <= 12, "expected O(log log n) colors, got max {maxc}");
+        for v in 0..n {
+            let s = succ[v];
+            if s != n as u64 {
+                assert_ne!(colors[v], colors[s as usize], "edge {v}->{s} monochromatic");
+            }
+        }
+    }
+
+    /// Theorem 7 shape: the whole pipeline parallelizes (speed-up well
+    /// above 1 on 8 cores) and L2 misses stay within a constant factor of
+    /// work/B₂ (everything is sorts and scans).
+    #[test]
+    fn theorem7_shape_holds() {
+        let n = 2000usize;
+        let succ = random_list(n, 11);
+        let lp = listrank_program(&succ);
+        assert_eq!(lp.ranks(), reference_ranks(&succ));
+        let spec = MachineSpec::three_level(8, 1 << 10, 8, 1 << 18, 32).unwrap();
+        let r = simulate(&lp.program, &spec, Policy::Mo);
+        assert!(r.speedup() > 2.0, "speedup {}", r.speedup());
+        let scan2 = r.work / 32;
+        assert!(r.cache_complexity(2) < 4 * scan2);
+    }
+}

@@ -1,0 +1,558 @@
+//! Real-machine (wall-clock) counterparts of the MO algorithms, running
+//! on the space-bound pool of [`mo_core::rt`].
+//!
+//! These are plain-Rust parallel implementations used by the Criterion
+//! benches to compare against the naive/cache-aware baselines. They keep
+//! the same algorithmic structure as the recorded versions — space-bound
+//! driven fork–join recursion and CGC-style contiguous chunking — but
+//! operate directly on slices. Safe-Rust parallelism dictates the data
+//! decomposition: parallel splits always follow row bands or contiguous
+//! ranges (`split_at_mut`), while cache-oblivious recursion *within* a
+//! band is serial index arithmetic.
+
+use mo_core::rt::{Ctx, Jobs, SbPool};
+
+/// Parallel out-of-place matrix transposition (`n × n`, row-major):
+/// CGC-style row-band parallelism with a serial cache-oblivious recursive
+/// kernel per band.
+pub fn par_transpose(pool: &SbPool, a: &[f64], out: &mut [f64], n: usize) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(out.len(), n * n);
+    // out[j][i] = a[i][j]: parallelize over bands of out rows (j ranges).
+    pool.run(|ctx| {
+        band_transpose(ctx, a, out, n, 0);
+    });
+}
+
+fn band_transpose(ctx: &Ctx<'_>, a: &[f64], out: &mut [f64], n: usize, j0: usize) {
+    let rows = out.len() / n;
+    let space = 2 * out.len();
+    if rows > 16 {
+        let mid = rows / 2;
+        let (top, bot) = out.split_at_mut(mid * n);
+        ctx.join(
+            space / 2,
+            |c| band_transpose(c, a, top, n, j0),
+            space / 2,
+            |c| band_transpose(c, a, bot, n, j0 + mid),
+        );
+        return;
+    }
+    // Serial cache-friendly kernel: column-block walk over `a`.
+    const BLK: usize = 32;
+    for i0 in (0..n).step_by(BLK) {
+        let ihi = (i0 + BLK).min(n);
+        for (dj, row) in out.chunks_exact_mut(n).enumerate() {
+            let j = j0 + dj;
+            for i in i0..ihi {
+                row[i] = a[i * n + j];
+            }
+        }
+    }
+}
+
+/// Parallel `C += A·B` (row-major `n × n`): parallel row-band split with
+/// a serial cache-oblivious `(j, k)` recursion inside each band.
+pub fn par_matmul(pool: &SbPool, c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
+    assert_eq!(c.len(), n * n);
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    pool.run(|ctx| mm_rows(ctx, c, a, b, n));
+}
+
+fn mm_rows(ctx: &Ctx<'_>, c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
+    let rows = c.len() / n;
+    if rows > 32 {
+        let mid = rows / 2;
+        let (ct, cb) = c.split_at_mut(mid * n);
+        let (at, ab) = a.split_at(mid * n);
+        let space = 4 * rows * n;
+        ctx.join(
+            space / 2,
+            |cx| mm_rows(cx, ct, at, b, n),
+            space / 2,
+            |cx| mm_rows(cx, cb, ab, b, n),
+        );
+        return;
+    }
+    mm_serial(c, a, b, n, rows, 0, n, 0, n);
+}
+
+/// Serial recursive kernel over the `(j, k)` plane (cache-oblivious
+/// splitting of the larger dimension).
+#[allow(clippy::too_many_arguments)] // plane coordinates, not config
+fn mm_serial(
+    c: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    n: usize,
+    rows: usize,
+    j0: usize,
+    jw: usize,
+    k0: usize,
+    kw: usize,
+) {
+    const BLK: usize = 32;
+    if jw <= BLK && kw <= BLK {
+        for i in 0..rows {
+            for k in k0..k0 + kw {
+                let aik = a[i * n + k];
+                let crow = &mut c[i * n + j0..i * n + j0 + jw];
+                let brow = &b[k * n + j0..k * n + j0 + jw];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        return;
+    }
+    if jw >= kw {
+        let h = jw / 2;
+        mm_serial(c, a, b, n, rows, j0, h, k0, kw);
+        mm_serial(c, a, b, n, rows, j0 + h, jw - h, k0, kw);
+    } else {
+        let h = kw / 2;
+        mm_serial(c, a, b, n, rows, j0, jw, k0, h);
+        mm_serial(c, a, b, n, rows, j0, jw, k0 + h, kw - h);
+    }
+}
+
+/// Parallel Floyd–Warshall: for each `k`, row `k` is snapshotted and all
+/// rows update in parallel CGC bands (the classic row-parallel FW).
+pub fn par_floyd_warshall(pool: &SbPool, x: &mut [f64], n: usize) {
+    assert_eq!(x.len(), n * n);
+    let mut rowk = vec![0.0f64; n];
+    for k in 0..n {
+        rowk.copy_from_slice(&x[k * n..(k + 1) * n]);
+        let rk = &rowk;
+        pool.run(|ctx| {
+            fw_bands(ctx, x, rk, n, k);
+        });
+    }
+}
+
+fn fw_bands(ctx: &Ctx<'_>, x: &mut [f64], rowk: &[f64], n: usize, k: usize) {
+    let rows = x.len() / n;
+    if rows > 64 {
+        let mid = rows / 2;
+        let (top, bot) = x.split_at_mut(mid * n);
+        let space = 2 * rows * n;
+        ctx.join(
+            space / 2,
+            |c| fw_bands(c, top, rowk, n, k),
+            space / 2,
+            |c| fw_bands(c, bot, rowk, n, k),
+        );
+        return;
+    }
+    for row in x.chunks_exact_mut(n) {
+        let dik = row[k];
+        if dik.is_finite() {
+            for (dv, &dkj) in row.iter_mut().zip(rowk) {
+                let via = dik + dkj;
+                if via < *dv {
+                    *dv = via;
+                }
+            }
+        }
+    }
+}
+
+/// Parallel exclusive prefix sum (wrapping u64): block-scan with a serial
+/// combine of per-block totals.
+pub fn par_prefix_sum(pool: &SbPool, a: &mut [u64]) {
+    let n = a.len();
+    if n == 0 {
+        return;
+    }
+    let cores = pool.hierarchy().cores();
+    let block = n.div_ceil(cores).max(1024);
+    let nb = n.div_ceil(block);
+    if nb <= 1 {
+        serial_exclusive(a);
+        return;
+    }
+    // Phase 1: per-block totals.
+    let mut totals = vec![0u64; nb];
+    pool.run(|ctx| {
+        let mut jobs: Jobs<'_, (usize, u64)> = Vec::new();
+        for (bi, chunk) in a.chunks(block).enumerate() {
+            let sum: &[u64] = chunk;
+            jobs.push(Box::new(move |_| (bi, sum.iter().fold(0u64, |s, &v| s.wrapping_add(v)))));
+        }
+        for (bi, t) in ctx.join_all(2 * block, jobs) {
+            totals[bi] = t;
+        }
+    });
+    // Phase 2: exclusive scan of totals (tiny, serial).
+    let mut acc = 0u64;
+    for t in totals.iter_mut() {
+        let nt = acc.wrapping_add(*t);
+        *t = acc;
+        acc = nt;
+    }
+    // Phase 3: per-block exclusive scans seeded by the block offset.
+    pool.run(|ctx| {
+        let mut jobs: Jobs<'_, ()> = Vec::new();
+        for (chunk, &base) in a.chunks_mut(block).zip(&totals) {
+            jobs.push(Box::new(move |_| {
+                let mut acc = base;
+                for v in chunk.iter_mut() {
+                    let nv = acc.wrapping_add(*v);
+                    *v = acc;
+                    acc = nv;
+                }
+            }));
+        }
+        ctx.join_all(2 * block, jobs);
+    });
+}
+
+fn serial_exclusive(a: &mut [u64]) {
+    let mut acc = 0u64;
+    for v in a.iter_mut() {
+        let nv = acc.wrapping_add(*v);
+        *v = acc;
+        acc = nv;
+    }
+}
+
+/// Parallel sample sort: sorted runs → pivots → per-bucket gather, with
+/// the runs and buckets both processed under `join_all`.
+pub fn par_sort(pool: &SbPool, data: &mut [u64]) {
+    let n = data.len();
+    if n <= 2048 {
+        data.sort_unstable();
+        return;
+    }
+    let q = pool.hierarchy().cores().max(2);
+    let run_len = n.div_ceil(q);
+    // Round 1: sort runs in parallel.
+    pool.run(|ctx| {
+        let jobs: Jobs<'_, ()> = data
+            .chunks_mut(run_len)
+            .map(|chunk| {
+                Box::new(move |_: &Ctx<'_>| chunk.sort_unstable()) as Box<dyn FnOnce(&Ctx<'_>) + Send>
+            })
+            .collect();
+        ctx.join_all(2 * run_len, jobs);
+    });
+    // Pivots: regular samples across runs.
+    let mut samples = Vec::new();
+    for chunk in data.chunks(run_len) {
+        let step = (chunk.len() / 8).max(1);
+        samples.extend(chunk.iter().step_by(step).copied());
+    }
+    samples.sort_unstable();
+    let mut pivots: Vec<u64> =
+        (1..q).map(|t| samples[(t * samples.len() / q).min(samples.len() - 1)]).collect();
+    pivots.dedup();
+    // Split each sorted run at the pivots; bucket b = concatenation of
+    // each run's b-th segment, finished by a per-bucket sort.
+    let nb = pivots.len() + 1;
+    let run_bounds: Vec<(usize, usize)> = (0..data.len().div_ceil(run_len))
+        .map(|i| (i * run_len, ((i + 1) * run_len).min(n)))
+        .collect();
+    let splits: Vec<Vec<usize>> = run_bounds
+        .iter()
+        .map(|&(lo, hi)| {
+            let run = &data[lo..hi];
+            let mut pts = Vec::with_capacity(nb + 1);
+            pts.push(0usize);
+            for &p in &pivots {
+                pts.push(run.partition_point(|&v| v <= p));
+            }
+            pts.push(run.len());
+            pts
+        })
+        .collect();
+    // Gather buckets into a new buffer, then sort each bucket in parallel.
+    let mut out = vec![0u64; n];
+    let mut bucket_ranges = Vec::with_capacity(nb);
+    {
+        let mut cursor = 0usize;
+        for b in 0..nb {
+            let start = cursor;
+            for (ri, pts) in splits.iter().enumerate() {
+                let (lo, _) = run_bounds[ri];
+                let seg = &data[lo + pts[b]..lo + pts[b + 1]];
+                out[cursor..cursor + seg.len()].copy_from_slice(seg);
+                cursor += seg.len();
+            }
+            bucket_ranges.push((start, cursor));
+        }
+    }
+    pool.run(|ctx| {
+        let mut rest: &mut [u64] = &mut out;
+        let mut jobs: Jobs<'_, ()> = Vec::new();
+        let mut consumed = 0usize;
+        for &(lo, hi) in &bucket_ranges {
+            let (bucket, tail) = rest.split_at_mut(hi - consumed);
+            let seg = &mut bucket[lo - consumed..];
+            jobs.push(Box::new(move |_: &Ctx<'_>| seg.sort_unstable()));
+            rest = tail;
+            consumed = hi;
+        }
+        ctx.join_all(2 * run_len, jobs);
+    });
+    data.copy_from_slice(&out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mo_core::rt::HwHierarchy;
+
+    fn pool() -> SbPool {
+        SbPool::new(HwHierarchy::flat(4, 1 << 12, 1 << 22))
+    }
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 40) as f64) / 65536.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transpose_matches_naive() {
+        let n = 96;
+        let a = rand_vec(n * n, 1);
+        let mut out = vec![0.0; n * n];
+        let p = pool();
+        par_transpose(&p, &a, &mut out, n);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(out[j * n + i], a[i * n + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let n = 64;
+        let a = rand_vec(n * n, 2);
+        let b = rand_vec(n * n, 3);
+        let mut c = vec![0.0; n * n];
+        let p = pool();
+        par_matmul(&p, &mut c, &a, &b, n);
+        let want = crate::gep::matmul_reference(&a, &b, n);
+        for t in 0..n * n {
+            assert!((c[t] - want[t]).abs() < 1e-9, "at {t}");
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_matches_reference() {
+        let n = 48;
+        let mut d = vec![f64::INFINITY; n * n];
+        let mut x = 7u64;
+        for i in 0..n {
+            d[i * n + i] = 0.0;
+            for _ in 0..3 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = ((x >> 33) as usize) % n;
+                let w = 1.0 + ((x >> 20) % 9) as f64;
+                if i != j && w < d[i * n + j] {
+                    d[i * n + j] = w;
+                }
+            }
+        }
+        let want = crate::gep::floyd_warshall_reference(&d, n);
+        let p = pool();
+        let mut got = d.clone();
+        par_floyd_warshall(&p, &mut got, n);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prefix_sum_matches_serial() {
+        for n in [0usize, 1, 100, 5000, 50_000] {
+            let src: Vec<u64> = (0..n as u64).map(|x| x % 97 + 1).collect();
+            let mut par = src.clone();
+            let p = pool();
+            par_prefix_sum(&p, &mut par);
+            let mut ser = src.clone();
+            serial_exclusive(&mut ser);
+            assert_eq!(par, ser, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sort_matches_std() {
+        for n in [0usize, 10, 2048, 2049, 30_000] {
+            let mut x = 99u64;
+            let mut data: Vec<u64> = (0..n)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    x >> 30
+                })
+                .collect();
+            let mut want = data.clone();
+            want.sort_unstable();
+            let p = pool();
+            par_sort(&p, &mut data);
+            assert_eq!(data, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sort_handles_duplicates() {
+        let mut data: Vec<u64> = (0..10_000).map(|i| (i % 5) as u64).collect();
+        let mut want = data.clone();
+        want.sort_unstable();
+        let p = pool();
+        par_sort(&p, &mut data);
+        assert_eq!(data, want);
+    }
+}
+
+/// A complex sample for the real FFT kernels.
+pub type C64 = (f64, f64);
+
+#[inline]
+fn cmul(a: C64, b: C64) -> C64 {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// Parallel recursive FFT (`Y[i] = Σ_j X[j]·ω_n^{-ij}`, in place, `n` a
+/// power of two): even/odd split into a scratch buffer, the two halves
+/// recurse in parallel under SB space bounds, butterflies combine.
+pub fn par_fft(pool: &SbPool, x: &mut [C64]) {
+    let n = x.len();
+    assert!(n.is_power_of_two() || n == 0);
+    if n <= 1 {
+        return;
+    }
+    let mut scratch = vec![(0.0, 0.0); n];
+    pool.run(|ctx| fft_rec(ctx, x, &mut scratch));
+}
+
+fn fft_rec(ctx: &Ctx<'_>, x: &mut [C64], scratch: &mut [C64]) {
+    let n = x.len();
+    if n <= 32 {
+        serial_fft(x);
+        return;
+    }
+    let half = n / 2;
+    // Deinterleave into scratch: evens first, odds second.
+    for k in 0..half {
+        scratch[k] = x[2 * k];
+        scratch[half + k] = x[2 * k + 1];
+    }
+    {
+        let (se, so) = scratch.split_at_mut(half);
+        let (xe, xo) = x.split_at_mut(half);
+        // Recurse with roles swapped (scratch holds the data, x is free).
+        ctx.join(
+            4 * half,
+            |c| fft_rec(c, se, xe),
+            4 * half,
+            |c| fft_rec(c, so, xo),
+        );
+    }
+    // Combine back into x.
+    let ang = -2.0 * std::f64::consts::PI / n as f64;
+    for k in 0..half {
+        let w = ((ang * k as f64).cos(), (ang * k as f64).sin());
+        let e = scratch[k];
+        let o = cmul(w, scratch[half + k]);
+        x[k] = (e.0 + o.0, e.1 + o.1);
+        x[k + half] = (e.0 - o.0, e.1 - o.1);
+    }
+}
+
+/// Serial iterative radix-2 FFT (bit-reversal + butterfly passes): the
+/// wall-clock baseline.
+pub fn serial_fft(x: &mut [C64]) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wl = (ang.cos(), ang.sin());
+        for base in (0..n).step_by(len) {
+            let mut w = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let e = x[base + k];
+                let o = cmul(w, x[base + k + len / 2]);
+                x[base + k] = (e.0 + o.0, e.1 + o.1);
+                x[base + k + len / 2] = (e.0 - o.0, e.1 - o.1);
+                w = cmul(w, wl);
+            }
+        }
+        len *= 2;
+    }
+}
+
+#[cfg(test)]
+mod fft_tests {
+    use super::*;
+    use mo_core::rt::HwHierarchy;
+
+    fn pool() -> SbPool {
+        SbPool::new(HwHierarchy::flat(4, 1 << 10, 1 << 22))
+    }
+
+    fn reference_dft(input: &[C64]) -> Vec<C64> {
+        let n = input.len();
+        (0..n)
+            .map(|i| {
+                let mut acc = (0.0, 0.0);
+                for (j, &v) in input.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (i * j) as f64 / n as f64;
+                    let t = cmul(v, (ang.cos(), ang.sin()));
+                    acc = (acc.0 + t.0, acc.1 + t.1);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_and_parallel_match_reference() {
+        for n in [1usize, 2, 8, 64, 256, 1024] {
+            let input: Vec<C64> =
+                (0..n).map(|t| ((t as f64 * 0.31).sin(), (t as f64 * 0.17).cos())).collect();
+            let want = reference_dft(&input);
+            let mut s = input.clone();
+            serial_fft(&mut s);
+            let mut p = input.clone();
+            let pl = pool();
+            par_fft(&pl, &mut p);
+            for k in 0..n {
+                assert!((s[k].0 - want[k].0).abs() < 1e-6 * n as f64, "serial n={n} k={k}");
+                assert!((p[k].0 - want[k].0).abs() < 1e-6 * n as f64, "par n={n} k={k}");
+                assert!((p[k].1 - want[k].1).abs() < 1e-6 * n as f64, "par im n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_recorded_mo_fft() {
+        let n = 512;
+        let input: Vec<C64> = (0..n).map(|t| ((t as f64).sin(), 0.0)).collect();
+        let mo = crate::fft::fft_program(&input).output();
+        let mut real = input.clone();
+        let pl = pool();
+        par_fft(&pl, &mut real);
+        for k in 0..n {
+            assert!((mo[k].0 - real[k].0).abs() < 1e-6, "k={k}");
+            assert!((mo[k].1 - real[k].1).abs() < 1e-6, "k={k}");
+        }
+    }
+}

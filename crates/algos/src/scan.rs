@@ -1,0 +1,164 @@
+//! CGC-scheduled scans: reductions and prefix sums (Table II, row 1).
+//!
+//! The paper schedules scans with CGC in `O(B_1 log n)` parallel steps
+//! (\[13\]); the classic work-efficient realization is the balanced-tree
+//! up-sweep / down-sweep, each tree level being one `[CGC]` parallel for
+//! loop over the pairs at that level.
+
+use mo_core::{Arr, Recorder};
+
+/// In-place parallel reduction: leaves `a[n-1] = Σ a[k]` (u64, wrapping).
+/// `n` must be a power of two. One CGC loop per tree level.
+pub fn mo_reduce_sum(rec: &mut Recorder, a: Arr, n: usize) {
+    assert!(n.is_power_of_two(), "reduction requires n a power of two");
+    let mut stride = 2usize;
+    while stride <= n {
+        let pairs = n / stride;
+        rec.cgc_for(pairs, |rec, k| {
+            let hi = k * stride + stride - 1;
+            let lo = k * stride + stride / 2 - 1;
+            let x = rec.read(a, lo);
+            let y = rec.read(a, hi);
+            rec.write(a, hi, x.wrapping_add(y));
+        });
+        stride *= 2;
+    }
+}
+
+/// In-place *exclusive* prefix sum (Blelloch scan): afterwards
+/// `a[k] = Σ_{t<k} old a[t]`. Returns nothing; the total is lost (use
+/// [`mo_prefix_sum_total`] to keep it). `n` must be a power of two.
+pub fn mo_prefix_sum(rec: &mut Recorder, a: Arr, n: usize) {
+    let _ = mo_prefix_sum_total(rec, a, n);
+}
+
+/// As [`mo_prefix_sum`], but returns the grand total (read during the
+/// sweep, so it costs no extra pass).
+pub fn mo_prefix_sum_total(rec: &mut Recorder, a: Arr, n: usize) -> u64 {
+    assert!(n.is_power_of_two(), "scan requires n a power of two");
+    mo_reduce_sum(rec, a, n);
+    let total = rec.read(a, n - 1);
+    rec.write(a, n - 1, 0);
+    let mut stride = n;
+    while stride >= 2 {
+        let pairs = n / stride;
+        rec.cgc_for(pairs, |rec, k| {
+            let hi = k * stride + stride - 1;
+            let lo = k * stride + stride / 2 - 1;
+            let l = rec.read(a, lo);
+            let h = rec.read(a, hi);
+            rec.write(a, lo, h);
+            rec.write(a, hi, l.wrapping_add(h));
+        });
+        stride /= 2;
+    }
+    total
+}
+
+/// Inclusive prefix sum into `out` (`out[k] = Σ_{t ≤ k} a[t]`), leaving
+/// `a` untouched. Works for any `n ≥ 1` by padding internally.
+pub fn mo_prefix_sum_inclusive(rec: &mut Recorder, a: Arr, out: Arr, n: usize) {
+    assert!(a.len() >= n && out.len() >= n);
+    let m = n.next_power_of_two();
+    let tmp = rec.alloc(m);
+    rec.cgc_for(n, |rec, k| {
+        let v = rec.read(a, k);
+        rec.write(tmp, k, v);
+    });
+    // Padding stays zero (alloc zero-fills); no need to touch it.
+    mo_prefix_sum(rec, tmp, m);
+    rec.cgc_for(n, |rec, k| {
+        let excl = rec.read(tmp, k);
+        let v = rec.read(a, k);
+        rec.write(out, k, excl.wrapping_add(v));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_model::MachineSpec;
+    use mo_core::sched::{simulate, Policy};
+    use mo_core::Recorder;
+
+    #[test]
+    fn reduce_computes_the_sum() {
+        let n = 256usize;
+        let data: Vec<u64> = (1..=n as u64).collect();
+        let mut h = None;
+        let prog = Recorder::record(2 * n, |rec| {
+            let a = rec.alloc_init(&data);
+            mo_reduce_sum(rec, a, n);
+            h = Some(a);
+        });
+        assert_eq!(prog.get(h.unwrap(), n - 1), (n * (n + 1) / 2) as u64);
+    }
+
+    #[test]
+    fn exclusive_scan_matches_reference() {
+        let n = 128usize;
+        let data: Vec<u64> = (0..n as u64).map(|x| x * 3 + 1).collect();
+        let mut h = None;
+        let mut total = 0;
+        let prog = Recorder::record(2 * n, |rec| {
+            let a = rec.alloc_init(&data);
+            total = mo_prefix_sum_total(rec, a, n);
+            h = Some(a);
+        });
+        let got = prog.slice(h.unwrap());
+        let mut acc = 0u64;
+        for k in 0..n {
+            assert_eq!(got[k], acc, "at {k}");
+            acc += data[k];
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn inclusive_scan_handles_non_power_of_two() {
+        let n = 100usize;
+        let data: Vec<u64> = (0..n as u64).map(|x| x % 7).collect();
+        let mut h = None;
+        let prog = Recorder::record(4 * n, |rec| {
+            let a = rec.alloc_init(&data);
+            let out = rec.alloc(n);
+            mo_prefix_sum_inclusive(rec, a, out, n);
+            h = Some(out);
+        });
+        let got = prog.slice(h.unwrap());
+        let mut acc = 0u64;
+        for k in 0..n {
+            acc += data[k];
+            assert_eq!(got[k], acc, "at {k}");
+        }
+    }
+
+    /// Table II row 1: Θ(n/p) parallel steps, Θ(n/(q_i B_i)) misses.
+    #[test]
+    fn scan_bounds_hold_on_the_model() {
+        let n = 1 << 14;
+        let data: Vec<u64> = vec![1; n];
+        let mut _h = None;
+        let prog = Recorder::record(2 * n, |rec| {
+            let a = rec.alloc_init(&data);
+            mo_reduce_sum(rec, a, n);
+            _h = Some(a);
+        });
+        let p = 8u64;
+        let b1 = 8u64;
+        let spec = MachineSpec::three_level(p as usize, 1 << 10, b1 as usize, 1 << 17, 32).unwrap();
+        let r = simulate(&prog, &spec, Policy::Mo);
+        // Work ~ 3n (read+read+write per pair, n pairs total).
+        assert_eq!(r.work, 3 * (n as u64 - 1));
+        // Speed-up within 2x of p (tree tail costs the rest).
+        assert!(r.speedup() > p as f64 / 2.0, "speedup {}", r.speedup());
+        // Misses at L1: near the n/(q1 B1) scan bound (x3 for the
+        // level-by-level re-touch which LRU absorbs only partially).
+        let bound = n as u64 / (p * b1);
+        assert!(
+            r.cache_complexity(1) <= 6 * bound,
+            "misses {} vs bound {bound}",
+            r.cache_complexity(1)
+        );
+    }
+}

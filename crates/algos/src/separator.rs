@@ -1,0 +1,214 @@
+//! Separator-based sparse matrix construction (§III-C, Theorem 4 setup).
+//!
+//! MO-SpM-DV's cache bound requires the input matrix to satisfy an
+//! `n^ε`-edge separator theorem and to be **reordered by the left-to-right
+//! leaf order of its separator tree**. The canonical such family is the
+//! 2-D mesh: a `√n × √n` grid graph satisfies an `n^{1/2}`-edge separator
+//! theorem (cutting a side-`s` sub-grid in half severs ≤ `s` edges).
+//!
+//! [`mesh_matrix`] builds the mesh's support matrix and computes the
+//! separator-tree ordering by recursive bisection of the grid (always
+//! splitting the longer side), which is exactly the separator-tree
+//! construction described in the paper.
+
+/// A sparse matrix whose rows/columns are already in separator-tree leaf
+/// order, in adjacency-list form.
+#[derive(Debug, Clone)]
+pub struct SeparatorMatrix {
+    /// Dimension `n`.
+    pub n: usize,
+    /// `rows[i]` = the nonzeros `(j, value)` of row `i`, sorted by `j`.
+    pub rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl SeparatorMatrix {
+    /// Total number of nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// CSR arrays in the paper's `(A_v, A_0)` representation:
+    /// `a0[i]` is the starting index of row `i` in `av` (with
+    /// `a0[n] = nnz`), and `av` stores each nonzero as the pair
+    /// `⟨j, A[i,j]⟩` flattened to two words (`j`, `value.to_bits()`).
+    pub fn to_csr(&self) -> (Vec<u64>, Vec<u64>) {
+        let mut a0 = Vec::with_capacity(self.n + 1);
+        let mut av = Vec::with_capacity(2 * self.nnz());
+        let mut off = 0u64;
+        for row in &self.rows {
+            a0.push(off);
+            for &(j, v) in row {
+                av.push(j as u64);
+                av.push(v.to_bits());
+                off += 1;
+            }
+        }
+        a0.push(off);
+        (av, a0)
+    }
+
+    /// Reference product `y = A·x`.
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        self.rows
+            .iter()
+            .map(|row| row.iter().map(|&(j, v)| v * x[j]).sum())
+            .collect()
+    }
+
+    /// Maximum row degree (Theorem 4 assumes it is O(1), which holds for
+    /// meshes: ≤ 5 with the diagonal).
+    pub fn max_degree(&self) -> usize {
+        self.rows.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Recursive-bisection order of the cells of a `w × h` grid anchored at
+/// `(x0, y0)`: the in-order leaf sequence of the separator tree.
+fn bisect_order(x0: usize, y0: usize, w: usize, h: usize, out: &mut Vec<(usize, usize)>) {
+    if w == 0 || h == 0 {
+        return;
+    }
+    if w == 1 && h == 1 {
+        out.push((x0, y0));
+        return;
+    }
+    if w >= h {
+        let wl = w / 2;
+        bisect_order(x0, y0, wl, h, out);
+        bisect_order(x0 + wl, y0, w - wl, h, out);
+    } else {
+        let hl = h / 2;
+        bisect_order(x0, y0, w, hl, out);
+        bisect_order(x0, y0 + hl, w, h - hl, out);
+    }
+}
+
+/// Build the separator-reordered support matrix of the `side × side`
+/// mesh: entry `(i, j)` is nonzero iff `i = j` (diagonal, value 4) or the
+/// two cells are grid neighbours (value −1): a discrete Laplacian, the
+/// classic SpM-DV workload.
+pub fn mesh_matrix(side: usize) -> SeparatorMatrix {
+    assert!(side >= 1);
+    let n = side * side;
+    let mut order = Vec::with_capacity(n);
+    bisect_order(0, 0, side, side, &mut order);
+    debug_assert_eq!(order.len(), n);
+    // new_index[old cell] = separator position
+    let mut new_index = vec![0usize; n];
+    for (pos, &(x, y)) in order.iter().enumerate() {
+        new_index[y * side + x] = pos;
+    }
+    let mut rows = vec![Vec::new(); n];
+    for y in 0..side {
+        for x in 0..side {
+            let i = new_index[y * side + x];
+            let mut entries = vec![(i, 4.0)];
+            let mut push = |xx: isize, yy: isize| {
+                if xx >= 0 && yy >= 0 && (xx as usize) < side && (yy as usize) < side {
+                    entries.push((new_index[yy as usize * side + xx as usize], -1.0));
+                }
+            };
+            push(x as isize - 1, y as isize);
+            push(x as isize + 1, y as isize);
+            push(x as isize, y as isize - 1);
+            push(x as isize, y as isize + 1);
+            entries.sort_unstable_by_key(|e| e.0);
+            rows[i] = entries;
+        }
+    }
+    SeparatorMatrix { n, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_has_laplacian_shape() {
+        let m = mesh_matrix(4);
+        assert_eq!(m.n, 16);
+        assert_eq!(m.max_degree(), 5);
+        // Interior cells have degree 5, corners 3.
+        let degrees: Vec<usize> = m.rows.iter().map(Vec::len).collect();
+        assert_eq!(degrees.iter().filter(|&&d| d == 3).count(), 4);
+        // Row sums of the Laplacian are ≥ 0 (== 0 in the interior).
+        for row in &m.rows {
+            let s: f64 = row.iter().map(|e| e.1).sum();
+            assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let m = mesh_matrix(5);
+        for (i, row) in m.rows.iter().enumerate() {
+            for &(j, v) in row {
+                let back = m.rows[j].iter().find(|e| e.0 == i).expect("symmetric");
+                assert_eq!(back.1, v);
+            }
+        }
+    }
+
+    #[test]
+    fn reordering_is_a_permutation() {
+        let side = 6;
+        let m = mesh_matrix(side);
+        // Every row exists and every column index is in range.
+        assert_eq!(m.rows.len(), side * side);
+        for row in &m.rows {
+            assert!(!row.is_empty());
+            for &(j, _) in row {
+                assert!(j < m.n);
+            }
+        }
+    }
+
+    /// The defining property of the separator order: contiguous index
+    /// ranges induce few crossing edges (≈ perimeter, not area).
+    #[test]
+    fn contiguous_ranges_have_small_edge_boundary() {
+        let side = 16;
+        let m = mesh_matrix(side);
+        let n = m.n;
+        // Check power-of-two aligned ranges (the separator-tree blocks).
+        for len in [16usize, 64, 256] {
+            for start in (0..n).step_by(len) {
+                let inside = start..start + len;
+                let crossing: usize = inside
+                    .clone()
+                    .map(|i| {
+                        m.rows[i]
+                            .iter()
+                            .filter(|&&(j, _)| j != i && !inside.contains(&j))
+                            .count()
+                    })
+                    .sum();
+                // n^{1/2}-separator: boundary ≤ c·√len (4 sides + slack).
+                let bound = 6 * (len as f64).sqrt() as usize + 4;
+                assert!(
+                    crossing <= bound,
+                    "range {start}+{len}: boundary {crossing} > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip_and_multiply() {
+        let m = mesh_matrix(4);
+        let (av, a0) = m.to_csr();
+        assert_eq!(a0.len(), m.n + 1);
+        assert_eq!(av.len(), 2 * m.nnz());
+        let x: Vec<f64> = (0..m.n).map(|i| i as f64 * 0.5).collect();
+        let y = m.multiply(&x);
+        // Spot-check row 0 against the CSR arrays.
+        let mut acc = 0.0;
+        for k in a0[0]..a0[1] {
+            let j = av[2 * k as usize] as usize;
+            let v = f64::from_bits(av[2 * k as usize + 1]);
+            acc += v * x[j];
+        }
+        assert!((acc - y[0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,24 @@
+//! # mo-baselines — comparators for the oblivious algorithms
+//!
+//! Every experiment needs a baseline. This crate provides:
+//!
+//! * **naive** variants (cache-hostile): column-walk transposition,
+//!   unblocked `ijk` matrix multiplication, serial pointer-chase list
+//!   ranking, natural-order SpM-DV — recorded as [`mo_core::Program`]s so
+//!   the HM simulator can put numbers on the paper's claimed gaps;
+//! * **resource-aware** variants: tiled GEP matrix multiplication with an
+//!   explicit tile parameter (the paper's "tiled I-GEP runs in
+//!   `O(n³/p + n)` … but is not multicore-oblivious" comparator) and a
+//!   parallelized recursive cache-oblivious transpose whose `Θ(log n)`
+//!   critical path contrasts with MO-MT's `O(B₁)`;
+//! * the **hint-ignoring scheduler** comparison of §II needs no extra
+//!   code: replay any recorded MO program under
+//!   [`mo_core::sched::Policy::Flat`] instead of `Policy::Mo`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod listrank;
+pub mod matmul;
+pub mod spmdv;
+pub mod transpose;

@@ -1,0 +1,97 @@
+//! SpM-DV baseline: the same mesh matrix in its natural (row-major grid)
+//! order, without the separator-tree reordering Theorem 4 requires.
+
+use mo_core::{Arr, Program, Recorder};
+
+/// A `side × side` mesh Laplacian in natural row-major grid order
+/// (no separator reordering), as `(rows of (col, value))`.
+pub fn natural_mesh(side: usize) -> Vec<Vec<(usize, f64)>> {
+    let n = side * side;
+    let mut rows = vec![Vec::new(); n];
+    for y in 0..side {
+        for x in 0..side {
+            let i = y * side + x;
+            let mut entries = vec![(i, 4.0)];
+            let mut push = |xx: isize, yy: isize| {
+                if xx >= 0 && yy >= 0 && (xx as usize) < side && (yy as usize) < side {
+                    entries.push((yy as usize * side + xx as usize, -1.0));
+                }
+            };
+            push(x as isize - 1, y as isize);
+            push(x as isize + 1, y as isize);
+            push(x as isize, y as isize - 1);
+            push(x as isize, y as isize + 1);
+            entries.sort_unstable_by_key(|e| e.0);
+            rows[i] = entries;
+        }
+    }
+    rows
+}
+
+/// Record a straightforward CSR SpM-DV over the given rows (one CGC loop
+/// over the rows; no recursive anchoring).
+pub fn flat_spmdv_program(rows: &[Vec<(usize, f64)>], x: &[f64]) -> (Program, Arr) {
+    let n = rows.len();
+    assert_eq!(x.len(), n);
+    let mut av = Vec::new();
+    let mut a0 = Vec::with_capacity(n + 1);
+    for row in rows {
+        a0.push(av.len() as u64 / 2);
+        for &(j, v) in row {
+            av.push(j as u64);
+            av.push(v.to_bits());
+        }
+    }
+    a0.push(av.len() as u64 / 2);
+    let mut h = None;
+    let program = Recorder::record(4 * n, |rec| {
+        let av = rec.alloc_init(&av);
+        let a0 = rec.alloc_init(&a0);
+        let xs = rec.alloc_init_f64(x);
+        let y = rec.alloc(n);
+        rec.cgc_for(n, |rec, i| {
+            let lo = rec.read(a0, i) as usize;
+            let hi = rec.read(a0, i + 1) as usize;
+            let mut acc = 0.0;
+            for k in lo..hi {
+                let j = rec.read(av, 2 * k) as usize;
+                let a = f64::from_bits(rec.read(av, 2 * k + 1));
+                acc += a * rec.read_f64(xs, j);
+            }
+            rec.write_f64(y, i, acc);
+        });
+        h = Some(y);
+    });
+    (program, h.unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_spmdv_is_correct() {
+        let side = 8;
+        let rows = natural_mesh(side);
+        let n = side * side;
+        let x: Vec<f64> = (0..n).map(|i| (i % 11) as f64 - 3.0).collect();
+        let (prog, y) = flat_spmdv_program(&rows, &x);
+        for (i, row) in rows.iter().enumerate() {
+            let want: f64 = row.iter().map(|&(j, v)| v * x[j]).sum();
+            assert!((prog.get_f64(y, i) - want).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn natural_mesh_matches_separator_mesh_spectrally() {
+        // Same multiset of row degree patterns as the reordered matrix.
+        let side = 6;
+        let rows = natural_mesh(side);
+        let mut degs: Vec<usize> = rows.iter().map(Vec::len).collect();
+        degs.sort_unstable();
+        let sep = mo_algorithms::separator::mesh_matrix(side);
+        let mut degs2: Vec<usize> = sep.rows.iter().map(Vec::len).collect();
+        degs2.sort_unstable();
+        assert_eq!(degs, degs2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! A1. Theorem 5's cache-size proviso: I-GEP speed-up as the
+//!     `C_i / (p_i·C_{i-1})` slack shrinks (the `c_i = 2log²(C_i/C_{i-1})`
+//!     condition in the theorem statement).
+//! A2. The CGC `≥ B₁` segment rule: ping-ponging and misses as the block
+//!     size grows (the "technical point" of §III).
+//! A3. Footnote 3/4: deterministic-coin-flipping rounds in MO-IS — color
+//!     count, independent-set size, and total work vs `k`.
+//! A4. SB admission: least-loaded anchoring vs what happens under the
+//!     hint-ignoring policy (makespan and top-level misses).
+
+use hm_model::MachineSpec;
+use mo_algorithms::gep::matmul_program;
+use mo_algorithms::listrank::{listrank_program_with_rounds, random_list, reference_ranks};
+use mo_algorithms::transpose::transpose_program;
+use mo_bench::{header, rand_f64, rand_u64, run_flat, run_mo, val};
+
+fn main() {
+    header("A1", "Thm 5 proviso: I-GEP vs shrinking shared-cache slack");
+    let n = 64;
+    let a = rand_f64(1, n * n);
+    let b = rand_f64(2, n * n);
+    let mp = matmul_program(&a, &b, n);
+    for slack in [1usize, 4, 16, 64] {
+        // C2 = slack * p * C1; smaller slack starves concurrent anchors.
+        let c1 = 1 << 10;
+        let p = 8;
+        let spec = MachineSpec::three_level(p, c1, 8, slack * p * c1, 32).unwrap();
+        let r = run_mo(&mp.program, &spec);
+        println!(
+            "  C2/(p*C1) = {slack:>3}: speed-up {:>5.2}, L2 misses {:>8}",
+            r.speedup(),
+            r.cache_complexity(2)
+        );
+    }
+
+    header("A2", "CGC >= B1 segment rule: ping-ponging vs block size");
+    let n = 128;
+    let data = rand_u64(3, n * n, 1 << 30);
+    let mt = transpose_program(&data, n);
+    for b1 in [1usize, 4, 8, 16] {
+        let spec = MachineSpec::three_level(8, 1 << 10, b1, 1 << 18, 32.max(b1)).unwrap();
+        let r = run_mo(&mt.program, &spec);
+        println!(
+            "  B1 = {b1:>2}: units {:>5}, ping-pongs {:>6}, L1 misses {:>7}",
+            r.units, r.pingpongs, r.cache_complexity(1)
+        );
+    }
+    println!("  (larger B1 => coarser segments => fewer write interleavings)");
+
+    header("A3", "footnote 3/4: DCF coloring rounds k in MO-IS / MO-LR");
+    let n = 1 << 12;
+    let succ = random_list(n, 9);
+    let want = reference_ranks(&succ);
+    for k in [1usize, 2, 3, 4] {
+        let lp = listrank_program_with_rounds(&succ, k);
+        assert_eq!(lp.ranks(), want, "k = {k}");
+        let spec = mo_bench::default_machine();
+        let r = run_mo(&lp.program, &spec);
+        println!(
+            "  k = {k}: total work {:>9}, steps {:>9}, speed-up {:>5.2}",
+            r.work,
+            r.makespan,
+            r.speedup()
+        );
+    }
+    println!("  (k = 2 is the paper's choice; more rounds shrink colors, add passes)");
+
+    header("A4", "anchoring vs none: makespan and shared misses");
+    let data = rand_u64(4, 1 << 12, 1 << 30);
+    let sp = mo_algorithms::sort::sort_program(&data);
+    let spec = MachineSpec::example_h5();
+    let mo = run_mo(&sp.program, &spec);
+    let flat = run_flat(&sp.program, &spec);
+    val("MO   makespan", mo.makespan as f64);
+    val("flat makespan", flat.makespan as f64);
+    for level in 1..=spec.cache_levels() {
+        println!(
+            "  L{level} misses: MO {:>8}  flat {:>8}",
+            mo.cache_complexity(level),
+            flat.cache_complexity(level)
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! T8 — Theorem 8: MO connected components via contraction.
+
+use mo_algorithms::graph::cc::{cc_program, reference_components};
+use mo_bench::{header, row, run_mo};
+
+fn random_graph(n: usize, m: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut x = seed | 1;
+    let mut rnd = move |k: usize| {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((x >> 33) as usize) % k
+    };
+    (0..m).map(|_| (rnd(n), rnd(n))).filter(|&(u, v)| u != v).collect()
+}
+
+fn main() {
+    header("T8", "MO connected components (Thm 8)");
+    for (name, spec) in mo_bench::machines() {
+        println!("\n--- machine: {name} ---");
+        let p = spec.cores() as f64;
+        for (n, m_edges) in [(512usize, 768usize), (1024, 1536), (2048, 3072)] {
+            let edges = random_graph(n, m_edges, 3 + n as u64);
+            let cp = cc_program(n, &edges);
+            assert_eq!(cp.normalized_labels(), reference_components(n, &edges));
+            let r = run_mo(&cp.program, &spec);
+            let big_n = (n + edges.len()) as f64;
+            let logn = big_n.log2();
+            println!("n = {n}, m = {} (N = n + m = {big_n}):", edges.len());
+            row(
+                "parallel steps vs (N/p) log N log(N/B1)",
+                r.makespan as f64,
+                big_n * logn * (big_n / spec.level(1).block as f64).log2() / p,
+            );
+            for level in 1..=spec.cache_levels() {
+                let qi = spec.caches_at(level) as f64;
+                let bi = spec.level(level).block as f64;
+                let ci = spec.level(level).capacity as f64;
+                let logc = (logn / ci.log2()).max(1.0);
+                row(
+                    &format!("L{level} misses vs (N/(q_i B_i)) log_C N log(N/B1)"),
+                    r.cache_complexity(level) as f64,
+                    (big_n / (qi * bi))
+                        * logc
+                        * (big_n / spec.level(1).block as f64).log2(),
+                );
+            }
+            row("speed-up vs p", r.speedup(), p);
+        }
+    }
+}

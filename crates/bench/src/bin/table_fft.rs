@@ -1,0 +1,53 @@
+//! F3/T2 — Fig. 3 & Theorem 2: MO-FFT.
+//!
+//! Steps vs Θ((n/p + B₁)·log n) and per-level misses vs
+//! Θ((n/(q_i·B_i))·log_{C_i} n) across sizes, plus the NO FFT's
+//! communication complexity (Table II row 5).
+
+use mo_algorithms::fft::fft_program;
+use mo_bench::{header, row, run_mo};
+use no_framework::algs::fft::no_fft;
+
+fn signal(n: usize) -> Vec<(f64, f64)> {
+    (0..n).map(|t| ((t as f64 * 0.37).sin(), (t as f64 * 0.11).cos() * 0.5)).collect()
+}
+
+fn main() {
+    header("F3/T2", "MO-FFT (Fig. 3, Thm 2) and NO FFT");
+    for (name, spec) in mo_bench::machines() {
+        println!("\n--- machine: {name} ---");
+        let p = spec.cores() as f64;
+        let b1 = spec.level(1).block as f64;
+        for n in [1usize << 10, 1 << 12, 1 << 14] {
+            let fp = fft_program(&signal(n));
+            let r = run_mo(&fp.program, &spec);
+            println!("n = {n}:");
+            let nf = n as f64;
+            let logn = nf.log2();
+            // Complex elements are 2 words and every element is touched
+            // ~10x per level of the √n recursion; the Θ captures shape.
+            row("parallel steps vs (n/p + B1) log n", r.makespan as f64, (nf / p + b1) * logn);
+            for level in 1..=spec.cache_levels() {
+                let qi = spec.caches_at(level) as f64;
+                let bi = spec.level(level).block as f64;
+                let ci = spec.level(level).capacity as f64;
+                let logc = (logn / ci.log2()).max(1.0);
+                row(
+                    &format!("L{level} misses vs (n/(q_i B_i)) log_C n"),
+                    r.cache_complexity(level) as f64,
+                    (nf / (qi * bi)) * logc,
+                );
+            }
+            row("speed-up vs p", r.speedup(), p);
+        }
+    }
+    println!("\n--- NO FFT communication on M(p,B) (Table II row 5) ---");
+    let n = 1 << 10;
+    let (m, _) = no_fft(&signal(n));
+    for (p, b) in [(16usize, 2usize), (16, 8), (64, 2)] {
+        let comm = m.communication_complexity(p, b) as f64;
+        let np = (n / p) as f64;
+        let pred = (2.0 * n as f64 / (p * b) as f64) * ((n as f64).ln() / np.ln()).max(1.0);
+        row(&format!("comm p={p} B={b} vs (n/pB) log_(n/p) n"), comm, pred);
+    }
+}

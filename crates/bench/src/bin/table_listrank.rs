@@ -1,0 +1,45 @@
+//! F6/T7 — Fig. 6 & Theorem 7: MO-IS / MO-LR list ranking, vs the serial
+//! pointer-chase baseline.
+
+use mo_algorithms::listrank::{listrank_program, random_list, reference_ranks};
+use mo_baselines::listrank::serial_chase_program;
+use mo_bench::{header, row, run_mo, run_serial, val};
+
+fn main() {
+    header("F6/T7", "MO-IS and MO-LR list ranking (Fig. 6, Thm 7)");
+    for (name, spec) in mo_bench::machines() {
+        println!("\n--- machine: {name} ---");
+        let p = spec.cores() as f64;
+        for n in [1usize << 10, 1 << 11, 1 << 12] {
+            let succ = random_list(n, 17 + n as u64);
+            let lp = listrank_program(&succ);
+            assert_eq!(lp.ranks(), reference_ranks(&succ));
+            let r = run_mo(&lp.program, &spec);
+            println!("n = {n}:");
+            let nf = n as f64;
+            let logn = nf.log2();
+            // Work is Θ(n log n) across the contraction levels.
+            row("parallel steps vs (n/p) log n", r.makespan as f64, nf * logn / p);
+            for level in 1..=spec.cache_levels() {
+                let qi = spec.caches_at(level) as f64;
+                let bi = spec.level(level).block as f64;
+                let ci = spec.level(level).capacity as f64;
+                let logc = (logn / ci.log2()).max(1.0);
+                row(
+                    &format!("L{level} misses vs (n/(q_i B_i)) log_C n"),
+                    r.cache_complexity(level) as f64,
+                    (nf / (qi * bi)) * logc,
+                );
+            }
+            row("speed-up vs p", r.speedup(), p);
+        }
+        // Baseline: the pointer chase has no parallelism and random
+        // misses.
+        let n = 1 << 12;
+        let succ = random_list(n, 5);
+        let (bp, _) = serial_chase_program(&succ);
+        let rb = run_serial(&bp, &spec);
+        val("serial chase steps (no parallelism)", rb.makespan as f64);
+        val("serial chase L1 misses (~1 per hop)", rb.cache_complexity(1) as f64);
+    }
+}

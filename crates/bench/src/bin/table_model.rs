@@ -1,0 +1,30 @@
+//! F1 — Fig. 1: the HM model instantiated for h = 5, with shadows.
+
+use hm_model::{CacheId, MachineSpec, Topology};
+
+fn main() {
+    mo_bench::header("F1", "the HM model (Fig. 1, h = 5)");
+    let spec = MachineSpec::example_h5();
+    println!("{spec}\n");
+    let topo = Topology::new(&spec);
+    println!("shadows (cf. the shaded region of Fig. 1):");
+    for level in (1..=spec.cache_levels()).rev() {
+        print!("  L{level}: ");
+        for j in 0..topo.caches_at(level) {
+            let s = topo.shadow(CacheId::new(level, j));
+            print!("[cores {}..{}] ", s.lo, s.hi - 1);
+        }
+        println!();
+    }
+    println!("\ncapacity constraint C_i >= p_i * C_(i-1):");
+    for i in 2..=spec.cache_levels() {
+        let (ci, ci1, pi) =
+            (spec.level(i).capacity, spec.level(i - 1).capacity, spec.level(i).fanout);
+        println!("  C_{i} = {ci} >= p_{i} * C_{} = {}", i - 1, pi * ci1);
+    }
+    println!(
+        "\nmax cores bound p <= K * C_(h-1)/C_1 = {}  (actual p = {})",
+        spec.level(spec.cache_levels()).capacity / spec.level(1).capacity,
+        spec.cores()
+    );
+}

@@ -1,0 +1,41 @@
+//! T6 — Theorem 6: N-GEP on M(p,B) and D-BSP.
+//!
+//! Communication vs Θ(n²/(√p·B) + n·log²n), computation vs Θ(n³/p), and
+//! D-BSP communication time under a geometric (g, B) profile.
+
+use mo_bench::{fw_instance, header, row, val};
+use no_framework::algs::ngep::{ngep_program, DOrder, UpdateSet};
+
+fn fw(x: f64, u: f64, v: f64, _w: f64) -> f64 {
+    x.min(u + v)
+}
+
+fn main() {
+    header("T6", "N-GEP costs on M(p,B) and D-BSP (Thm 6)");
+    for n in [16usize, 32, 64] {
+        let kappa = 4;
+        let d = fw_instance(n, 3);
+        let (m, _) = ngep_program(&d, n, kappa, fw, UpdateSet::All, DOrder::DStar);
+        println!("\nn = {n} (kappa = {kappa}, N = {} PEs):", (n / kappa) * (n / kappa));
+        val("supersteps", m.supersteps() as f64);
+        for (p, b) in [(4usize, 4usize), (16, 4), (16, 16)] {
+            if p > (n / kappa) * (n / kappa) {
+                continue;
+            }
+            let comm = m.communication_complexity(p, b) as f64;
+            let pred = (n * n) as f64 / ((p as f64).sqrt() * b as f64);
+            row(&format!("comm p={p} B={b} vs n^2/(sqrt(p) B)"), comm, pred);
+            let compute = m.computation_complexity(p) as f64;
+            row(&format!("comp p={p} vs n^3/p"), compute, (n * n * n) as f64 / p as f64);
+        }
+        // D-BSP with geometric bandwidth/block profiles: g_i halves and
+        // B_i shrinks toward the leaves (as in the theorem's premise).
+        let p = 16usize;
+        let logp = p.trailing_zeros() as usize;
+        let g: Vec<f64> = (0..logp).map(|i| 2f64.powi((logp - i) as i32)).collect();
+        let bs: Vec<usize> = (0..logp).map(|i| 8usize >> i.min(3)).collect();
+        let t = m.dbsp_time(p, &g, &bs);
+        val(&format!("D-BSP(16, g={g:?}, B={bs:?}) time"), t);
+    }
+    println!("\nshape check: comm ratios stable across n; comp ratio ≈ updates/PE constant.");
+}

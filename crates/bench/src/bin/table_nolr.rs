@@ -1,0 +1,42 @@
+//! T9 — Theorem 9: NO-LR communication/computation on M(p,B).
+
+use mo_bench::{header, row, val};
+use no_framework::algs::listrank::no_listrank;
+
+fn random_list(n: usize, seed: u64) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut x = seed | 1;
+    for i in (1..n).rev() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = ((x >> 33) as usize) % (i + 1);
+        order.swap(i, j);
+    }
+    let mut succ = vec![u64::MAX; n];
+    for w in order.windows(2) {
+        succ[w[0]] = w[1] as u64;
+    }
+    succ
+}
+
+fn main() {
+    header("T9", "NO-LR on M(p,B) (Thm 9)");
+    for n in [1usize << 10, 1 << 11, 1 << 12] {
+        let succ = random_list(n, 1 + n as u64);
+        let (m, _) = no_listrank(&succ);
+        println!("\nn = {n} ({} supersteps):", m.supersteps());
+        for (p, b) in [(16usize, 1usize), (16, 8), (64, 1)] {
+            let comm = m.communication_complexity(p, b) as f64;
+            // Thm 9 leading term: n/(pB) (the contraction volume).
+            row(&format!("comm p={p} B={b} vs n/(pB)"), comm, n as f64 / (p * b) as f64);
+        }
+        let comp = m.computation_complexity(16) as f64;
+        row("comp p=16 vs (n/p) log n", comp, (n as f64 / 16.0) * (n as f64).log2());
+        // D-BSP time under a geometric profile.
+        let p = 16usize;
+        let logp = p.trailing_zeros() as usize;
+        let g: Vec<f64> = (0..logp).map(|i| 2f64.powi((logp - i) as i32)).collect();
+        let bs: Vec<usize> = vec![4; logp];
+        val("D-BSP(16) communication time", m.dbsp_time(p, &g, &bs));
+    }
+    println!("\nshape check: comm/(n/pB) stays bounded as n doubles (Θ stability).");
+}

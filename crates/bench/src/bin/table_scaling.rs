@@ -1,0 +1,84 @@
+//! CSV scaling series for plotting: for each problem, the measured
+//! parallel steps and per-level misses across a size sweep on the stock
+//! machines, plus NO communication across (p, B). This regenerates the
+//! *data series* behind every Table II row; pipe to a file and plot.
+//!
+//! ```sh
+//! cargo run --release -p mo-bench --bin table_scaling > scaling.csv
+//! ```
+
+use mo_algorithms::fft::fft_program;
+use mo_algorithms::gep::matmul_program;
+use mo_algorithms::listrank::{listrank_program, random_list};
+use mo_algorithms::sort::sort_program;
+use mo_algorithms::transpose::transpose_program;
+use mo_bench::{machines, rand_f64, rand_u64, run_mo};
+use mo_core::Program;
+
+fn emit(problem: &str, machine: &str, n: usize, prog: &Program, spec: &hm_model::MachineSpec) {
+    let r = run_mo(prog, spec);
+    let mut misses = String::new();
+    for level in 1..=4 {
+        if level <= spec.cache_levels() {
+            misses.push_str(&format!(",{}", r.cache_complexity(level)));
+        } else {
+            misses.push(',');
+        }
+    }
+    println!(
+        "{problem},{machine},{n},{},{},{:.3}{misses}",
+        r.work,
+        r.makespan,
+        r.speedup()
+    );
+}
+
+fn main() {
+    println!("problem,machine,n,work,steps,speedup,l1_miss,l2_miss,l3_miss,l4_miss");
+    for (mname, spec) in machines() {
+        for n in [256usize, 1024, 4096] {
+            let sp = sort_program(&rand_u64(n as u64, n, 1 << 30));
+            emit("sort", &mname, n, &sp.program, &spec);
+            let lp = listrank_program(&random_list(n, n as u64));
+            emit("listrank", &mname, n, &lp.program, &spec);
+            let sig: Vec<(f64, f64)> = (0..n).map(|t| ((t as f64).sin(), 0.0)).collect();
+            let fp = fft_program(&sig);
+            emit("fft", &mname, n, &fp.program, &spec);
+        }
+        for n in [32usize, 64, 128] {
+            let mt = transpose_program(&rand_u64(7, n * n, 1 << 30), n);
+            emit("transpose", &mname, n, &mt.program, &spec);
+            let mm = matmul_program(&rand_f64(1, n * n), &rand_f64(2, n * n), n);
+            emit("matmul", &mname, n, &mm.program, &spec);
+        }
+    }
+    // NO communication sweep (CSV section 2).
+    println!();
+    println!("problem,n,p,B,comm_blocks,comp_ops,supersteps");
+    for n in [256usize, 1024] {
+        let data = rand_u64(3, n, 1 << 30);
+        let (m, _) = no_framework::algs::sort::no_sort(&data);
+        for p in [4usize, 16, 64] {
+            for b in [1usize, 4, 16] {
+                println!(
+                    "no_sort,{n},{p},{b},{},{},{}",
+                    m.communication_complexity(p, b),
+                    m.computation_complexity(p),
+                    m.supersteps()
+                );
+            }
+        }
+        let sig: Vec<(f64, f64)> = (0..n).map(|t| (t as f64, 0.0)).collect();
+        let (mf, _) = no_framework::algs::fft::no_fft(&sig);
+        for p in [4usize, 16, 64] {
+            for b in [1usize, 4, 16] {
+                println!(
+                    "no_fft,{n},{p},{b},{},{},{}",
+                    mf.communication_complexity(p, b),
+                    mf.computation_complexity(p),
+                    mf.supersteps()
+                );
+            }
+        }
+    }
+}

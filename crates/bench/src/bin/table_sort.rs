@@ -1,0 +1,50 @@
+//! T3 — Theorem 3: SPMS-structured sorting, plus the NO column sort
+//! (Table II row 6).
+
+use mo_algorithms::sort::sort_program;
+use mo_bench::{header, rand_u64, row, run_mo};
+use no_framework::algs::sort::no_sort;
+
+fn main() {
+    header("T3", "multicore-oblivious sorting (SPMS structure, Thm 3)");
+    for (name, spec) in mo_bench::machines() {
+        println!("\n--- machine: {name} ---");
+        let p = spec.cores() as f64;
+        let b1 = spec.level(1).block as f64;
+        for n in [1usize << 10, 1 << 12, 1 << 14] {
+            let data = rand_u64(n as u64, n, u64::MAX >> 20);
+            let sp = sort_program(&data);
+            let r = run_mo(&sp.program, &spec);
+            println!("n = {n}:");
+            let nf = n as f64;
+            let logn = nf.log2();
+            let loglog = logn.log2().max(1.0);
+            row(
+                "parallel steps vs (n/(p loglog) + B1) log n loglog n",
+                r.makespan as f64,
+                (nf / (p * loglog) + b1) * logn * loglog,
+            );
+            for level in 1..=spec.cache_levels() {
+                let qi = spec.caches_at(level) as f64;
+                let bi = spec.level(level).block as f64;
+                let ci = spec.level(level).capacity as f64;
+                let logc = (logn / ci.log2()).max(1.0);
+                row(
+                    &format!("L{level} misses vs (n/(q_i B_i)) log_C n"),
+                    r.cache_complexity(level) as f64,
+                    (nf / (qi * bi)) * logc,
+                );
+            }
+            row("speed-up vs p", r.speedup(), p);
+        }
+    }
+    println!("\n--- NO column sort communication on M(p,B) (Table II row 6) ---");
+    let n = 1 << 12;
+    let (m, out) = no_sort(&rand_u64(3, n, u64::MAX >> 20));
+    assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    for (p, b) in [(16usize, 4usize), (16, 16), (64, 4)] {
+        let comm = m.communication_complexity(p, b) as f64;
+        row(&format!("comm p={p} B={b} vs n/(pB) per pass"), comm, n as f64 / (p * b) as f64);
+    }
+    println!("  (column sort runs a polylog number of passes; the paper notes the NO sort is slower)");
+}

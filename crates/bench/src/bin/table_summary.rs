@@ -1,0 +1,222 @@
+//! TabII — Table II: the consolidated summary. For each row of the
+//! paper's results table, measure the quantity at two sizes and report
+//! the measured/Θ ratio at both — stability of the ratio across scale is
+//! the reproduction criterion.
+
+use mo_algorithms::fft::fft_program;
+use mo_algorithms::gep::matmul_program;
+use mo_algorithms::listrank::{listrank_program, random_list};
+use mo_algorithms::sort::sort_program;
+use mo_algorithms::transpose::transpose_program;
+use mo_bench::{default_machine, header, rand_f64, rand_u64, run_mo};
+use mo_core::Recorder;
+use no_framework::algs::fft::no_fft;
+use no_framework::algs::listrank::no_listrank;
+use no_framework::algs::ngep::{ngep_matmul, DOrder};
+use no_framework::algs::scan::no_prefix_sum;
+use no_framework::algs::sort::no_sort;
+use no_framework::algs::transpose::no_transpose;
+
+struct Row {
+    problem: &'static str,
+    time_ratios: (f64, f64),
+    cache_ratios: (f64, f64),
+    comm_ratios: (f64, f64),
+}
+
+fn print_rows(rows: &[Row]) {
+    println!(
+        "{:<22} {:>18} {:>18} {:>18}",
+        "problem", "time ratio (2 n's)", "MO cache ratio", "NO comm ratio"
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            r.problem,
+            r.time_ratios.0,
+            r.time_ratios.1,
+            r.cache_ratios.0,
+            r.cache_ratios.1,
+            r.comm_ratios.0,
+            r.comm_ratios.1,
+        );
+    }
+    println!("\neach pair of columns = the measured/Θ ratio at the two problem sizes;");
+    println!("a reproduced row is one whose pair is (close to) constant.");
+}
+
+fn main() {
+    header("TabII", "summary of results (Table II): ratio stability across scale");
+    let spec = default_machine();
+    let p = spec.cores() as f64;
+    let (q2, b2) = (spec.caches_at(2) as f64, spec.level(2).block as f64);
+    let c2 = spec.level(2).capacity as f64;
+    let (np, nb) = (16usize, 4usize); // NO evaluation point
+
+    let mut rows = Vec::new();
+
+    // --- prefix sums ---
+    let mut t = (0.0, 0.0);
+    let mut c = (0.0, 0.0);
+    let mut cm = (0.0, 0.0);
+    for (k, n) in [1usize << 12, 1 << 14].into_iter().enumerate() {
+        let data = vec![1u64; n];
+        let prog = Recorder::record(2 * n, |rec| {
+            let a = rec.alloc_init(&data);
+            mo_algorithms::scan::mo_reduce_sum(rec, a, n);
+        });
+        let r = run_mo(&prog, &spec);
+        let tr = r.makespan as f64 / (n as f64 / p);
+        let cr = r.cache_complexity(2) as f64 / (n as f64 / (q2 * b2));
+        let (m, _) = no_prefix_sum(&vec![1u64; n]);
+        let nr = m.communication_complexity(np, nb) as f64 / (np as f64).log2();
+        if k == 0 {
+            t.0 = tr;
+            c.0 = cr;
+            cm.0 = nr;
+        } else {
+            t.1 = tr;
+            c.1 = cr;
+            cm.1 = nr;
+        }
+    }
+    rows.push(Row { problem: "prefix sum", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+
+    // --- matrix transposition ---
+    let mut t = (0.0, 0.0);
+    let mut c = (0.0, 0.0);
+    let mut cm = (0.0, 0.0);
+    for (k, n) in [64usize, 128].into_iter().enumerate() {
+        let data = rand_u64(n as u64, n * n, 1 << 30);
+        let mt = transpose_program(&data, n);
+        let r = run_mo(&mt.program, &spec);
+        let n2 = (n * n) as f64;
+        let tr = r.makespan as f64 / (n2 / p);
+        let cr = r.cache_complexity(2) as f64 / (n2 / (q2 * b2));
+        let (m, _) = no_transpose(&data, n);
+        let nr = m.communication_complexity(np, nb) as f64 / (n2 / (np * nb) as f64);
+        if k == 0 {
+            t.0 = tr;
+            c.0 = cr;
+            cm.0 = nr;
+        } else {
+            t.1 = tr;
+            c.1 = cr;
+            cm.1 = nr;
+        }
+    }
+    rows.push(Row { problem: "matrix transposition", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+
+    // --- matrix multiplication (GEP row shares these bounds) ---
+    let mut t = (0.0, 0.0);
+    let mut c = (0.0, 0.0);
+    let mut cm = (0.0, 0.0);
+    for (k, n) in [32usize, 64].into_iter().enumerate() {
+        let a = rand_f64(1, n * n);
+        let b = rand_f64(2, n * n);
+        let mp = matmul_program(&a, &b, n);
+        let r = run_mo(&mp.program, &spec);
+        let n3 = (n * n * n) as f64;
+        let tr = r.makespan as f64 / (n3 / p);
+        let cr = r.cache_complexity(2) as f64 / (n3 / (q2 * b2 * c2.sqrt()));
+        let (m, _) = ngep_matmul(&a, &b, n, 4, DOrder::DStar);
+        let nr = m.communication_complexity(np, nb) as f64
+            / ((n * n) as f64 / ((np as f64).sqrt() * nb as f64));
+        if k == 0 {
+            t.0 = tr;
+            c.0 = cr;
+            cm.0 = nr;
+        } else {
+            t.1 = tr;
+            c.1 = cr;
+            cm.1 = nr;
+        }
+    }
+    rows.push(Row { problem: "matmul / GEP", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+
+    // --- FFT ---
+    let mut t = (0.0, 0.0);
+    let mut c = (0.0, 0.0);
+    let mut cm = (0.0, 0.0);
+    for (k, n) in [1usize << 10, 1 << 12].into_iter().enumerate() {
+        let sig: Vec<(f64, f64)> = (0..n).map(|i| ((i as f64).sin(), 0.0)).collect();
+        let fp = fft_program(&sig);
+        let r = run_mo(&fp.program, &spec);
+        let nf = n as f64;
+        let tr = r.makespan as f64 / (nf * nf.log2() / p);
+        let cr = r.cache_complexity(2) as f64 / ((nf / (q2 * b2)) * (nf.log2() / c2.log2()).max(1.0));
+        let (m, _) = no_fft(&sig);
+        let nr = m.communication_complexity(np, nb) as f64
+            / ((nf / (np * nb) as f64) * (nf.ln() / ((n / np) as f64).ln()));
+        if k == 0 {
+            t.0 = tr;
+            c.0 = cr;
+            cm.0 = nr;
+        } else {
+            t.1 = tr;
+            c.1 = cr;
+            cm.1 = nr;
+        }
+    }
+    rows.push(Row { problem: "FFT", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+
+    // --- sorting ---
+    let mut t = (0.0, 0.0);
+    let mut c = (0.0, 0.0);
+    let mut cm = (0.0, 0.0);
+    for (k, n) in [1usize << 10, 1 << 12].into_iter().enumerate() {
+        let data = rand_u64(9 + n as u64, n, 1 << 30);
+        let sp = sort_program(&data);
+        let r = run_mo(&sp.program, &spec);
+        let nf = n as f64;
+        let tr = r.makespan as f64 / (nf * nf.log2() / p);
+        let cr = r.cache_complexity(2) as f64 / ((nf / (q2 * b2)) * (nf.log2() / c2.log2()).max(1.0));
+        let (m, _) = no_sort(&data);
+        let nr = m.communication_complexity(np, nb) as f64 / (nf / (np * nb) as f64);
+        if k == 0 {
+            t.0 = tr;
+            c.0 = cr;
+            cm.0 = nr;
+        } else {
+            t.1 = tr;
+            c.1 = cr;
+            cm.1 = nr;
+        }
+    }
+    rows.push(Row { problem: "sorting", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+
+    // --- list ranking ---
+    let mut t = (0.0, 0.0);
+    let mut c = (0.0, 0.0);
+    let mut cm = (0.0, 0.0);
+    for (k, n) in [1usize << 10, 1 << 12].into_iter().enumerate() {
+        let succ = random_list(n, 21);
+        let lp = listrank_program(&succ);
+        let r = run_mo(&lp.program, &spec);
+        let nf = n as f64;
+        let tr = r.makespan as f64 / (nf * nf.log2() / p);
+        let cr = r.cache_complexity(2) as f64 / ((nf / (q2 * b2)) * (nf.log2() / c2.log2()).max(1.0));
+        let mut s2 = succ.clone();
+        for v in s2.iter_mut() {
+            if *v == n as u64 {
+                *v = u64::MAX;
+            }
+        }
+        let (m, _) = no_listrank(&s2);
+        let nr = m.communication_complexity(np, nb) as f64 / (nf / (np * nb) as f64);
+        if k == 0 {
+            t.0 = tr;
+            c.0 = cr;
+            cm.0 = nr;
+        } else {
+            t.1 = tr;
+            c.1 = cr;
+            cm.1 = nr;
+        }
+    }
+    rows.push(Row { problem: "list ranking", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+
+    println!("machine: {spec}");
+    println!("NO evaluation point: M(p = {np}, B = {nb})\n");
+    print_rows(&rows);
+}

@@ -1,0 +1,143 @@
+//! # mo-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 and
+//! EXPERIMENTS.md for the index):
+//!
+//! ```text
+//! cargo run --release -p mo-bench --bin table_model      # Fig. 1
+//! cargo run --release -p mo-bench --bin table_transpose  # Fig. 2 / Thm 1
+//! cargo run --release -p mo-bench --bin table_fft        # Fig. 3 / Thm 2
+//! cargo run --release -p mo-bench --bin table_sort       # Thm 3
+//! cargo run --release -p mo-bench --bin table_spmdv      # Fig. 4 / Thm 4
+//! cargo run --release -p mo-bench --bin table_gep        # Fig. 5 / Thm 5
+//! cargo run --release -p mo-bench --bin table_dstar      # Table I
+//! cargo run --release -p mo-bench --bin table_ngep       # Thm 6
+//! cargo run --release -p mo-bench --bin table_listrank   # Fig. 6 / Thm 7
+//! cargo run --release -p mo-bench --bin table_cc         # Thm 8
+//! cargo run --release -p mo-bench --bin table_nolr       # Thm 9
+//! cargo run --release -p mo-bench --bin table_nocc       # Thm 10
+//! cargo run --release -p mo-bench --bin table_slice_vs_mo # §II claim
+//! cargo run --release -p mo-bench --bin table_summary    # Table II
+//! ```
+//!
+//! Each prints measured quantities next to the paper's Θ(·) prediction
+//! and the measured/predicted ratio; ratio *stability across scale* is
+//! the reproduction criterion (absolute constants are implementation-
+//! specific). Criterion wall-clock benches live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hm_model::MachineSpec;
+use mo_core::sched::{simulate, Policy, RunReport};
+use mo_core::Program;
+
+/// The default machine sweep used by the table binaries: a 3-level
+/// machine (8 cores, 1 KiW L1 / B₁ = 8, 256 KiW shared L2 / B₂ = 32) and
+/// the 5-level Fig. 1 machine.
+pub fn machines() -> Vec<(String, MachineSpec)> {
+    vec![
+        (
+            "3-level p=8".to_string(),
+            MachineSpec::three_level(8, 1 << 10, 8, 1 << 18, 32).unwrap(),
+        ),
+        ("Fig.1 h=5 p=8".to_string(), MachineSpec::example_h5()),
+    ]
+}
+
+/// A smaller single-machine default for the heavier experiments.
+pub fn default_machine() -> MachineSpec {
+    MachineSpec::three_level(8, 1 << 10, 8, 1 << 18, 32).unwrap()
+}
+
+/// Run a recorded program under the MO policy.
+pub fn run_mo(prog: &Program, spec: &MachineSpec) -> RunReport {
+    simulate(prog, spec, Policy::Mo)
+}
+
+/// Run under the hint-ignoring greedy policy (§II comparator).
+pub fn run_flat(prog: &Program, spec: &MachineSpec) -> RunReport {
+    simulate(prog, spec, Policy::Flat)
+}
+
+/// Run serially (sequential cache-oblivious behaviour).
+pub fn run_serial(prog: &Program, spec: &MachineSpec) -> RunReport {
+    simulate(prog, spec, Policy::Serial)
+}
+
+/// Print a header for one experiment.
+pub fn header(id: &str, what: &str) {
+    println!("==================================================================");
+    println!("{id}: {what}");
+    println!("==================================================================");
+}
+
+/// One measured-vs-predicted row.
+pub fn row(label: &str, measured: f64, predicted: f64) {
+    let ratio = if predicted > 0.0 { measured / predicted } else { f64::NAN };
+    println!("  {label:<44} measured {measured:>12.0}  Θ-pred {predicted:>12.0}  ratio {ratio:>7.2}");
+}
+
+/// A plain annotated value.
+pub fn val(label: &str, v: f64) {
+    println!("  {label:<44} {v:>12.2}");
+}
+
+/// Deterministic pseudo-random u64s.
+pub fn rand_u64(seed: u64, n: usize, modulus: u64) -> Vec<u64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) % modulus
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random f64s in ~[0.25, 16).
+pub fn rand_f64(seed: u64, n: usize) -> Vec<f64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 40) as f64) / 1024.0 + 0.25
+        })
+        .collect()
+}
+
+/// A random Floyd–Warshall instance with integer weights (exact in f64).
+pub fn fw_instance(n: usize, seed: u64) -> Vec<f64> {
+    let mut d = vec![f64::INFINITY; n * n];
+    let mut x = seed | 1;
+    for i in 0..n {
+        d[i * n + i] = 0.0;
+        for _ in 0..3 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = ((x >> 33) as usize) % n;
+            let w = 1.0 + ((x >> 20) % 9) as f64;
+            if i != j {
+                d[i * n + j] = d[i * n + j].min(w);
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machines_are_valid() {
+        for (name, spec) in machines() {
+            assert!(spec.cores() >= 1, "{name}");
+            assert!(spec.all_tall(), "{name}");
+        }
+    }
+
+    #[test]
+    fn rand_helpers_are_deterministic() {
+        assert_eq!(rand_u64(1, 5, 100), rand_u64(1, 5, 100));
+        assert_eq!(rand_f64(2, 5), rand_f64(2, 5));
+    }
+}

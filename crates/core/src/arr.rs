@@ -1,0 +1,169 @@
+//! Handles into the simulated shared memory: 1-D arrays and 2-D matrices.
+
+/// A contiguous region of simulated memory, in words.
+///
+/// `Arr` is a plain handle (offset + length); all accesses go through the
+/// [`crate::Recorder`], which bounds-checks against the handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arr {
+    pub(crate) off: u64,
+    pub(crate) len: usize,
+}
+
+impl Arr {
+    /// Length in words.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base word address (useful for diagnostics only).
+    pub fn base(&self) -> u64 {
+        self.off
+    }
+
+    /// A sub-range `[start, start + len)` of this region.
+    pub fn sub(&self, start: usize, len: usize) -> Arr {
+        assert!(start + len <= self.len, "sub-range out of bounds");
+        Arr { off: self.off + start as u64, len }
+    }
+
+    /// Split into two halves at `mid`.
+    pub fn split_at(&self, mid: usize) -> (Arr, Arr) {
+        (self.sub(0, mid), self.sub(mid, self.len - mid))
+    }
+}
+
+/// A row-major 2-D view over an [`Arr`].
+///
+/// `Mat` supports the quadrant decomposition used throughout the paper's
+/// recursive algorithms (I-GEP's `X_{11}, X_{12}, X_{21}, X_{22}`): a
+/// quadrant is just a `Mat` with the same stride and a shifted origin, so
+/// no data ever moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mat {
+    pub(crate) off: u64,
+    /// Number of rows in this view.
+    pub rows: usize,
+    /// Number of columns in this view.
+    pub cols: usize,
+    /// Distance in words between consecutive rows of the underlying array.
+    pub stride: usize,
+}
+
+impl Mat {
+    /// View `arr` as a `rows × cols` row-major matrix (tight stride).
+    pub fn new(arr: Arr, rows: usize, cols: usize) -> Mat {
+        assert!(rows * cols <= arr.len, "matrix does not fit the array");
+        Mat { off: arr.off, rows, cols, stride: cols }
+    }
+
+    /// Word address of element `(i, j)`.
+    #[inline]
+    pub fn addr(&self, i: usize, j: usize) -> u64 {
+        debug_assert!(i < self.rows && j < self.cols, "({i},{j}) out of bounds");
+        self.off + (i * self.stride + j) as u64
+    }
+
+    /// A rectangular sub-view with origin `(i, j)` and shape `r × c`.
+    pub fn view(&self, i: usize, j: usize, r: usize, c: usize) -> Mat {
+        assert!(i + r <= self.rows && j + c <= self.cols, "view out of bounds");
+        Mat { off: self.addr(i, j), rows: r, cols: c, stride: self.stride }
+    }
+
+    /// Row `i` as a 1-D handle (contiguous within the row).
+    pub fn row(&self, i: usize) -> Arr {
+        assert!(i < self.rows);
+        Arr { off: self.addr(i, 0), len: self.cols }
+    }
+
+    /// The four quadrants `(X11, X12, X21, X22)` of a square
+    /// even-dimension view.
+    pub fn quadrants(&self) -> (Mat, Mat, Mat, Mat) {
+        assert_eq!(self.rows, self.cols, "quadrants need a square view");
+        assert_eq!(self.rows % 2, 0, "quadrants need an even dimension");
+        let m = self.rows / 2;
+        (
+            self.view(0, 0, m, m),
+            self.view(0, m, m, m),
+            self.view(m, 0, m, m),
+            self.view(m, m, m, m),
+        )
+    }
+
+    /// Number of elements in the view.
+    pub fn elems(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(off: u64, len: usize) -> Arr {
+        Arr { off, len }
+    }
+
+    #[test]
+    fn sub_and_split() {
+        let a = arr(100, 10);
+        let s = a.sub(3, 4);
+        assert_eq!(s.base(), 103);
+        assert_eq!(s.len(), 4);
+        let (l, r) = a.split_at(6);
+        assert_eq!((l.base(), l.len()), (100, 6));
+        assert_eq!((r.base(), r.len()), (106, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_out_of_bounds_panics() {
+        arr(0, 10).sub(8, 4);
+    }
+
+    #[test]
+    fn mat_addressing_is_row_major() {
+        let m = Mat::new(arr(1000, 64), 8, 8);
+        assert_eq!(m.addr(0, 0), 1000);
+        assert_eq!(m.addr(0, 7), 1007);
+        assert_eq!(m.addr(1, 0), 1008);
+        assert_eq!(m.addr(7, 7), 1063);
+    }
+
+    #[test]
+    fn views_share_storage() {
+        let m = Mat::new(arr(0, 64), 8, 8);
+        let v = m.view(2, 3, 4, 4);
+        assert_eq!(v.addr(0, 0), m.addr(2, 3));
+        assert_eq!(v.addr(3, 3), m.addr(5, 6));
+        assert_eq!(v.stride, 8);
+    }
+
+    #[test]
+    fn quadrants_tile_the_matrix() {
+        let m = Mat::new(arr(0, 64), 8, 8);
+        let (x11, x12, x21, x22) = m.quadrants();
+        assert_eq!(x11.addr(0, 0), m.addr(0, 0));
+        assert_eq!(x12.addr(0, 0), m.addr(0, 4));
+        assert_eq!(x21.addr(0, 0), m.addr(4, 0));
+        assert_eq!(x22.addr(3, 3), m.addr(7, 7));
+        for q in [x11, x12, x21, x22] {
+            assert_eq!(q.rows, 4);
+            assert_eq!(q.cols, 4);
+            assert_eq!(q.elems(), 16);
+        }
+    }
+
+    #[test]
+    fn row_is_contiguous() {
+        let m = Mat::new(arr(50, 64), 8, 8);
+        let r = m.row(2);
+        assert_eq!(r.base(), 50 + 16);
+        assert_eq!(r.len(), 8);
+    }
+}

@@ -1,0 +1,374 @@
+//! Real-thread realization of space-bound scheduling.
+//!
+//! The simulator in [`crate::sched`] measures the *model* quantities
+//! (parallel steps, per-level cache misses). This module shows the same
+//! hint API running on an actual machine: a fork–join pool whose
+//! parallelization decisions are driven by task **space bounds** against a
+//! configured cache hierarchy, exactly in the spirit of the paper's SB
+//! scheduler:
+//!
+//! * a fork whose children's space bounds fit inside one private (L1-level)
+//!   cache runs **serially** — on the model those children would be
+//!   anchored at the same L1 and execute on one core anyway, so spawning
+//!   would only pay overhead and wreck locality;
+//! * larger forks run in parallel while core *permits* are available, so
+//!   the number of live workers never exceeds the number of cores, and
+//!   oversubscription (the real-machine analogue of violating a cache's
+//!   space admission) is avoided;
+//! * `pfor` provides the CGC discipline: contiguous chunks of at least a
+//!   caller-supplied grain, one per available core.
+//!
+//! The implementation is deliberately `unsafe`-free: forks use
+//! [`std::thread::scope`], so borrowed data flows into children without
+//! lifetime erasure. Thread spawns are amortized by the space-bound
+//! serialization cutoff — below the cutoff no thread is ever created.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+use parking_lot::RwLock;
+
+/// One level of the real machine's hierarchy (capacity in *words*, i.e.
+/// `u64`-sized units, to match the simulator's convention).
+#[derive(Debug, Clone, Copy)]
+pub struct HwLevel {
+    /// Cache capacity in words.
+    pub capacity: usize,
+    /// Number of child units sharing one cache at this level.
+    pub fanout: usize,
+}
+
+/// A description of the real machine for the [`SbPool`].
+#[derive(Debug, Clone)]
+pub struct HwHierarchy {
+    levels: Vec<HwLevel>,
+}
+
+impl HwHierarchy {
+    /// Build from explicit levels (L1 first, fanout of L1 must be 1).
+    pub fn new(levels: Vec<HwLevel>) -> Self {
+        assert!(!levels.is_empty(), "need at least one level");
+        assert_eq!(levels[0].fanout, 1, "L1 caches are private");
+        Self { levels }
+    }
+
+    /// A flat machine: `cores` cores with private caches of `l1_words`
+    /// under a shared cache of `shared_words`.
+    pub fn flat(cores: usize, l1_words: usize, shared_words: usize) -> Self {
+        Self::new(vec![
+            HwLevel { capacity: l1_words, fanout: 1 },
+            HwLevel { capacity: shared_words, fanout: cores.max(1) },
+        ])
+    }
+
+    /// Best-effort detection: `available_parallelism` cores, a 32 KiB L1
+    /// and an 8 MiB shared last-level cache (the common desktop shape).
+    pub fn detect() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::flat(cores, 32 * 1024 / 8, 8 * 1024 * 1024 / 8)
+    }
+
+    /// Total number of cores.
+    pub fn cores(&self) -> usize {
+        self.levels.iter().map(|l| l.fanout).product()
+    }
+
+    /// Private (L1) capacity in words: the serialization cutoff.
+    pub fn l1_capacity(&self) -> usize {
+        self.levels[0].capacity
+    }
+
+    /// The levels, L1 first.
+    pub fn levels(&self) -> &[HwLevel] {
+        &self.levels
+    }
+}
+
+/// Statistics of a pool run (monotone counters, reset per [`SbPool::run`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RtStats {
+    /// Forks executed in parallel (a thread was spawned).
+    pub parallel_forks: u64,
+    /// Forks serialized by the space-bound cutoff.
+    pub serial_forks: u64,
+    /// Forks serialized because no core permit was available.
+    pub denied_forks: u64,
+}
+
+/// A space-bound fork–join pool over the real machine.
+#[derive(Debug)]
+pub struct SbPool {
+    hier: HwHierarchy,
+    /// Remaining core permits (may briefly go negative under races; only
+    /// `try_acquire`'s check is gated).
+    permits: AtomicIsize,
+    stats: RwLock<RtStats>,
+}
+
+impl SbPool {
+    /// Create a pool for `hier`.
+    pub fn new(hier: HwHierarchy) -> Self {
+        let cores = hier.cores() as isize;
+        Self { hier, permits: AtomicIsize::new(cores - 1), stats: RwLock::new(RtStats::default()) }
+    }
+
+    /// Pool over the detected machine.
+    pub fn detected() -> Self {
+        Self::new(HwHierarchy::detect())
+    }
+
+    /// The hierarchy the pool was built for.
+    pub fn hierarchy(&self) -> &HwHierarchy {
+        &self.hier
+    }
+
+    /// Statistics of the forks taken so far.
+    pub fn stats(&self) -> RtStats {
+        *self.stats.read()
+    }
+
+    /// Run a root task. The context it receives exposes `join` and `pfor`.
+    pub fn run<R: Send>(&self, f: impl FnOnce(&Ctx<'_>) -> R + Send) -> R {
+        *self.stats.write() = RtStats::default();
+        let ctx = Ctx { pool: self };
+        f(&ctx)
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.permits
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| (p > 0).then(|| p - 1))
+            .is_ok()
+    }
+
+    fn release(&self) {
+        self.permits.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// A batch of boxed jobs for [`Ctx::join_all`].
+pub type Jobs<'a, R> = Vec<Box<dyn FnOnce(&Ctx<'_>) -> R + Send + 'a>>;
+
+/// Execution context handed to tasks running on an [`SbPool`].
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx<'p> {
+    pool: &'p SbPool,
+}
+
+impl<'p> Ctx<'p> {
+    /// The pool.
+    pub fn pool(&self) -> &'p SbPool {
+        self.pool
+    }
+
+    /// SB fork–join: run `fa` and `fb`, in parallel when their space
+    /// bounds (in words) justify it and a core permit is available.
+    pub fn join<RA, RB>(
+        &self,
+        space_a: usize,
+        fa: impl FnOnce(&Ctx<'_>) -> RA + Send,
+        space_b: usize,
+        fb: impl FnOnce(&Ctx<'_>) -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let cutoff = self.pool.hier.l1_capacity();
+        if space_a.max(space_b) <= cutoff {
+            // Both children would anchor at one private cache: serialize.
+            self.pool.stats.write().serial_forks += 1;
+            return (fa(self), fb(self));
+        }
+        if !self.pool.try_acquire() {
+            self.pool.stats.write().denied_forks += 1;
+            return (fa(self), fb(self));
+        }
+        self.pool.stats.write().parallel_forks += 1;
+        let pool = self.pool;
+        let out = std::thread::scope(|s| {
+            let hb = s.spawn(move || {
+                let ctx = Ctx { pool };
+                let r = fb(&ctx);
+                pool.release();
+                r
+            });
+            let ra = fa(self);
+            let rb = hb.join().expect("forked task panicked");
+            (ra, rb)
+        });
+        out
+    }
+
+    /// N-way SB fork–join over homogeneous closures.
+    pub fn join_all<R: Send>(&self, space_each: usize, fs: Jobs<'_, R>) -> Vec<R> {
+        match fs.len() {
+            0 => Vec::new(),
+            1 => {
+                let mut fs = fs;
+                vec![fs.pop().unwrap()(self)]
+            }
+            _ => {
+                let mut fs = fs;
+                let rest = fs.split_off(fs.len() / 2);
+                let first = fs;
+                let total = space_each * (first.len() + rest.len());
+                let (mut a, b) = self.join(
+                    total / 2,
+                    move |ctx| ctx.join_all(space_each, first),
+                    total / 2,
+                    move |ctx| ctx.join_all(space_each, rest),
+                );
+                a.extend(b);
+                a
+            }
+        }
+    }
+
+    /// CGC parallel for: `body` is invoked on contiguous chunks of
+    /// `range`, each at least `grain` long, at most one per core.
+    pub fn pfor(&self, range: Range<usize>, grain: usize, body: impl Fn(Range<usize>) + Sync) {
+        let n = range.len();
+        if n == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        let cores = self.pool.hier.cores();
+        let nseg = (n / grain).clamp(1, cores);
+        if nseg == 1 {
+            body(range);
+            return;
+        }
+        let per = n.div_ceil(nseg);
+        std::thread::scope(|s| {
+            let body = &body;
+            for k in 1..nseg {
+                let lo = range.start + k * per;
+                let hi = (range.start + (k + 1) * per).min(range.end);
+                if lo < hi {
+                    s.spawn(move || body(lo..hi));
+                }
+            }
+            body(range.start..range.start + per);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn pool() -> SbPool {
+        SbPool::new(HwHierarchy::flat(4, 1024, 1 << 20))
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let p = pool();
+        let (a, b) = p.run(|ctx| {
+            ctx.join(1 << 16, |_| 21u32, 1 << 16, |_| 2u32)
+        });
+        assert_eq!(a * b, 42);
+    }
+
+    #[test]
+    fn small_forks_serialize() {
+        let p = pool();
+        p.run(|ctx| {
+            ctx.join(10, |_| (), 10, |_| ());
+        });
+        let st = p.stats();
+        assert_eq!(st.serial_forks, 1);
+        assert_eq!(st.parallel_forks, 0);
+    }
+
+    #[test]
+    fn large_forks_parallelize() {
+        let p = pool();
+        p.run(|ctx| {
+            ctx.join(1 << 16, |_| (), 1 << 16, |_| ());
+        });
+        assert_eq!(p.stats().parallel_forks, 1);
+    }
+
+    #[test]
+    fn recursive_sum_is_correct() {
+        fn sum(ctx: &Ctx<'_>, data: &[u64]) -> u64 {
+            if data.len() <= 128 {
+                return data.iter().sum();
+            }
+            let (l, r) = data.split_at(data.len() / 2);
+            let (a, b) =
+                ctx.join(l.len() * 8, |c| sum(c, l), r.len() * 8, |c| sum(c, r));
+            a + b
+        }
+        let data: Vec<u64> = (0..100_000u64).collect();
+        let p = pool();
+        let total = p.run(|ctx| sum(ctx, &data));
+        assert_eq!(total, 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn pfor_covers_range_exactly_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let p = pool();
+        p.run(|ctx| {
+            ctx.pfor(0..n, 64, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pfor_small_range_runs_inline() {
+        let p = pool();
+        let counter = AtomicU64::new(0);
+        p.run(|ctx| {
+            ctx.pfor(0..10, 64, |r| {
+                counter.fetch_add(r.len() as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn permits_bound_concurrency() {
+        // Fork breadth 16 on a 4-core pool must not deadlock and must
+        // deny some forks.
+        fn spin(ctx: &Ctx<'_>, depth: usize) {
+            if depth == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                return;
+            }
+            ctx.join(
+                1 << 20,
+                |c| spin(c, depth - 1),
+                1 << 20,
+                |c| spin(c, depth - 1),
+            );
+        }
+        let p = pool();
+        p.run(|ctx| spin(ctx, 4));
+        let st = p.stats();
+        assert!(st.parallel_forks >= 1);
+        assert!(st.parallel_forks <= 3 + st.denied_forks + 16);
+        // Permits restored.
+        assert!(p.try_acquire());
+        p.release();
+    }
+
+    #[test]
+    fn join_all_preserves_order() {
+        let p = pool();
+        let out = p.run(|ctx| {
+            let fs: Jobs<'_, usize> =
+                (0..9usize).map(|i| Box::new(move |_: &Ctx<'_>| i * i) as _).collect();
+            ctx.join_all(1 << 14, fs)
+        });
+        assert_eq!(out, (0..9).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,24 @@
+//! The replay phase: scheduling a recorded [`Program`](crate::Program) onto
+//! an HM machine.
+//!
+//! The scheduler is the machine-*aware* half of the runtime. It interprets
+//! the hints recorded by the algorithm — CGC loop segments, SB and CGC⇒SB
+//! fork blocks — against a concrete [`hm_model::MachineSpec`], decides task
+//! anchoring and core assignment in virtual time, and replays every memory
+//! access through the multi-level cache simulator in global time order.
+//!
+//! Three policies are provided:
+//!
+//! * [`Policy::Mo`] — the paper's multicore-oblivious scheduler: CGC
+//!   segments of ≥ `B_1` iterations over the anchor's shadow, SB anchoring
+//!   at the smallest fitting level (least-loaded, FIFO space admission),
+//!   CGC⇒SB even distribution at level `max(i, j)`.
+//! * [`Policy::Flat`] — hint-ignoring greedy scheduling over all cores
+//!   (the "proportionate slice / work-sharing" strawman of §II): tasks are
+//!   never anchored, every ready unit goes to the earliest-free core.
+//! * [`Policy::Serial`] — everything on core 0; yields the sequential
+//!   cache-oblivious complexity, the natural sanity baseline.
+
+mod engine;
+
+pub use engine::{simulate, Policy, RunReport};

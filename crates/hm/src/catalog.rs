@@ -1,0 +1,87 @@
+//! A catalog of realistic machine shapes for sweeps and examples.
+//!
+//! Word = 8 bytes throughout (the simulator is word-addressed), so a
+//! 32 KiB L1 is 4096 words. The shapes are stylized versions of common
+//! parts — good enough to show how the *same* recorded program behaves
+//! across genuinely different hierarchies, which is the paper's pitch.
+
+use crate::{LevelSpec, MachineSpec};
+
+/// A desktop Xeon-ish part: 16 cores, private L1 and L2, one big shared
+/// L3 (`h = 4`).
+pub fn xeon_like() -> MachineSpec {
+    MachineSpec::new(vec![
+        LevelSpec::new(4 << 10, 8, 1),   // L1: 32 KiB, 64 B lines
+        LevelSpec::new(128 << 10, 8, 1), // L2: 1 MiB, private
+        LevelSpec::new(4 << 20, 16, 16), // L3: 32 MiB shared by 16 cores
+    ])
+    .expect("xeon_like is valid")
+}
+
+/// A big.LITTLE-ish part: 8 cores in 2 clusters of 4, per-cluster L2,
+/// shared system-level cache (`h = 4`).
+pub fn m1_like() -> MachineSpec {
+    MachineSpec::new(vec![
+        LevelSpec::new(16 << 10, 16, 1), // L1: 128 KiB, 128 B lines
+        LevelSpec::new(1 << 20, 16, 4),  // L2: 8 MiB per 4-core cluster
+        LevelSpec::new(4 << 20, 16, 2),  // SLC: 32 MiB
+    ])
+    .expect("m1_like is valid")
+}
+
+/// A chiplet server-ish part: 32 cores in 4 CCX-ish groups (`h = 5`).
+pub fn epyc_like() -> MachineSpec {
+    MachineSpec::new(vec![
+        LevelSpec::new(4 << 10, 8, 1),   // L1
+        LevelSpec::new(64 << 10, 8, 1),  // L2 private
+        LevelSpec::new(4 << 20, 8, 8),   // L3 per 8-core CCX
+        LevelSpec::new(32 << 20, 16, 4), // memory-side cache over 4 CCX
+    ])
+    .expect("epyc_like is valid")
+}
+
+/// Every catalog machine with a label (includes the Fig. 1 example).
+pub fn all() -> Vec<(&'static str, MachineSpec)> {
+    vec![
+        ("fig1_h5", MachineSpec::example_h5()),
+        ("xeon_like", xeon_like()),
+        ("m1_like", m1_like()),
+        ("epyc_like", epyc_like()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_machines_are_valid_and_tall() {
+        for (name, m) in all() {
+            assert!(m.cores() >= 8, "{name}");
+            assert!(m.all_tall(), "{name} must have tall caches");
+            // The paper's core-count ceiling holds.
+            let k = m.level(m.cache_levels()).capacity / m.level(1).capacity;
+            assert!(m.cores() <= k, "{name}: p exceeds C_(h-1)/C_1");
+        }
+    }
+
+    #[test]
+    fn shapes_match_their_descriptions() {
+        assert_eq!(xeon_like().cores(), 16);
+        assert_eq!(xeon_like().h(), 4);
+        assert_eq!(m1_like().cores(), 8);
+        assert_eq!(m1_like().caches_at(2), 2);
+        assert_eq!(epyc_like().cores(), 32);
+        assert_eq!(epyc_like().caches_at(3), 4);
+        assert_eq!(epyc_like().h(), 5);
+    }
+
+    #[test]
+    fn private_l2_levels_are_supported() {
+        // xeon_like has fanout-1 L2s: q2 == q1 == p.
+        let m = xeon_like();
+        assert_eq!(m.caches_at(1), 16);
+        assert_eq!(m.caches_at(2), 16);
+        assert_eq!(m.cores_under(2), 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! A fully-associative LRU cache over block ids (the ideal-cache model).
+//!
+//! Implemented as a hash map into a slab-backed intrusive doubly-linked
+//! list, so that probe, promote, insert and evict are all O(1).
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    block: u64,
+    prev: u32,
+    next: u32,
+    dirty: bool,
+}
+
+/// Outcome of an [`LruCache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Block was resident.
+    Hit,
+    /// Block was not resident; it has been brought in. If the insertion
+    /// evicted a dirty block, `writeback` is true (a block transfer *out*
+    /// of the cache in the model's accounting).
+    Miss {
+        /// Whether a dirty block was evicted to make room.
+        writeback: bool,
+    },
+}
+
+/// A fully-associative LRU cache holding up to `capacity` blocks.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<u64, u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+}
+
+impl LruCache {
+    /// Create an empty cache with room for `capacity` blocks
+    /// (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache must hold at least one block");
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no block is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `block` is currently resident (does not touch LRU order).
+    pub fn contains(&self, block: u64) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    /// Access `block`; `write` marks it dirty. Returns hit/miss and whether
+    /// a dirty eviction (write-back) occurred.
+    pub fn access(&mut self, block: u64, write: bool) -> Probe {
+        if let Some(&idx) = self.map.get(&block) {
+            self.unlink(idx);
+            self.push_front(idx);
+            if write {
+                self.nodes[idx as usize].dirty = true;
+            }
+            return Probe::Hit;
+        }
+        let mut writeback = false;
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let node = self.nodes[victim as usize];
+            writeback = node.dirty;
+            self.map.remove(&node.block);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node { block, prev: NIL, next: NIL, dirty: write };
+                i
+            }
+            None => {
+                let i = self.nodes.len() as u32;
+                self.nodes.push(Node { block, prev: NIL, next: NIL, dirty: write });
+                i
+            }
+        };
+        self.map.insert(block, idx);
+        self.push_front(idx);
+        Probe::Miss { writeback }
+    }
+
+    /// Drop all resident blocks, returning the number that were dirty
+    /// (write-backs the model would charge when flushing).
+    pub fn flush(&mut self) -> u64 {
+        let dirty = self.nodes_in_use().filter(|n| n.dirty).count() as u64;
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        dirty
+    }
+
+    /// Resident blocks from most to least recently used (for tests and
+    /// debugging; O(len)).
+    pub fn blocks_mru_order(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            out.push(n.block);
+            cur = n.next;
+        }
+        out
+    }
+
+    fn nodes_in_use(&self) -> impl Iterator<Item = &Node> {
+        self.map.values().map(|&i| &self.nodes[i as usize])
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_misses_then_hits() {
+        let mut c = LruCache::new(4);
+        for b in 0..4 {
+            assert_eq!(c.access(b, false), Probe::Miss { writeback: false });
+        }
+        for b in 0..4 {
+            assert_eq!(c.access(b, false), Probe::Hit);
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.access(1, false);
+        c.access(2, false);
+        c.access(1, false); // 1 is now MRU
+        assert_eq!(c.access(3, false), Probe::Miss { writeback: false }); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.blocks_mru_order(), vec![3, 1]);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = LruCache::new(1);
+        c.access(7, true);
+        assert_eq!(c.access(8, false), Probe::Miss { writeback: true });
+        assert_eq!(c.access(9, false), Probe::Miss { writeback: false });
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = LruCache::new(2);
+        c.access(1, false);
+        assert_eq!(c.access(1, true), Probe::Hit);
+        c.access(2, false);
+        // Evicting 1 must report a write-back even though it was inserted
+        // clean and only dirtied by a later hit.
+        assert_eq!(c.access(3, false), Probe::Miss { writeback: true });
+    }
+
+    #[test]
+    fn flush_counts_dirty_blocks() {
+        let mut c = LruCache::new(8);
+        for b in 0..6 {
+            c.access(b, b % 2 == 0);
+        }
+        assert_eq!(c.flush(), 3);
+        assert!(c.is_empty());
+        // Reusable after flush.
+        assert_eq!(c.access(0, false), Probe::Miss { writeback: false });
+    }
+
+    #[test]
+    fn sequential_scan_with_capacity_one() {
+        let mut c = LruCache::new(1);
+        for b in 0..100 {
+            assert!(matches!(c.access(b, false), Probe::Miss { .. }));
+            assert_eq!(c.access(b, false), Probe::Hit);
+        }
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn matches_naive_reference_on_random_trace() {
+        // Cross-check against a straightforward Vec-based LRU.
+        struct Naive {
+            cap: usize,
+            v: Vec<u64>, // MRU first
+        }
+        impl Naive {
+            fn access(&mut self, b: u64) -> bool {
+                if let Some(pos) = self.v.iter().position(|&x| x == b) {
+                    self.v.remove(pos);
+                    self.v.insert(0, b);
+                    true
+                } else {
+                    if self.v.len() == self.cap {
+                        self.v.pop();
+                    }
+                    self.v.insert(0, b);
+                    false
+                }
+            }
+        }
+        let mut c = LruCache::new(16);
+        let mut n = Naive { cap: 16, v: Vec::new() };
+        // Deterministic pseudo-random trace.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = (x >> 33) % 48;
+            let hit = matches!(c.access(b, false), Probe::Hit);
+            assert_eq!(hit, n.access(b));
+        }
+        assert_eq!(c.blocks_mru_order(), n.v);
+    }
+}

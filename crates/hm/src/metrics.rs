@@ -1,0 +1,175 @@
+//! Per-cache counters and per-level summaries.
+
+use crate::{Level, MachineSpec};
+
+/// Counters for a single cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Accesses that found the block resident.
+    pub hits: u64,
+    /// Accesses that had to bring the block in (transfers *into* the cache).
+    pub misses: u64,
+    /// Dirty evictions (transfers *out of* the cache).
+    pub writebacks: u64,
+}
+
+impl CacheCounters {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Block transfers into and out of the cache — the quantity the HM
+    /// model's *cache complexity* bounds.
+    pub fn transfers(&self) -> u64 {
+        self.misses + self.writebacks
+    }
+
+    /// Miss rate in `[0, 1]`; 0 for an untouched cache.
+    pub fn miss_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+    }
+}
+
+/// Summary of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelSummary {
+    /// Maximum misses over the `q_i` caches of the level — the paper's
+    /// cache complexity `Q_i`.
+    pub max_misses: u64,
+    /// Maximum transfers (misses + write-backs) over the level's caches.
+    pub max_transfers: u64,
+    /// Total misses over the level.
+    pub total_misses: u64,
+    /// Total accesses over the level.
+    pub total_accesses: u64,
+}
+
+/// Metrics for a whole [`crate::CacheSystem`] run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// `per_cache[i-1][j]` is the counter set of cache `j` at level `i`.
+    per_cache: Vec<Vec<CacheCounters>>,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics for `spec`.
+    pub fn new(spec: &MachineSpec) -> Self {
+        let per_cache = (1..=spec.cache_levels())
+            .map(|i| vec![CacheCounters::default(); spec.caches_at(i)])
+            .collect();
+        Self { per_cache }
+    }
+
+    /// Counters of cache `index` at `level`.
+    pub fn cache(&self, level: Level, index: usize) -> &CacheCounters {
+        &self.per_cache[level - 1][index]
+    }
+
+    pub(crate) fn cache_mut(&mut self, level: Level, index: usize) -> &mut CacheCounters {
+        &mut self.per_cache[level - 1][index]
+    }
+
+    /// Number of cache levels covered.
+    pub fn cache_levels(&self) -> usize {
+        self.per_cache.len()
+    }
+
+    /// All counters at `level`.
+    pub fn level_caches(&self, level: Level) -> &[CacheCounters] {
+        &self.per_cache[level - 1]
+    }
+
+    /// Per-level summary.
+    pub fn level(&self, level: Level) -> LevelSummary {
+        let caches = &self.per_cache[level - 1];
+        LevelSummary {
+            max_misses: caches.iter().map(|c| c.misses).max().unwrap_or(0),
+            max_transfers: caches.iter().map(|c| c.transfers()).max().unwrap_or(0),
+            total_misses: caches.iter().map(|c| c.misses).sum(),
+            total_accesses: caches.iter().map(|c| c.accesses()).sum(),
+        }
+    }
+
+    /// The model's cache complexity at `level`: the maximum number of
+    /// misses over any single level-`level` cache.
+    pub fn cache_complexity(&self, level: Level) -> u64 {
+        self.level(level).max_misses
+    }
+
+    /// Reset all counters to zero (e.g. after a warm-up phase).
+    pub fn reset(&mut self) {
+        for level in &mut self.per_cache {
+            for c in level.iter_mut() {
+                *c = CacheCounters::default();
+            }
+        }
+    }
+
+    /// Merge another run's metrics into this one (same machine shape).
+    pub fn merge(&mut self, other: &Metrics) {
+        assert_eq!(self.per_cache.len(), other.per_cache.len());
+        for (mine, theirs) in self.per_cache.iter_mut().zip(&other.per_cache) {
+            assert_eq!(mine.len(), theirs.len());
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                m.merge(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineSpec;
+
+    #[test]
+    fn summary_takes_max_over_instances() {
+        let spec = MachineSpec::three_level(4, 1024, 8, 1 << 16, 32).unwrap();
+        let mut m = Metrics::new(&spec);
+        m.cache_mut(1, 0).misses = 10;
+        m.cache_mut(1, 2).misses = 25;
+        m.cache_mut(1, 2).writebacks = 5;
+        let s = m.level(1);
+        assert_eq!(s.max_misses, 25);
+        assert_eq!(s.max_transfers, 30);
+        assert_eq!(s.total_misses, 35);
+        assert_eq!(m.cache_complexity(1), 25);
+        assert_eq!(m.cache_complexity(2), 0);
+    }
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        let c = CacheCounters::default();
+        assert_eq!(c.miss_rate(), 0.0);
+        let c = CacheCounters { hits: 3, misses: 1, writebacks: 0 };
+        assert!((c.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let spec = MachineSpec::three_level(2, 1024, 8, 1 << 13, 8).unwrap();
+        let mut a = Metrics::new(&spec);
+        let mut b = Metrics::new(&spec);
+        a.cache_mut(2, 0).hits = 7;
+        b.cache_mut(2, 0).hits = 5;
+        b.cache_mut(2, 0).misses = 2;
+        a.merge(&b);
+        assert_eq!(a.cache(2, 0).hits, 12);
+        assert_eq!(a.cache(2, 0).misses, 2);
+        a.reset();
+        assert_eq!(a.cache(2, 0).accesses(), 0);
+    }
+}

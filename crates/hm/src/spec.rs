@@ -1,0 +1,353 @@
+//! Machine specifications: the `(C_i, B_i, p_i)` parameters of the HM model.
+
+use std::fmt;
+
+/// Parameters of one cache level of the HM hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelSpec {
+    /// Cache size `C_i` in words.
+    pub capacity: usize,
+    /// Block (cache line) size `B_i` in words. Must be a power of two.
+    pub block: usize,
+    /// Fanout `p_i`: the number of level-`(i-1)` units (cores for level 1,
+    /// caches otherwise) that share one cache at this level. The paper fixes
+    /// `p_1 = 1` (private L1s); we keep the field for uniformity and
+    /// validate it.
+    pub fanout: usize,
+}
+
+impl LevelSpec {
+    /// Convenience constructor.
+    pub const fn new(capacity: usize, block: usize, fanout: usize) -> Self {
+        Self { capacity, block, fanout }
+    }
+
+    /// Number of blocks this cache can hold.
+    pub const fn blocks(&self) -> usize {
+        self.capacity / self.block
+    }
+
+    /// Whether the cache is *tall* (`C_i ≥ B_i²`), the standing assumption
+    /// of Theorems 1–3.
+    pub const fn is_tall(&self) -> bool {
+        self.capacity >= self.block * self.block
+    }
+}
+
+/// Errors returned by [`MachineSpec`] validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The hierarchy has no cache levels at all (`h < 2`).
+    NoLevels,
+    /// `p_1` must be 1: each core has a private level-1 cache.
+    PrivateL1 {
+        /// The offending fanout value.
+        fanout: usize,
+    },
+    /// Some fanout is zero.
+    ZeroFanout {
+        /// 1-based cache level.
+        level: usize,
+    },
+    /// A block size is zero or not a power of two.
+    BadBlock {
+        /// 1-based cache level.
+        level: usize,
+        /// The offending block size.
+        block: usize,
+    },
+    /// A capacity is zero or not a multiple of the block size.
+    BadCapacity {
+        /// 1-based cache level.
+        level: usize,
+        /// The offending capacity.
+        capacity: usize,
+    },
+    /// Block sizes must be non-decreasing with the level.
+    BlockNotMonotone {
+        /// 1-based cache level at which monotonicity is violated.
+        level: usize,
+    },
+    /// The paper requires `C_i ≥ c_i · p_i · C_{i-1}` with `c_i ≥ 1`;
+    /// we check the necessary condition `C_i ≥ p_i · C_{i-1}`.
+    CapacityConstraint {
+        /// 1-based cache level at which the constraint fails.
+        level: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoLevels => write!(f, "machine must have at least one cache level"),
+            SpecError::PrivateL1 { fanout } => {
+                write!(f, "p_1 must be 1 (private L1 caches), got {fanout}")
+            }
+            SpecError::ZeroFanout { level } => write!(f, "fanout p_{level} must be positive"),
+            SpecError::BadBlock { level, block } => {
+                write!(f, "block size B_{level} = {block} must be a positive power of two")
+            }
+            SpecError::BadCapacity { level, capacity } => write!(
+                f,
+                "capacity C_{level} = {capacity} must be positive and a multiple of B_{level}"
+            ),
+            SpecError::BlockNotMonotone { level } => {
+                write!(f, "block sizes must be non-decreasing: B_{level} < B_{}", level - 1)
+            }
+            SpecError::CapacityConstraint { level } => {
+                write!(f, "capacity constraint C_{level} >= p_{level} * C_{} violated", level - 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A validated HM machine description.
+///
+/// `levels[i]` holds the parameters of cache level `i+1` (1-based level in
+/// paper notation). The shared memory at level `h` is implicit and
+/// unbounded. The total number of cores is `p = ∏ p_i` taken over levels
+/// `2..h-1` (with `p_1 = 1` and a single cache at the topmost cache level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSpec {
+    levels: Vec<LevelSpec>,
+}
+
+impl MachineSpec {
+    /// Build and validate a machine from per-level parameters.
+    ///
+    /// `levels[0]` is L1 and must have `fanout == 1`. There is exactly one
+    /// cache at the topmost level (`q_{h-1} = 1`, the paper's `p_h = 1`
+    /// convention), so the number of cores equals the product of fanouts.
+    pub fn new(levels: Vec<LevelSpec>) -> Result<Self, SpecError> {
+        if levels.is_empty() {
+            return Err(SpecError::NoLevels);
+        }
+        if levels[0].fanout != 1 {
+            return Err(SpecError::PrivateL1 { fanout: levels[0].fanout });
+        }
+        for (idx, l) in levels.iter().enumerate() {
+            let level = idx + 1;
+            if l.fanout == 0 {
+                return Err(SpecError::ZeroFanout { level });
+            }
+            if l.block == 0 || !l.block.is_power_of_two() {
+                return Err(SpecError::BadBlock { level, block: l.block });
+            }
+            if l.capacity == 0 || l.capacity % l.block != 0 {
+                return Err(SpecError::BadCapacity { level, capacity: l.capacity });
+            }
+            if idx > 0 {
+                if l.block < levels[idx - 1].block {
+                    return Err(SpecError::BlockNotMonotone { level });
+                }
+                if l.capacity < l.fanout * levels[idx - 1].capacity {
+                    return Err(SpecError::CapacityConstraint { level });
+                }
+            }
+        }
+        Ok(Self { levels })
+    }
+
+    /// A machine with `p` cores, each with a private cache of `c1` words
+    /// (block `b1`), and a single shared cache of `c2` words (block `b2`):
+    /// the 3-level multicore model of Blelloch et al. that HM generalizes.
+    pub fn three_level(
+        p: usize,
+        c1: usize,
+        b1: usize,
+        c2: usize,
+        b2: usize,
+    ) -> Result<Self, SpecError> {
+        Self::new(vec![LevelSpec::new(c1, b1, 1), LevelSpec::new(c2, b2, p)])
+    }
+
+    /// A machine with only private caches (`h = 2`): the simple multicore
+    /// model of Arge et al. / Cole–Ramachandran.
+    pub fn private_only(p: usize, c1: usize, b1: usize) -> Result<Self, SpecError> {
+        // A single shared top-level cache is still required by the model
+        // shape (the top two levels form a sequential hierarchy); we give it
+        // the minimum legal size so it is effectively transparent.
+        Self::new(vec![
+            LevelSpec::new(c1, b1, 1),
+            LevelSpec::new(c1 * p.max(1) * 4, b1, p),
+        ])
+    }
+
+    /// The `h = 5` example machine of Fig. 1: private L1s, L2s shared by
+    /// pairs of cores, L3s shared by pairs of L2s, one L4 over all L3s.
+    ///
+    /// Sizes follow the paper's constraint `C_i ≥ p_i · C_{i-1}` with a
+    /// comfortable factor of 4 so that space-bound scheduling has slack.
+    pub fn example_h5() -> Self {
+        Self::new(vec![
+            LevelSpec::new(1 << 10, 8, 1),  // L1: 1 KiW, 8-word lines, private
+            LevelSpec::new(1 << 13, 16, 2), // L2: 8 KiW, shared by 2 cores
+            LevelSpec::new(1 << 16, 32, 2), // L3: 64 KiW, shared by 2 L2s
+            LevelSpec::new(1 << 19, 64, 2), // L4: 512 KiW, shared by 2 L3s
+        ])
+        .expect("example machine is valid")
+    }
+
+    /// Number of cache levels `h - 1`.
+    pub fn cache_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of levels `h` including the shared memory.
+    pub fn h(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// Total number of cores `p`.
+    pub fn cores(&self) -> usize {
+        self.levels.iter().map(|l| l.fanout).product()
+    }
+
+    /// The parameters of cache level `i` (1-based, `1 ≤ i ≤ h-1`).
+    pub fn level(&self, i: usize) -> &LevelSpec {
+        assert!(i >= 1 && i <= self.levels.len(), "level {i} out of range");
+        &self.levels[i - 1]
+    }
+
+    /// All level specs, L1 first.
+    pub fn levels(&self) -> &[LevelSpec] {
+        &self.levels
+    }
+
+    /// Number of caches `q_i` at level `i`.
+    pub fn caches_at(&self, i: usize) -> usize {
+        assert!(i >= 1 && i <= self.levels.len(), "level {i} out of range");
+        self.levels[i..].iter().map(|l| l.fanout).product()
+    }
+
+    /// Number of cores `p'_i = p / q_i` subtended by one level-`i` cache.
+    pub fn cores_under(&self, i: usize) -> usize {
+        assert!(i >= 1 && i <= self.levels.len(), "level {i} out of range");
+        self.levels[..i].iter().map(|l| l.fanout).product()
+    }
+
+    /// Whether every cache level is tall (`C_i ≥ B_i²`).
+    pub fn all_tall(&self) -> bool {
+        self.levels.iter().all(LevelSpec::is_tall)
+    }
+
+    /// The smallest cache level whose capacity is at least `words`, or
+    /// `None` if only the shared memory is big enough. This is the level an
+    /// SB-scheduled task of that space bound anchors at.
+    pub fn smallest_level_fitting(&self, words: usize) -> Option<usize> {
+        self.levels.iter().position(|l| l.capacity >= words).map(|idx| idx + 1)
+    }
+}
+
+impl fmt::Display for MachineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "HM machine: h = {}, p = {} cores", self.h(), self.cores())?;
+        for (idx, l) in self.levels.iter().enumerate() {
+            let i = idx + 1;
+            writeln!(
+                f,
+                "  L{i}: q_{i} = {:>4} caches x {:>9} words, B_{i} = {:>3}, p_{i} = {}, p'_{i} = {}",
+                self.caches_at(i),
+                l.capacity,
+                l.block,
+                l.fanout,
+                self.cores_under(i),
+            )?;
+        }
+        write!(f, "  L{}: shared memory (unbounded)", self.h())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_level_shape() {
+        let m = MachineSpec::three_level(8, 1 << 10, 8, 1 << 16, 32).unwrap();
+        assert_eq!(m.h(), 3);
+        assert_eq!(m.cores(), 8);
+        assert_eq!(m.caches_at(1), 8);
+        assert_eq!(m.caches_at(2), 1);
+        assert_eq!(m.cores_under(1), 1);
+        assert_eq!(m.cores_under(2), 8);
+    }
+
+    #[test]
+    fn example_h5_matches_figure() {
+        let m = MachineSpec::example_h5();
+        assert_eq!(m.h(), 5);
+        assert_eq!(m.cores(), 8);
+        assert_eq!(m.caches_at(1), 8);
+        assert_eq!(m.caches_at(2), 4);
+        assert_eq!(m.caches_at(3), 2);
+        assert_eq!(m.caches_at(4), 1);
+        assert!(m.all_tall());
+    }
+
+    #[test]
+    fn rejects_shared_l1() {
+        let err = MachineSpec::new(vec![LevelSpec::new(1024, 8, 2)]).unwrap_err();
+        assert_eq!(err, SpecError::PrivateL1 { fanout: 2 });
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_block() {
+        let err = MachineSpec::new(vec![LevelSpec::new(1024, 7, 1)]).unwrap_err();
+        assert!(matches!(err, SpecError::BadBlock { level: 1, block: 7 }));
+    }
+
+    #[test]
+    fn rejects_capacity_below_children() {
+        // L2 smaller than the 4 L1s it covers.
+        let err = MachineSpec::new(vec![
+            LevelSpec::new(1024, 8, 1),
+            LevelSpec::new(2048, 8, 4),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, SpecError::CapacityConstraint { level: 2 }));
+    }
+
+    #[test]
+    fn rejects_shrinking_blocks() {
+        let err = MachineSpec::new(vec![
+            LevelSpec::new(1024, 16, 1),
+            LevelSpec::new(1 << 16, 8, 4),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, SpecError::BlockNotMonotone { level: 2 }));
+    }
+
+    #[test]
+    fn rejects_capacity_not_block_multiple() {
+        let err = MachineSpec::new(vec![LevelSpec::new(1023, 8, 1)]).unwrap_err();
+        assert!(matches!(err, SpecError::BadCapacity { level: 1, .. }));
+    }
+
+    #[test]
+    fn smallest_level_fitting_walks_up() {
+        let m = MachineSpec::example_h5();
+        assert_eq!(m.smallest_level_fitting(100), Some(1));
+        assert_eq!(m.smallest_level_fitting(1 << 10), Some(1));
+        assert_eq!(m.smallest_level_fitting((1 << 10) + 1), Some(2));
+        assert_eq!(m.smallest_level_fitting(1 << 19), Some(4));
+        assert_eq!(m.smallest_level_fitting((1 << 19) + 1), None);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let s = MachineSpec::example_h5().to_string();
+        assert!(s.contains("h = 5"));
+        assert!(s.contains("p = 8 cores"));
+        assert!(s.contains("shared memory"));
+    }
+
+    #[test]
+    fn private_only_is_effectively_two_level() {
+        let m = MachineSpec::private_only(4, 512, 8).unwrap();
+        assert_eq!(m.cores(), 4);
+        assert_eq!(m.caches_at(1), 4);
+    }
+}

@@ -1,0 +1,278 @@
+//! The assembled machine: one LRU cache per instance, fed by core accesses.
+
+use std::collections::HashMap;
+
+use crate::{Addr, CoreId, LruCache, MachineSpec, Metrics, Probe, Topology};
+
+/// Read or write, for trace replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// The HM cache hierarchy simulator.
+///
+/// Each cache level is modeled *independently*, exactly as in the paper's
+/// analysis: the level-`i` cache above a core is a fully-associative LRU
+/// cache of `C_i / B_i` blocks observing every access issued by the cores in
+/// its shadow. An access therefore probes one cache per level and the
+/// per-level hit/miss outcomes are independent (no inclusion or exclusion
+/// policy couples them).
+///
+/// In addition to the per-cache counters the system tracks *ping-ponging*
+/// (paper §III, "technical point"): a write to a `B_1`-sized block whose
+/// previous writer was a different core. Schedulers are expected to respect
+/// block boundaries to keep this counter near zero; exposing it lets the
+/// benches verify that CGC's `≥ B_1` segment rule actually pays off.
+#[derive(Debug)]
+pub struct CacheSystem {
+    spec: MachineSpec,
+    topo: Topology,
+    /// `caches[i-1][j]` is cache `j` of level `i`.
+    caches: Vec<Vec<LruCache>>,
+    metrics: Metrics,
+    /// Last writer of each `B_1` block, for the ping-pong counter.
+    last_writer: HashMap<u64, CoreId>,
+    pingpongs: u64,
+}
+
+impl CacheSystem {
+    /// Build a cold machine for `spec`.
+    pub fn new(spec: &MachineSpec) -> Self {
+        let caches = (1..=spec.cache_levels())
+            .map(|i| {
+                let l = spec.level(i);
+                (0..spec.caches_at(i)).map(|_| LruCache::new(l.blocks())).collect()
+            })
+            .collect();
+        Self {
+            spec: spec.clone(),
+            topo: Topology::new(spec),
+            caches,
+            metrics: Metrics::new(spec),
+            last_writer: HashMap::new(),
+            pingpongs: 0,
+        }
+    }
+
+    /// The machine description.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The derived topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Accumulated counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Count of inter-core write interleavings at `B_1` granularity.
+    pub fn pingpongs(&self) -> u64 {
+        self.pingpongs
+    }
+
+    /// Issue an access from `core` to word address `addr`.
+    pub fn access(&mut self, core: CoreId, addr: Addr, kind: AccessKind) {
+        debug_assert!(core < self.topo.cores(), "core {core} out of range");
+        let write = kind == AccessKind::Write;
+        for level in 1..=self.spec.cache_levels() {
+            let block = addr / self.spec.level(level).block as u64;
+            let id = self.topo.cache_of(core, level);
+            let probe = self.caches[level - 1][id.index].access(block, write);
+            let ctr = self.metrics.cache_mut(level, id.index);
+            match probe {
+                Probe::Hit => ctr.hits += 1,
+                Probe::Miss { writeback } => {
+                    ctr.misses += 1;
+                    if writeback {
+                        ctr.writebacks += 1;
+                    }
+                }
+            }
+        }
+        if write {
+            let b1 = addr / self.spec.level(1).block as u64;
+            if let Some(&prev) = self.last_writer.get(&b1) {
+                if prev != core {
+                    self.pingpongs += 1;
+                }
+            }
+            self.last_writer.insert(b1, core);
+        }
+    }
+
+    /// Convenience: a read access.
+    pub fn read(&mut self, core: CoreId, addr: Addr) {
+        self.access(core, addr, AccessKind::Read);
+    }
+
+    /// Convenience: a write access.
+    pub fn write(&mut self, core: CoreId, addr: Addr) {
+        self.access(core, addr, AccessKind::Write);
+    }
+
+    /// Flush every cache, charging dirty write-backs, and reset the
+    /// ping-pong writer map. Counters are preserved.
+    pub fn flush(&mut self) {
+        for level in 1..=self.spec.cache_levels() {
+            for (j, cache) in self.caches[level - 1].iter_mut().enumerate() {
+                let dirty = cache.flush();
+                self.metrics.cache_mut(level, j).writebacks += dirty;
+            }
+        }
+        self.last_writer.clear();
+    }
+
+    /// Zero all counters (cache contents are kept — useful to exclude a
+    /// warm-up phase from measurement).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+        self.pingpongs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineSpec {
+        // 4 cores, private 1 KiW L1 (B=8), one shared 64 KiW L2 (B=32).
+        MachineSpec::three_level(4, 1 << 10, 8, 1 << 16, 32).unwrap()
+    }
+
+    #[test]
+    fn scan_misses_once_per_block_per_level() {
+        let mut sys = CacheSystem::new(&machine());
+        let n = 4096u64;
+        for w in 0..n {
+            sys.read(0, w);
+        }
+        assert_eq!(sys.metrics().cache(1, 0).misses, n / 8);
+        assert_eq!(sys.metrics().cache(2, 0).misses, n / 32);
+        // Other cores' L1s untouched.
+        assert_eq!(sys.metrics().cache(1, 1).accesses(), 0);
+    }
+
+    #[test]
+    fn working_set_within_cache_incurs_only_cold_misses() {
+        let mut sys = CacheSystem::new(&machine());
+        let n = 512u64; // fits in the 1024-word L1
+        for _round in 0..10 {
+            for w in 0..n {
+                sys.read(0, w);
+            }
+        }
+        assert_eq!(sys.metrics().cache(1, 0).misses, n / 8);
+        assert_eq!(sys.metrics().cache(1, 0).hits, 10 * n - n / 8);
+    }
+
+    #[test]
+    fn shared_l2_sees_all_cores_private_l1_does_not() {
+        let mut sys = CacheSystem::new(&machine());
+        // Core 0 warms a region; core 1 then reads it.
+        for w in 0..256u64 {
+            sys.read(0, w);
+        }
+        for w in 0..256u64 {
+            sys.read(1, w);
+        }
+        // Core 1 misses in its own L1...
+        assert_eq!(sys.metrics().cache(1, 1).misses, 256 / 8);
+        // ...but hits in the shared L2 that core 0 already warmed.
+        assert_eq!(sys.metrics().cache(2, 0).misses, 256 / 32);
+        assert_eq!(sys.metrics().cache(2, 0).hits, 2 * 256 - 256 / 32);
+    }
+
+    #[test]
+    fn thrashing_beyond_capacity_misses_every_block_again() {
+        let mut sys = CacheSystem::new(&machine());
+        let c1 = 1u64 << 10;
+        let n = 2 * c1; // twice the L1
+        for _ in 0..3 {
+            for w in 0..n {
+                sys.read(0, w);
+            }
+        }
+        // Cyclic scan over 2x capacity under LRU hits never.
+        assert_eq!(sys.metrics().cache(1, 0).misses, 3 * n / 8);
+    }
+
+    #[test]
+    fn pingpong_counts_interleaved_writers() {
+        let mut sys = CacheSystem::new(&machine());
+        sys.write(0, 0);
+        sys.write(1, 1); // same B1 block, different core
+        sys.write(0, 2); // and back
+        sys.write(0, 3); // same writer: no ping-pong
+        sys.write(1, 64); // different block entirely: no ping-pong
+        assert_eq!(sys.pingpongs(), 2);
+    }
+
+    #[test]
+    fn flush_charges_writebacks() {
+        let mut sys = CacheSystem::new(&machine());
+        for w in 0..64u64 {
+            sys.write(0, w);
+        }
+        let before = sys.metrics().cache(1, 0).writebacks;
+        sys.flush();
+        let after = sys.metrics().cache(1, 0).writebacks;
+        assert_eq!(after - before, 64 / 8);
+        // After the flush everything misses again.
+        sys.read(0, 0);
+        assert_eq!(sys.metrics().cache(1, 0).misses, 64 / 8 + 1);
+    }
+
+    #[test]
+    fn distinct_l1s_have_distinct_state() {
+        let mut sys = CacheSystem::new(&machine());
+        sys.read(0, 0);
+        sys.read(3, 0);
+        assert_eq!(sys.metrics().cache(1, 0).misses, 1);
+        assert_eq!(sys.metrics().cache(1, 3).misses, 1);
+        // L2 is shared: second access hits.
+        assert_eq!(sys.metrics().cache(2, 0).misses, 1);
+        assert_eq!(sys.metrics().cache(2, 0).hits, 1);
+    }
+
+    #[test]
+    fn reset_metrics_keeps_cache_contents() {
+        let mut sys = CacheSystem::new(&machine());
+        for w in 0..128u64 {
+            sys.read(0, w);
+        }
+        sys.reset_metrics();
+        for w in 0..128u64 {
+            sys.read(0, w);
+        }
+        // Still warm: zero misses after reset.
+        assert_eq!(sys.metrics().cache(1, 0).misses, 0);
+        assert_eq!(sys.metrics().cache(1, 0).hits, 128);
+    }
+
+    #[test]
+    fn five_level_machine_counts_each_level() {
+        let spec = MachineSpec::example_h5();
+        let mut sys = CacheSystem::new(&spec);
+        let n = 1u64 << 15;
+        for w in 0..n {
+            sys.read(0, w);
+        }
+        for level in 1..=4 {
+            let b = spec.level(level).block as u64;
+            let id = sys.topology().cache_of(0, level);
+            assert_eq!(
+                sys.metrics().cache(level, id.index).misses,
+                n / b,
+                "level {level}"
+            );
+        }
+    }
+}

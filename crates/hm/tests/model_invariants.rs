@@ -1,0 +1,161 @@
+//! Crate-level invariant tests for the HM machine model.
+
+use hm_model::{AccessKind, CacheId, CacheSystem, LevelSpec, MachineSpec, Metrics, Topology};
+
+#[test]
+fn catalog_topologies_are_self_consistent() {
+    for (name, spec) in hm_model::catalog::all() {
+        let t = Topology::new(&spec);
+        assert_eq!(t.cores(), spec.cores(), "{name}");
+        for level in 1..=t.cache_levels() {
+            assert_eq!(t.caches_at(level) * t.cores_under(level), t.cores(), "{name} L{level}");
+        }
+        // q_i is non-increasing with the level.
+        for level in 2..=t.cache_levels() {
+            assert!(t.caches_at(level) <= t.caches_at(level - 1), "{name}");
+        }
+    }
+}
+
+#[test]
+fn asymmetric_fanouts_work() {
+    // 3 cores per L2, 2 L2s per L3 => 6 cores.
+    let spec = MachineSpec::new(vec![
+        LevelSpec::new(512, 8, 1),
+        LevelSpec::new(8192, 8, 3),
+        LevelSpec::new(1 << 16, 16, 2),
+    ])
+    .unwrap();
+    assert_eq!(spec.cores(), 6);
+    let t = Topology::new(&spec);
+    assert_eq!(t.shadow(CacheId::new(2, 1)).lo, 3);
+    assert_eq!(t.shadow(CacheId::new(2, 1)).hi, 6);
+    assert_eq!(t.caches_under(CacheId::new(3, 0), 2).len(), 2);
+    assert_eq!(t.caches_under(CacheId::new(3, 0), 1).len(), 6);
+}
+
+#[test]
+fn writeback_accounting_is_bounded_by_dirty_blocks() {
+    let spec = MachineSpec::three_level(2, 256, 8, 4096, 8).unwrap();
+    let mut sys = CacheSystem::new(&spec);
+    // Write 64 blocks through a 32-block L1: every eviction is dirty.
+    for w in 0..(64 * 8u64) {
+        sys.write(0, w);
+    }
+    sys.flush();
+    let c = sys.metrics().cache(1, 0);
+    // 64 blocks written; every one must eventually be written back.
+    assert_eq!(c.writebacks, 64);
+    assert_eq!(c.misses, 64);
+}
+
+#[test]
+fn read_only_traffic_never_writes_back() {
+    let spec = MachineSpec::three_level(1, 256, 8, 4096, 8).unwrap();
+    let mut sys = CacheSystem::new(&spec);
+    for w in 0..4096u64 {
+        sys.read(0, w % 1024);
+    }
+    sys.flush();
+    for level in 1..=2 {
+        assert_eq!(sys.metrics().cache(level, 0).writebacks, 0, "L{level}");
+    }
+}
+
+#[test]
+fn metrics_level_summary_totals_match_per_cache() {
+    let spec = MachineSpec::three_level(4, 256, 8, 8192, 8).unwrap();
+    let mut sys = CacheSystem::new(&spec);
+    for c in 0..4 {
+        for w in 0..128u64 {
+            sys.read(c, (c as u64) * 4096 + w);
+        }
+    }
+    let m: &Metrics = sys.metrics();
+    let s = m.level(1);
+    let total: u64 = (0..4).map(|j| m.cache(1, j).misses).sum();
+    assert_eq!(s.total_misses, total);
+    assert_eq!(s.max_misses, 128 / 8);
+    assert_eq!(s.total_accesses, 4 * 128);
+}
+
+#[test]
+fn lru_stack_property_smaller_cache_never_fewer_misses() {
+    // LRU inclusion property: for the same trace, a larger cache never
+    // misses more (fully-associative LRU is a stack algorithm).
+    let trace: Vec<u64> = (0..4000u64)
+        .map(|i| {
+            let x = i
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) % 96
+        })
+        .collect();
+    let mut last = u64::MAX;
+    for blocks in [4usize, 8, 16, 32, 64] {
+        let mut cache = hm_model::LruCache::new(blocks);
+        let mut misses = 0u64;
+        for &b in &trace {
+            if matches!(cache.access(b, false), hm_model::Probe::Miss { .. }) {
+                misses += 1;
+            }
+        }
+        assert!(misses <= last, "blocks={blocks}: {misses} > {last}");
+        last = misses;
+    }
+}
+
+#[test]
+fn pingpong_counter_ignores_single_writer() {
+    let spec = MachineSpec::three_level(4, 256, 8, 8192, 8).unwrap();
+    let mut sys = CacheSystem::new(&spec);
+    for w in 0..256u64 {
+        sys.access(2, w, AccessKind::Write);
+    }
+    assert_eq!(sys.pingpongs(), 0);
+}
+
+#[test]
+fn display_round_trips_key_parameters() {
+    let spec = hm_model::catalog::epyc_like();
+    let s = spec.to_string();
+    assert!(s.contains(&format!("p = {} cores", spec.cores())));
+    assert!(s.contains(&format!("h = {}", spec.h())));
+}
+
+#[test]
+fn spec_errors_render_humane_messages() {
+    use hm_model::SpecError;
+    let cases: Vec<(SpecError, &str)> = vec![
+        (SpecError::NoLevels, "at least one cache level"),
+        (SpecError::PrivateL1 { fanout: 3 }, "p_1 must be 1"),
+        (SpecError::ZeroFanout { level: 2 }, "p_2"),
+        (SpecError::BadBlock { level: 1, block: 7 }, "power of two"),
+        (SpecError::BadCapacity { level: 2, capacity: 13 }, "C_2"),
+        (SpecError::BlockNotMonotone { level: 3 }, "non-decreasing"),
+        (SpecError::CapacityConstraint { level: 2 }, "capacity constraint"),
+    ];
+    for (e, needle) in cases {
+        let msg = e.to_string();
+        assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
+    }
+}
+
+#[test]
+fn topology_count_matches_materialized_lists() {
+    let spec = hm_model::catalog::epyc_like();
+    let t = Topology::new(&spec);
+    let top = spec.cache_levels();
+    for anchor_level in 1..=top {
+        for j in 0..t.caches_at(anchor_level) {
+            let anchor = CacheId::new(anchor_level, j);
+            for level in 1..=anchor_level {
+                assert_eq!(
+                    t.caches_under(anchor, level).len(),
+                    t.count_caches_under(anchor, level),
+                    "anchor L{anchor_level}#{j} level {level}"
+                );
+            }
+        }
+    }
+}

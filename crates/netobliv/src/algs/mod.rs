@@ -1,0 +1,21 @@
+//! The paper's network-oblivious algorithms, written for [`crate::NoMachine`].
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | prefix sums (Table II row 1) | [`scan`] |
+//! | matrix transposition (from \[4\]) | [`transpose`] |
+//! | FFT (from \[4\]) | [`fft`] |
+//! | N-GEP with `𝒟` vs `𝒟*` (Table I, Thm 6) | [`ngep`] |
+//! | column-sort-based sorting | [`sort`] |
+//! | NO-LR / NO-IS (Thm 9) | [`listrank`] |
+//! | NO Euler tour / tree problems (§VI-B) | [`euler`] |
+//! | NO connected components (Thm 10) | [`cc`] |
+
+pub mod cc;
+pub mod euler;
+pub mod fft;
+pub mod listrank;
+pub mod ngep;
+pub mod scan;
+pub mod sort;
+pub mod transpose;

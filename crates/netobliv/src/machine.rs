@@ -1,0 +1,359 @@
+//! The M(N) superstep machine with deferred M(p,B) / D-BSP accounting.
+
+use std::collections::HashMap;
+
+/// One processing element's view during a superstep.
+pub struct Pe<'a> {
+    /// This PE's unbounded local memory.
+    pub mem: &'a mut Vec<u64>,
+    /// Messages delivered from the previous superstep, in `(src, word)`
+    /// form, ordered by source PE (stable within a source).
+    pub inbox: &'a [(u32, u64)],
+    outbox: &'a mut Vec<(u32, u64)>,
+    ops: &'a mut u64,
+    pe: usize,
+    n: usize,
+}
+
+impl Pe<'_> {
+    /// This PE's index.
+    pub fn id(&self) -> usize {
+        self.pe
+    }
+
+    /// Total number of PEs.
+    pub fn n_pes(&self) -> usize {
+        self.n
+    }
+
+    /// Send one word to `dst` (delivered at the start of the next
+    /// superstep).
+    pub fn send(&mut self, dst: usize, word: u64) {
+        debug_assert!(dst < self.n, "send to PE {dst} out of range");
+        self.outbox.push((dst as u32, word));
+    }
+
+    /// Send several words to `dst` (arrive contiguously, in order).
+    pub fn send_words(&mut self, dst: usize, words: &[u64]) {
+        for &w in words {
+            self.send(dst, w);
+        }
+    }
+
+    /// Charge local computation.
+    pub fn work(&mut self, ops: u64) {
+        *self.ops += ops;
+    }
+
+    /// All inbox words from a given source, in send order.
+    pub fn from(&self, src: usize) -> impl Iterator<Item = u64> + '_ {
+        let src = src as u32;
+        self.inbox.iter().filter(move |m| m.0 == src).map(|m| m.1)
+    }
+}
+
+/// Per-superstep log: pair-aggregated traffic and per-PE op counts
+/// (sparse).
+#[derive(Debug, Clone, Default)]
+struct StepLog {
+    /// `(src_pe, dst_pe) → words` for cross-PE messages.
+    traffic: Vec<(u32, u32, u64)>,
+    /// `(pe, ops)` for PEs that charged work.
+    ops: Vec<(u32, u64)>,
+}
+
+/// The M(N) machine: executes supersteps and logs costs.
+///
+/// Execution is sequential and deterministic: within a superstep PEs run
+/// in index order, and messages are delivered sorted by source.
+pub struct NoMachine {
+    n: usize,
+    mem: Vec<Vec<u64>>,
+    inbox: Vec<Vec<(u32, u64)>>,
+    log: Vec<StepLog>,
+}
+
+impl NoMachine {
+    /// A machine with `n` PEs, all memories empty.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        Self { n, mem: vec![Vec::new(); n], inbox: vec![Vec::new(); n], log: Vec::new() }
+    }
+
+    /// Number of PEs `N`.
+    pub fn n_pes(&self) -> usize {
+        self.n
+    }
+
+    /// Read access to a PE's memory (host-side input/output marshalling).
+    pub fn mem(&self, pe: usize) -> &[u64] {
+        &self.mem[pe]
+    }
+
+    /// Mutable access to a PE's memory (input loading only — does not
+    /// count as communication).
+    pub fn mem_mut(&mut self, pe: usize) -> &mut Vec<u64> {
+        &mut self.mem[pe]
+    }
+
+    /// Execute one superstep: `f(pe, ctx)` runs for every PE; messages
+    /// sent become visible in the next superstep.
+    pub fn step<F: FnMut(usize, &mut Pe<'_>)>(&mut self, mut f: F) {
+        let mut outboxes: Vec<Vec<(u32, u64)>> = vec![Vec::new(); self.n];
+        let mut slog = StepLog::default();
+        #[allow(clippy::needless_range_loop)] // pe is also the PE id handed to f
+        for pe in 0..self.n {
+            let mut ops = 0u64;
+            {
+                let mut ctx = Pe {
+                    mem: &mut self.mem[pe],
+                    inbox: &self.inbox[pe],
+                    outbox: &mut outboxes[pe],
+                    ops: &mut ops,
+                    pe,
+                    n: self.n,
+                };
+                f(pe, &mut ctx);
+            }
+            if ops > 0 {
+                slog.ops.push((pe as u32, ops));
+            }
+        }
+        // Deliver and log.
+        let mut pair_words: HashMap<(u32, u32), u64> = HashMap::new();
+        for ib in &mut self.inbox {
+            ib.clear();
+        }
+        for (src, out) in outboxes.into_iter().enumerate() {
+            for (dst, word) in out {
+                if dst as usize != src {
+                    *pair_words.entry((src as u32, dst)).or_insert(0) += 1;
+                }
+                self.inbox[dst as usize].push((src as u32, word));
+            }
+        }
+        for ib in &mut self.inbox {
+            ib.sort_by_key(|m| m.0); // deterministic delivery order
+        }
+        slog.traffic = pair_words.into_iter().map(|((s, d), w)| (s, d, w)).collect();
+        slog.traffic.sort_unstable();
+        self.log.push(slog);
+    }
+
+    /// Number of supersteps executed.
+    pub fn supersteps(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Total words sent across all supersteps (PE-level, excluding
+    /// same-PE messages).
+    pub fn total_words(&self) -> u64 {
+        self.log.iter().flat_map(|s| &s.traffic).map(|t| t.2).sum()
+    }
+
+    fn proc_of(&self, pe: u32, p: usize) -> usize {
+        // p contiguous groups of ⌈N/p⌉ PEs.
+        let per = self.n.div_ceil(p);
+        pe as usize / per
+    }
+
+    /// Communication complexity on M(p, B): Σ_steps max_proc
+    /// max(blocks sent, blocks received), with per-destination block
+    /// packing (`⌈words/B⌉` per (src,dst) processor pair).
+    pub fn communication_complexity(&self, p: usize, b: usize) -> u64 {
+        assert!(p >= 1 && b >= 1);
+        let mut total = 0u64;
+        for step in &self.log {
+            let mut pair: HashMap<(usize, usize), u64> = HashMap::new();
+            for &(s, d, w) in &step.traffic {
+                let (sp, dp) = (self.proc_of(s, p), self.proc_of(d, p));
+                if sp != dp {
+                    *pair.entry((sp, dp)).or_insert(0) += w;
+                }
+            }
+            let mut sent = vec![0u64; p];
+            let mut recv = vec![0u64; p];
+            for (&(sp, dp), &w) in &pair {
+                let blocks = w.div_ceil(b as u64);
+                sent[sp] += blocks;
+                recv[dp] += blocks;
+            }
+            let h = (0..p).map(|i| sent[i].max(recv[i])).max().unwrap_or(0);
+            total += h;
+        }
+        total
+    }
+
+    /// Computation complexity on M(p, ·): Σ_steps max_proc Σ ops of its
+    /// PEs.
+    pub fn computation_complexity(&self, p: usize) -> u64 {
+        let mut total = 0u64;
+        for step in &self.log {
+            let mut per = vec![0u64; p];
+            for &(pe, ops) in &step.ops {
+                per[self.proc_of(pe, p)] += ops;
+            }
+            total += per.iter().max().copied().unwrap_or(0);
+        }
+        total
+    }
+
+    /// Communication time on D-BSP(P, g, B): for each superstep, find the
+    /// finest cluster level `i` containing all traffic (clusters of size
+    /// `P/2^i`), and charge `h_s(B_i) · g_i`.
+    ///
+    /// `g.len() == b.len() == log₂ P`; index 0 is the whole machine.
+    pub fn dbsp_time(&self, p: usize, g: &[f64], b: &[usize]) -> f64 {
+        assert!(p.is_power_of_two());
+        let logp = p.trailing_zeros() as usize;
+        assert_eq!(g.len(), logp);
+        assert_eq!(b.len(), logp);
+        if logp == 0 {
+            return 0.0;
+        }
+        let mut time = 0.0;
+        for step in &self.log {
+            // Finest level whose clusters contain all (src,dst) pairs.
+            let mut level = logp - 1; // smallest clusters (size 2)
+            let mut any = false;
+            for &(s, d, _) in &step.traffic {
+                let (sp, dp) = (self.proc_of(s, p), self.proc_of(d, p));
+                if sp == dp {
+                    continue;
+                }
+                any = true;
+                // Largest i with sp,dp in one cluster of size p/2^i:
+                // common high bits of sp,dp.
+                let diff = sp ^ dp;
+                let top = usize::BITS as usize - diff.leading_zeros() as usize; // bits needed
+                let i = logp - top; // cluster level containing both
+                level = level.min(i);
+            }
+            if !any {
+                continue;
+            }
+            // h at block size B_level within this step.
+            let mut pair: HashMap<(usize, usize), u64> = HashMap::new();
+            for &(s, d, w) in &step.traffic {
+                let (sp, dp) = (self.proc_of(s, p), self.proc_of(d, p));
+                if sp != dp {
+                    *pair.entry((sp, dp)).or_insert(0) += w;
+                }
+            }
+            let bs = b[level] as u64;
+            let mut sent = vec![0u64; p];
+            let mut recv = vec![0u64; p];
+            for (&(sp, dp), &w) in &pair {
+                let blocks = w.div_ceil(bs);
+                sent[sp] += blocks;
+                recv[dp] += blocks;
+            }
+            let h = (0..p).map(|i| sent[i].max(recv[i])).max().unwrap_or(0);
+            time += h as f64 * g[level];
+        }
+        time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_delivered_next_step() {
+        let mut m = NoMachine::new(4);
+        m.step(|pe, ctx| {
+            ctx.send((pe + 1) % 4, pe as u64 * 10);
+        });
+        m.step(|pe, ctx| {
+            let got: Vec<u64> = ctx.inbox.iter().map(|m| m.1).collect();
+            assert_eq!(got, vec![((pe + 3) % 4) as u64 * 10]);
+        });
+        assert_eq!(m.supersteps(), 2);
+    }
+
+    #[test]
+    fn same_processor_messages_are_free() {
+        let mut m = NoMachine::new(8);
+        // Ring of single-word messages.
+        m.step(|pe, ctx| ctx.send((pe + 1) % 8, 1));
+        // On p=8 every message crosses processors: h = 1.
+        assert_eq!(m.communication_complexity(8, 1), 1);
+        // On p=2, only PEs 3→4 and 7→0 cross: each processor sends or
+        // receives 1 block.
+        assert_eq!(m.communication_complexity(2, 1), 1);
+        // On p=1 everything is local.
+        assert_eq!(m.communication_complexity(1, 1), 0);
+    }
+
+    #[test]
+    fn block_packing_rounds_up_per_pair() {
+        let mut m = NoMachine::new(4);
+        // PE0 sends 5 words to PE2 and 3 words to PE3.
+        m.step(|pe, ctx| {
+            if pe == 0 {
+                ctx.send_words(2, &[1, 2, 3, 4, 5]);
+                ctx.send_words(3, &[6, 7, 8]);
+            }
+        });
+        // p = 4, B = 4: ceil(5/4) + ceil(3/4) = 3 blocks sent by proc 0.
+        assert_eq!(m.communication_complexity(4, 4), 3);
+        // B = 8: 1 + 1 = 2.
+        assert_eq!(m.communication_complexity(4, 8), 2);
+        // p = 2: PEs {2,3} on proc 1: pairs (0,2),(0,3) both cross but
+        // aggregate per processor pair: (p0,p1): 8 words => ceil(8/4)=2.
+        assert_eq!(m.communication_complexity(2, 4), 2);
+    }
+
+    #[test]
+    fn receive_side_counts_too() {
+        let mut m = NoMachine::new(4);
+        // All PEs send 1 word to PE0: proc0 receives 3 blocks (p=4,B=1).
+        m.step(|pe, ctx| {
+            if pe != 0 {
+                ctx.send(0, 7);
+            }
+        });
+        assert_eq!(m.communication_complexity(4, 1), 3);
+    }
+
+    #[test]
+    fn computation_takes_max_over_processors() {
+        let mut m = NoMachine::new(4);
+        m.step(|pe, ctx| ctx.work(pe as u64 + 1));
+        assert_eq!(m.computation_complexity(4), 4);
+        assert_eq!(m.computation_complexity(2), 3 + 4);
+        assert_eq!(m.computation_complexity(1), 10);
+    }
+
+    #[test]
+    fn dbsp_uses_cluster_locality() {
+        let mut m = NoMachine::new(8);
+        // Neighbour exchange within pairs: finest clusters (size 2).
+        m.step(|pe, ctx| ctx.send(pe ^ 1, 1));
+        // Far exchange: whole machine.
+        m.step(|pe, ctx| ctx.send(pe ^ 4, 1));
+        let g = [8.0, 4.0, 1.0]; // g_0 (global) .. g_2 (pairs)
+        let b = [1usize, 1, 1];
+        // Step 1: level 2 (pairs), h = 1 → cost 1; step 2: level 0, h=1 →
+        // cost 8.
+        let t = m.dbsp_time(8, &g, &b);
+        assert!((t - 9.0).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn inbox_is_sorted_by_source() {
+        let mut m = NoMachine::new(4);
+        m.step(|pe, ctx| {
+            if pe > 0 {
+                ctx.send(0, pe as u64);
+            }
+        });
+        m.step(|pe, ctx| {
+            if pe == 0 {
+                let srcs: Vec<u32> = ctx.inbox.iter().map(|m| m.0).collect();
+                assert_eq!(srcs, vec![1, 2, 3]);
+            }
+        });
+    }
+}

@@ -1,0 +1,77 @@
+//! The obliviousness demo: ONE recorded sorting program, swept across a
+//! family of machines that differ in cores, levels, cache sizes and block
+//! lengths — and the matching network-oblivious sweep over M(p,B).
+//!
+//! The point of the paper in one table: no parameter appears in the
+//! algorithm, yet the costs track each machine's shape.
+//!
+//! ```sh
+//! cargo run --release --example oblivious_everywhere
+//! ```
+
+use oblivious::hm::{LevelSpec, MachineSpec};
+use oblivious::mo::sched::{simulate, Policy};
+use oblivious::no::algs::sort::no_sort;
+
+fn main() {
+    let n = 1 << 12;
+    let mut x = 77u64;
+    let data: Vec<u64> = (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x >> 30
+        })
+        .collect();
+    let sp = oblivious::algs::sort::sort_program(&data);
+    let mut want = data.clone();
+    want.sort_unstable();
+    assert_eq!(sp.program.slice(sp.data), want.as_slice());
+
+    println!("one recorded MO sort ({} ops), many machines:\n", sp.program.work());
+    let machines = vec![
+        ("1 core".into(), MachineSpec::three_level(1, 1 << 10, 8, 1 << 16, 32).unwrap()),
+        ("4 cores".into(), MachineSpec::three_level(4, 1 << 10, 8, 1 << 17, 32).unwrap()),
+        ("16 cores".into(), MachineSpec::three_level(16, 1 << 10, 8, 1 << 19, 32).unwrap()),
+        ("tiny L1s".into(), MachineSpec::three_level(8, 128, 8, 1 << 18, 32).unwrap()),
+        ("huge blocks".into(), MachineSpec::three_level(8, 1 << 12, 64, 1 << 18, 64).unwrap()),
+        ("Fig.1 h=5".to_string(), MachineSpec::example_h5()),
+        (
+            "deep h=4".into(),
+            MachineSpec::new(vec![
+                LevelSpec::new(512, 8, 1),
+                LevelSpec::new(1 << 13, 16, 4),
+                LevelSpec::new(1 << 17, 32, 4),
+            ])
+            .unwrap(),
+        ),
+    ];
+    println!(
+        "{:<14} {:>3} {:>3} {:>10} {:>9} {:>10} {:>12}",
+        "machine", "p", "h", "steps", "speedup", "L1 miss", "top miss"
+    );
+    for (name, spec) in machines {
+        let r = simulate(&sp.program, &spec, Policy::Mo);
+        println!(
+            "{:<14} {:>3} {:>3} {:>10} {:>9.2} {:>10} {:>12}",
+            name,
+            spec.cores(),
+            spec.h(),
+            r.makespan,
+            r.speedup(),
+            r.cache_complexity(1),
+            r.cache_complexity(spec.cache_levels()),
+        );
+    }
+
+    println!("\none NO sort run, many M(p,B):\n");
+    let (m, out) = no_sort(&data);
+    assert_eq!(out, want);
+    println!("{:<14} {:>12}", "M(p,B)", "comm blocks");
+    for (p, b) in [(4usize, 1usize), (16, 1), (16, 8), (64, 8), (256, 8)] {
+        println!(
+            "M({p:>3},{b:>2})     {:>12}",
+            m.communication_complexity(p, b)
+        );
+    }
+    println!("\n(the algorithm source contains none of these numbers)");
+}

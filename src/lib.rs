@@ -1,0 +1,29 @@
+//! # oblivious — multicore- and network-oblivious algorithms
+//!
+//! Facade crate for the reproduction of Chowdhury, Silvestri, Blakeley and
+//! Ramachandran, *Oblivious Algorithms for Multicores and Network of
+//! Processors* (IPDPS 2010).
+//!
+//! The workspace is organized as:
+//!
+//! * [`hm`] — the HM machine model: hierarchical multi-level cache
+//!   simulator (sizes `C_i`, blocks `B_i`, fanouts `p_i`, shadows).
+//! * [`mo`] — the multicore-oblivious runtime: scheduler hints
+//!   (CGC, SB, CGC⇒SB), the record/replay execution engine over the HM
+//!   simulator, and a real-thread hierarchy-aware scheduler.
+//! * [`algs`] — the paper's MO algorithms: matrix transposition, scans,
+//!   FFT, sorting, SpM-DV, the Gaussian Elimination Paradigm, list ranking,
+//!   connected components and other graph problems.
+//! * [`no`] — the network-oblivious framework (M(N), M(p,B), D-BSP) and
+//!   NO algorithms, including N-GEP with the 𝒟\* schedule of Table I.
+//! * [`baselines`] — cache-aware/naive comparators and the
+//!   "proportionate slice" scheduler the paper argues against in §II.
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! the per-table/figure reproduction index.
+
+pub use hm_model as hm;
+pub use mo_algorithms as algs;
+pub use mo_baselines as baselines;
+pub use mo_core as mo;
+pub use no_framework as no;

@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! paper's invariants.
+
+use proptest::prelude::*;
+
+use oblivious::algs;
+use oblivious::hm::{LruCache, MachineSpec, Probe};
+use oblivious::mo::sched::{simulate, Policy};
+use oblivious::mo::Recorder;
+
+proptest! {
+    /// β is a bijection with β⁻¹ its inverse, for arbitrary coordinates.
+    #[test]
+    fn bit_interleave_roundtrip(i in 0u32..1 << 16, j in 0u32..1 << 16) {
+        use algs::bitinterleave::{beta, beta_inv};
+        prop_assert_eq!(beta_inv(beta(i, j)), (i, j));
+    }
+
+    /// Morton order preserves quadrant containment: halving both
+    /// coordinates quarters the index range.
+    #[test]
+    fn bit_interleave_quadrant_locality(i in 0u32..1 << 12, j in 0u32..1 << 12) {
+        use algs::bitinterleave::beta;
+        let z = beta(i, j);
+        let zq = beta(i / 2, j / 2);
+        prop_assert_eq!(z / 4, zq);
+    }
+
+    /// The LRU cache agrees with a naive reference on arbitrary traces.
+    #[test]
+    fn lru_matches_reference(trace in prop::collection::vec((0u64..64, any::<bool>()), 0..500), cap in 1usize..32) {
+        let mut lru = LruCache::new(cap);
+        let mut reference: Vec<u64> = Vec::new(); // MRU first
+        for (block, write) in trace {
+            let hit = matches!(lru.access(block, write), Probe::Hit);
+            let ref_hit = reference.iter().position(|&b| b == block).map(|p| {
+                reference.remove(p);
+            }).is_some();
+            reference.insert(0, block);
+            reference.truncate(cap);
+            prop_assert_eq!(hit, ref_hit);
+        }
+    }
+
+    /// MO sort sorts any input (and is a permutation of it).
+    #[test]
+    fn mo_sort_sorts_anything(data in prop::collection::vec(0u64..1 << 32, 0..300)) {
+        let sp = algs::sort::sort_program(&data);
+        let got = sp.program.slice(sp.data).to_vec();
+        let mut want = data;
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Scan: exclusive prefix sums for arbitrary contents and lengths.
+    #[test]
+    fn scan_is_exclusive_prefix(data in prop::collection::vec(any::<u64>(), 1..200)) {
+        let n = data.len().next_power_of_two();
+        let mut padded = data.clone();
+        padded.resize(n, 0);
+        let mut h = None;
+        let prog = Recorder::record(2 * n, |rec| {
+            let a = rec.alloc_init(&padded);
+            algs::scan::mo_prefix_sum(rec, a, n);
+            h = Some(a);
+        });
+        let got = prog.slice(h.unwrap());
+        let mut acc = 0u64;
+        for k in 0..data.len() {
+            prop_assert_eq!(got[k], acc);
+            acc = acc.wrapping_add(data[k]);
+        }
+    }
+
+    /// List ranking matches the chase on arbitrary permutation lists.
+    #[test]
+    fn list_ranking_is_correct(seed in any::<u64>(), n in 1usize..400) {
+        let succ = algs::listrank::random_list(n, seed);
+        let lp = algs::listrank::listrank_program(&succ);
+        prop_assert_eq!(lp.ranks(), algs::listrank::reference_ranks(&succ));
+    }
+
+    /// Connected components match union-find on arbitrary edge lists.
+    #[test]
+    fn cc_matches_union_find(
+        n in 2usize..80,
+        raw_edges in prop::collection::vec((0usize..1000, 0usize..1000), 0..150),
+    ) {
+        let edges: Vec<(usize, usize)> = raw_edges
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let cp = algs::graph::cc::cc_program(n, &edges);
+        prop_assert_eq!(
+            cp.normalized_labels(),
+            algs::graph::cc::reference_components(n, &edges)
+        );
+    }
+
+    /// The transpose is an involution: MO-MT twice is the identity.
+    #[test]
+    fn transpose_is_involution(seed in any::<u64>()) {
+        let n = 16usize;
+        let mut x = seed | 1;
+        let data: Vec<u64> = (0..n * n).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x >> 33
+        }).collect();
+        let t1 = algs::transpose::transpose_program(&data, n);
+        let once = t1.program.slice(t1.output).to_vec();
+        let t2 = algs::transpose::transpose_program(&once, n);
+        prop_assert_eq!(t2.program.slice(t2.output), data.as_slice());
+    }
+
+    /// Scheduler invariant: for any machine shape, makespan is between
+    /// work/p and work, and serial replay equals the work exactly.
+    #[test]
+    fn makespan_bounds_hold(
+        p_log in 0usize..4,
+        c1_log in 7usize..11,
+        n_log in 8usize..12,
+    ) {
+        let p = 1 << p_log;
+        let c1 = 1 << c1_log;
+        let spec = MachineSpec::three_level(p, c1, 8, c1 * p * 16, 32).unwrap();
+        let n = 1 << n_log;
+        let data: Vec<u64> = (0..n as u64).rev().collect();
+        let sp = algs::sort::sort_program(&data);
+        let r = simulate(&sp.program, &spec, Policy::Mo);
+        prop_assert!(r.makespan >= r.work / p as u64);
+        prop_assert!(r.makespan <= r.work);
+        let s = simulate(&sp.program, &spec, Policy::Serial);
+        prop_assert_eq!(s.makespan, s.work);
+    }
+
+    /// Cache-system sanity for arbitrary access sequences: hits + misses
+    /// equal accesses, and the miss count never exceeds the access count.
+    #[test]
+    fn cache_counters_are_consistent(
+        addrs in prop::collection::vec(0u64..4096, 1..400),
+    ) {
+        use oblivious::hm::CacheSystem;
+        let spec = MachineSpec::three_level(2, 256, 8, 1 << 13, 16).unwrap();
+        let mut sys = CacheSystem::new(&spec);
+        for (k, &a) in addrs.iter().enumerate() {
+            sys.access(k % 2, a, if k % 3 == 0 {
+                oblivious::hm::AccessKind::Write
+            } else {
+                oblivious::hm::AccessKind::Read
+            });
+        }
+        for level in 1..=2 {
+            for idx in 0..spec.caches_at(level) {
+                let c = sys.metrics().cache(level, idx);
+                prop_assert_eq!(c.accesses(), c.hits + c.misses);
+                prop_assert!(c.writebacks <= c.misses + 1);
+            }
+        }
+        let total: u64 = (0..spec.caches_at(1)).map(|i| sys.metrics().cache(1, i).accesses()).sum();
+        prop_assert_eq!(total, addrs.len() as u64);
+    }
+
+    /// NO machine invariant: communication complexity is monotone
+    /// non-increasing in B and total words are independent of (p, B).
+    #[test]
+    fn no_comm_monotone_in_block_size(n_log in 4usize..8, seed in any::<u64>()) {
+        use oblivious::no::algs::sort::no_sort;
+        let n = 1 << n_log;
+        let mut x = seed | 1;
+        let data: Vec<u64> = (0..n).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x >> 40
+        }).collect();
+        let (m, out) = no_sort(&data);
+        let mut want = data;
+        want.sort_unstable();
+        prop_assert_eq!(out, want);
+        let mut last = u64::MAX;
+        for b in [1usize, 2, 4, 8, 16] {
+            let c = m.communication_complexity(4, b);
+            prop_assert!(c <= last);
+            last = c;
+        }
+    }
+}
