@@ -122,7 +122,11 @@ pub fn mo_segmented_scan(rec: &mut Recorder, a: Arr, heads: Arr, out: Arr, n: us
             rec.write(vals, lo, hv);
             // If the left subtree *ends* a segment boundary, the right
             // subtree restarts from the left subtree's own sum.
-            let rhs = if lf_orig == 1 { lv } else { lv.wrapping_add(hv) };
+            let rhs = if lf_orig == 1 {
+                lv
+            } else {
+                lv.wrapping_add(hv)
+            };
             rec.write(vals, hi, rhs);
         });
         stride /= 2;
@@ -205,8 +209,9 @@ mod tests {
     fn segmented_scan_matches_reference() {
         let n = 96usize;
         let data: Vec<u64> = (0..n as u64).map(|x| x % 5 + 1).collect();
-        let heads: Vec<u64> =
-            (0..n).map(|k| (k == 0 || k == 10 || k == 11 || k == 50) as u64).collect();
+        let heads: Vec<u64> = (0..n)
+            .map(|k| (k == 0 || k == 10 || k == 11 || k == 50) as u64)
+            .collect();
         let mut h = None;
         let prog = Recorder::record(16 * n, |rec| {
             let a = rec.alloc_init(&data);
@@ -260,7 +265,9 @@ mod segmented_random_tests {
             let n = 128usize;
             let mut x = seed | 1;
             let mut rnd = move || {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x >> 33
             };
             let data: Vec<u64> = (0..n).map(|_| rnd() % 9).collect();

@@ -27,7 +27,17 @@ pub const GRAIN: usize = 8;
 type Org = (usize, usize, usize);
 
 /// Direct k-major triple loop over the box — the recursion base.
-fn base(rec: &mut Recorder, x: Mat, u: Mat, v: Mat, w: Mat, o: Org, m: usize, f: GepF, s: UpdateSet) {
+fn base(
+    rec: &mut Recorder,
+    x: Mat,
+    u: Mat,
+    v: Mat,
+    w: Mat,
+    o: Org,
+    m: usize,
+    f: GepF,
+    s: UpdateSet,
+) {
     let (i0, j0, k0) = o;
     for k in 0..m {
         for i in 0..m {
@@ -67,7 +77,17 @@ pub fn igep_d(
     d_rec(rec, x, u, v, w, o, m, f, s);
 }
 
-fn a_rec(rec: &mut Recorder, x: Mat, u: Mat, v: Mat, w: Mat, o: Org, m: usize, f: GepF, s: UpdateSet) {
+fn a_rec(
+    rec: &mut Recorder,
+    x: Mat,
+    u: Mat,
+    v: Mat,
+    w: Mat,
+    o: Org,
+    m: usize,
+    f: GepF,
+    s: UpdateSet,
+) {
     let (i0, j0, k0) = o;
     if !s.intersects(i0, j0, k0, m) {
         return;
@@ -84,7 +104,9 @@ fn a_rec(rec: &mut Recorder, x: Mat, u: Mat, v: Mat, w: Mat, o: Org, m: usize, f
     // 3: A(X11, U11, V11, W11)
     rec.fork(
         ForkHint::Sb,
-        vec![spawn(h * h, move |r: &mut Recorder| a_rec(r, x11, u11, v11, w11, (i0, j0, k0), h, f, s))],
+        vec![spawn(h * h, move |r: &mut Recorder| {
+            a_rec(r, x11, u11, v11, w11, (i0, j0, k0), h, f, s)
+        })],
     );
     // 4: parallel B(X12, U11, V12, W11), C(X21, U21, V11, W11)
     rec.fork2(
@@ -125,7 +147,17 @@ fn a_rec(rec: &mut Recorder, x: Mat, u: Mat, v: Mat, w: Mat, o: Org, m: usize, f
     );
 }
 
-fn b_rec(rec: &mut Recorder, x: Mat, u: Mat, v: Mat, w: Mat, o: Org, m: usize, f: GepF, s: UpdateSet) {
+fn b_rec(
+    rec: &mut Recorder,
+    x: Mat,
+    u: Mat,
+    v: Mat,
+    w: Mat,
+    o: Org,
+    m: usize,
+    f: GepF,
+    s: UpdateSet,
+) {
     let (i0, j0, k0) = o;
     if !s.intersects(i0, j0, k0, m) {
         return;
@@ -169,7 +201,17 @@ fn b_rec(rec: &mut Recorder, x: Mat, u: Mat, v: Mat, w: Mat, o: Org, m: usize, f
     );
 }
 
-fn c_rec(rec: &mut Recorder, x: Mat, u: Mat, v: Mat, w: Mat, o: Org, m: usize, f: GepF, s: UpdateSet) {
+fn c_rec(
+    rec: &mut Recorder,
+    x: Mat,
+    u: Mat,
+    v: Mat,
+    w: Mat,
+    o: Org,
+    m: usize,
+    f: GepF,
+    s: UpdateSet,
+) {
     let (i0, j0, k0) = o;
     if !s.intersects(i0, j0, k0, m) {
         return;
@@ -213,7 +255,17 @@ fn c_rec(rec: &mut Recorder, x: Mat, u: Mat, v: Mat, w: Mat, o: Org, m: usize, f
     );
 }
 
-fn d_rec(rec: &mut Recorder, x: Mat, u: Mat, v: Mat, w: Mat, o: Org, m: usize, f: GepF, s: UpdateSet) {
+fn d_rec(
+    rec: &mut Recorder,
+    x: Mat,
+    u: Mat,
+    v: Mat,
+    w: Mat,
+    o: Org,
+    m: usize,
+    f: GepF,
+    s: UpdateSet,
+) {
     let (i0, j0, k0) = o;
     if !s.intersects(i0, j0, k0, m) {
         return;
@@ -231,7 +283,9 @@ fn d_rec(rec: &mut Recorder, x: Mat, u: Mat, v: Mat, w: Mat, o: Org, m: usize, f
     rec.fork(
         ForkHint::Sb,
         vec![
-            spawn(sp, move |r: &mut Recorder| d_rec(r, x11, u11, v11, w11, (i0, j0, k0), h, f, s)),
+            spawn(sp, move |r: &mut Recorder| {
+                d_rec(r, x11, u11, v11, w11, (i0, j0, k0), h, f, s)
+            }),
             spawn(sp, move |r: &mut Recorder| {
                 d_rec(r, x12, u11, v12, w11, (i0, j0 + h, k0), h, f, s)
             }),
@@ -272,7 +326,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n * n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 40) as f64) / 1024.0 + 0.5
             })
             .collect()
@@ -331,7 +387,10 @@ mod tests {
             let c = mp.output();
             let r = matmul_reference(&a, &b, n);
             for t in 0..n * n {
-                assert!((c[t] - r[t]).abs() < 1e-9 * (1.0 + r[t].abs()), "n={n} t={t}");
+                assert!(
+                    (c[t] - r[t]).abs() < 1e-9 * (1.0 + r[t].abs()),
+                    "n={n} t={t}"
+                );
             }
         }
     }

@@ -116,7 +116,11 @@ pub fn igep_program(data: &[f64], n: usize, f: GepF, sigma: UpdateSet) -> GepPro
         igep::igep_a(rec, x, n, f, sigma);
         h = Some(x);
     });
-    GepProgram { program, x: h.unwrap(), n }
+    GepProgram {
+        program,
+        x: h.unwrap(),
+        n,
+    }
 }
 
 /// Record `C += A·B` as a pure 𝒟 computation on disjoint matrices.
@@ -135,7 +139,11 @@ pub fn matmul_program(a: &[f64], b: &[f64], n: usize) -> GepProgram {
         igep::igep_d(rec, xc, xa, xb, xa, (0, 0, 0), n, mm_update, UpdateSet::All);
         h = Some(xc);
     });
-    GepProgram { program, x: h.unwrap(), n }
+    GepProgram {
+        program,
+        x: h.unwrap(),
+        n,
+    }
 }
 
 /// Reference matrix multiplication.
@@ -161,10 +169,18 @@ pub fn matmul_reference(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
 /// instance. This verifier is the practical tool for deciding whether a
 /// new instance needs the C-GEP treatment (see `table_dstar` for a
 /// non-commutative instance where reordering genuinely changes results).
-pub fn igep_matches_reference(f: GepF, sigma: UpdateSet, n: usize, trials: usize, tol: f64) -> bool {
+pub fn igep_matches_reference(
+    f: GepF,
+    sigma: UpdateSet,
+    n: usize,
+    trials: usize,
+    tol: f64,
+) -> bool {
     let mut seed = 0x9E37_79B9u64;
     for _ in 0..trials {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut s = seed;
         let data: Vec<f64> = (0..n * n)
             .map(|_| {
@@ -244,14 +260,32 @@ mod tests {
 
     #[test]
     fn igep_correctness_verifier_accepts_notable_instances() {
-        assert!(igep_matches_reference(mm_update, UpdateSet::All, 16, 3, 1e-9));
-        assert!(igep_matches_reference(fw_update, UpdateSet::All, 16, 3, 1e-9));
+        assert!(igep_matches_reference(
+            mm_update,
+            UpdateSet::All,
+            16,
+            3,
+            1e-9
+        ));
+        assert!(igep_matches_reference(
+            fw_update,
+            UpdateSet::All,
+            16,
+            3,
+            1e-9
+        ));
         // An affine instance restricted to k < min(i, j) also satisfies
         // the conditions (its operands are finalized before use).
         fn affine(x: f64, u: f64, v: f64, _w: f64) -> f64 {
             x + 0.25 * u + 0.25 * v
         }
-        assert!(igep_matches_reference(affine, UpdateSet::KBelowMin, 16, 3, 1e-9));
+        assert!(igep_matches_reference(
+            affine,
+            UpdateSet::KBelowMin,
+            16,
+            3,
+            1e-9
+        ));
     }
 
     #[test]

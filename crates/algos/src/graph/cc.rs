@@ -45,11 +45,13 @@ fn cc_rec(
         rec.cgc_for(n, |rec, v| rec.write(comp, v, v as u64));
         return;
     }
-    // 1: hook to the minimum neighbour (min-CRCW emulated by traced
-    // read-modify-write; the result is order-independent).
+    // 1: hook to the minimum neighbour — a min-CRCW step. Emulated by a
+    // *serial* traced reduction (a straight-line compute segment): the
+    // concurrent-write combining the PRAM model gives for free would be
+    // a write-write race between CGC iterations sharing an endpoint.
     let parent = rec.alloc(n);
     rec.cgc_for(n, |rec, v| rec.write(parent, v, v as u64));
-    rec.cgc_for(m, |rec, k| {
+    for k in 0..m {
         let u = rec.read(eu, k) as usize;
         let v = rec.read(ev, k) as usize;
         let pu = rec.read(parent, u);
@@ -60,12 +62,13 @@ fn cc_rec(
         if (u as u64) < pv {
             rec.write(parent, v, u as u64);
         }
-    });
+    }
     // 1b: spanning-forest provenance — for each hooked vertex, record
-    // the smallest original edge witnessing its hook.
+    // the smallest original edge witnessing its hook (the same min-CRCW
+    // combining, likewise serialized).
     let winner = rec.alloc(n);
     rec.cgc_for(n, |rec, v| rec.write(winner, v, NO_EDGE));
-    rec.cgc_for(m, |rec, k| {
+    for k in 0..m {
         let u = rec.read(eu, k) as usize;
         let v = rec.read(ev, k) as usize;
         let o = rec.read(eorig, k);
@@ -81,7 +84,7 @@ fn cc_rec(
                 rec.write(winner, u, o);
             }
         }
-    });
+    }
     rec.cgc_for(n, |rec, v| {
         if rec.read(parent, v) != v as u64 {
             let w = rec.read(winner, v);
@@ -89,14 +92,20 @@ fn cc_rec(
             rec.write(forest, w as usize, 1);
         }
     });
-    // 2: pointer jumping to stars.
+    // 2: pointer jumping to stars. Double-buffered: jumping in place
+    // would race (iteration v reads `parent[p]` while iteration p
+    // rewrites it); reading one round's array and writing the next
+    // keeps every CGC iteration confined to its own output word.
+    let mut parent = parent;
+    let mut parent_next = rec.alloc(n);
     let rounds = usize::BITS as usize - n.leading_zeros() as usize; // ⌈log₂ n⌉ + O(1)
     for _ in 0..rounds {
         rec.cgc_for(n, |rec, v| {
             let p = rec.read(parent, v) as usize;
             let pp = rec.read(parent, p);
-            rec.write(parent, v, pp);
+            rec.write(parent_next, v, pp);
         });
+        std::mem::swap(&mut parent, &mut parent_next);
     }
     // 3a: compact the roots.
     let pad = n.next_power_of_two();
@@ -203,12 +212,16 @@ impl CcProgram {
 }
 
 /// Record connected components of an undirected graph.
+///
+/// Per-task space is data-dependent (contraction sizes, sort buckets),
+/// so the program is recorded with measured bounds
+/// ([`Recorder::record_measured`]).
 pub fn cc_program(n: usize, edges: &[(usize, usize)]) -> CcProgram {
     let m = edges.len();
     let eu_data: Vec<u64> = edges.iter().map(|e| e.0 as u64).collect();
     let ev_data: Vec<u64> = edges.iter().map(|e| e.1 as u64).collect();
     let mut h = None;
-    let program = Recorder::record(8 * (n + m).max(1), |rec| {
+    let program = Recorder::record_measured(8 * (n + m).max(1), |rec| {
         let eu = rec.alloc_init(&eu_data);
         let ev = rec.alloc_init(&ev_data);
         let comp = rec.alloc(n);
@@ -217,7 +230,12 @@ pub fn cc_program(n: usize, edges: &[(usize, usize)]) -> CcProgram {
         h = Some((comp, forest));
     });
     let (comp, forest) = h.unwrap();
-    CcProgram { program, comp, forest, n }
+    CcProgram {
+        program,
+        comp,
+        forest,
+        n,
+    }
 }
 
 impl CcProgram {
@@ -266,9 +284,13 @@ mod tests {
         let mut x = seed | 1;
         (0..m)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = ((x >> 33) as usize) % n;
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let v = ((x >> 33) as usize) % n;
                 (u, v.max(1).min(n - 1))
             })

@@ -111,7 +111,7 @@ pub fn euler_program(tree: &Tree) -> EulerProgram {
         }
     }
     let a0 = out[root][0] as u64; // tour start: root's first outgoing arc
-    // Map edge index back to the child vertex.
+                                  // Map edge index back to the child vertex.
     let mut edge_child = vec![0u64; e];
     for v in 0..n {
         if v != root {
@@ -121,7 +121,9 @@ pub fn euler_program(tree: &Tree) -> EulerProgram {
     let parent_arr: Vec<u64> = tree.parent.iter().map(|&p| p as u64).collect();
 
     let mut handles = None;
-    let program = Recorder::record(16 * num_arcs, |rec| {
+    // List ranking's per-task space is data-dependent, so the pipeline
+    // records with measured bounds (see `Recorder::record_measured`).
+    let program = Recorder::record_measured(16 * num_arcs, |rec| {
         let twin_a = rec.alloc_init(&twin);
         let ring_a = rec.alloc_init(&ring_next);
         let echild = rec.alloc_init(&edge_child);
@@ -152,7 +154,9 @@ pub fn euler_program(tree: &Tree) -> EulerProgram {
 
         // Offset ±1 weights (down = +1 → 2, up = −1 → 0) → depth sums.
         let dist2 = rec.alloc(num_arcs);
-        rec.cgc_for(num_arcs, |rec, a| rec.write(dist2, a, if a % 2 == 0 { 2 } else { 0 }));
+        rec.cgc_for(num_arcs, |rec, a| {
+            rec.write(dist2, a, if a % 2 == 0 { 2 } else { 0 })
+        });
         let rank2 = rec.alloc(num_arcs);
         mo_listrank_weighted(rec, succ, pred, dist2, rank2, num_arcs);
 
@@ -206,7 +210,14 @@ pub fn euler_program(tree: &Tree) -> EulerProgram {
         handles = Some((parent, depth, size, preorder));
     });
     let (parent, depth, size, preorder) = handles.unwrap();
-    EulerProgram { program, parent, depth, size, preorder, n }
+    EulerProgram {
+        program,
+        parent,
+        depth,
+        size,
+        preorder,
+        n,
+    }
 }
 
 #[cfg(test)]
@@ -260,7 +271,9 @@ mod tests {
     fn binary_tree() {
         // Complete binary tree on 31 nodes.
         let n = 31;
-        let parent: Vec<usize> = (0..n).map(|v| if v == 0 { 0 } else { (v - 1) / 2 }).collect();
+        let parent: Vec<usize> = (0..n)
+            .map(|v| if v == 0 { 0 } else { (v - 1) / 2 })
+            .collect();
         check_tree(&Tree::new(parent, 0));
     }
 }

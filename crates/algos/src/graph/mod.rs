@@ -44,7 +44,9 @@ impl Tree {
         assert!(n >= 1);
         let mut x = seed | 1;
         let mut rng = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 33
         };
         // Random attachment in a random label order.

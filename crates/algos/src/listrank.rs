@@ -98,9 +98,12 @@ pub fn mo_is(rec: &mut Recorder, succ: Arr, pred: Arr, in_s: Arr, n: usize, dcf_
         rec.write(excluded, v, e);
         rec.write(in_s, v, 0);
     });
-    // Steps 4–7: per color group (ascending), admit eligible nodes and
-    // exclude their neighbours. Within one color no two nodes are
-    // adjacent, so the group can be processed in parallel.
+    // Steps 4–7: per color group (ascending), admit eligible nodes, then
+    // mark their neighbours ineligible. Within one color no two nodes are
+    // adjacent, so admission is parallel; the marking pass iterates over
+    // *all* nodes from the target side (each word written by exactly one
+    // iteration — writing `excluded` from the admitted node's side would
+    // be a write-write race when two admitted nodes share a neighbour).
     let mut lo = 0usize;
     while lo < n {
         let c = unpack(rec.peek(recs, lo)).0;
@@ -113,11 +116,15 @@ pub fn mo_is(rec: &mut Recorder, succ: Arr, pred: Arr, in_s: Arr, n: usize, dcf_
             let v = v as usize;
             if rec.read(excluded, v) == 0 {
                 rec.write(in_s, v, 1);
-                let p = rec.read(pred, v);
-                let s = rec.read(succ, v);
-                debug_assert!(p != sent && s != sent);
-                rec.write(excluded, p as usize, 1);
-                rec.write(excluded, s as usize, 1);
+            }
+        });
+        rec.cgc_for(n, |rec, u| {
+            let p = rec.read(pred, u);
+            let s = rec.read(succ, u);
+            let p_in = p != sent && rec.read(in_s, p as usize) == 1;
+            let s_in = s != sent && rec.read(in_s, s as usize) == 1;
+            if p_in || s_in {
+                rec.write(excluded, u, 1);
             }
         });
         lo = hi;
@@ -221,7 +228,11 @@ fn mo_lr_rec(
         } else {
             (s, d)
         };
-        let mapped = if s2 == sent { sent2 } else { rec.read(newid, s2 as usize) };
+        let mapped = if s2 == sent {
+            sent2
+        } else {
+            rec.read(newid, s2 as usize)
+        };
         rec.write(succ2, me as usize, mapped);
         rec.write(dist2, me as usize, d2);
     });
@@ -296,7 +307,7 @@ pub fn listrank_program_with_rounds(succ: &[u64], dcf_rounds: usize) -> ListRank
     let n = succ.len();
     let pred = invert_succ(succ);
     let mut h = None;
-    let program = Recorder::record(8 * n, |rec| {
+    let program = Recorder::record_measured(8 * n, |rec| {
         let s = rec.alloc_init(succ);
         let p = rec.alloc_init(&pred);
         let rank = rec.alloc(n);
@@ -305,23 +316,33 @@ pub fn listrank_program_with_rounds(succ: &[u64], dcf_rounds: usize) -> ListRank
         mo_lr_rec(rec, s, p, dist, rank, n, dcf_rounds);
         h = Some(rank);
     });
-    ListRankProgram { program, rank: h.unwrap(), n }
+    ListRankProgram {
+        program,
+        rank: h.unwrap(),
+        n,
+    }
 }
 
 /// Record MO-LR on the list described by `succ` (with sentinel
-/// `succ.len()` marking the tail).
+/// `succ.len()` marking the tail). Per-task space is data-dependent
+/// (independent-set size, sort bucket occupancy), so the program is
+/// recorded with measured bounds ([`Recorder::record_measured`]).
 pub fn listrank_program(succ: &[u64]) -> ListRankProgram {
     let n = succ.len();
     let pred = invert_succ(succ);
     let mut h = None;
-    let program = Recorder::record(8 * n, |rec| {
+    let program = Recorder::record_measured(8 * n, |rec| {
         let s = rec.alloc_init(succ);
         let p = rec.alloc_init(&pred);
         let rank = rec.alloc(n);
         mo_listrank(rec, s, p, rank, n);
         h = Some(rank);
     });
-    ListRankProgram { program, rank: h.unwrap(), n }
+    ListRankProgram {
+        program,
+        rank: h.unwrap(),
+        n,
+    }
 }
 
 /// Compute `pred` from `succ` (host-side input preparation).
@@ -365,7 +386,9 @@ pub fn random_list(n: usize, seed: u64) -> Vec<u64> {
     let mut order: Vec<usize> = (0..n).collect();
     let mut x = seed | 1;
     for i in (1..n).rev() {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = ((x >> 33) as usize) % (i + 1);
         order.swap(i, j);
     }

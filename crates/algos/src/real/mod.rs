@@ -178,7 +178,9 @@ pub fn par_prefix_sum(pool: &SbPool, a: &mut [u64]) {
         let mut jobs: Jobs<'_, (usize, u64)> = Vec::new();
         for (bi, chunk) in a.chunks(block).enumerate() {
             let sum: &[u64] = chunk;
-            jobs.push(Box::new(move |_| (bi, sum.iter().fold(0u64, |s, &v| s.wrapping_add(v)))));
+            jobs.push(Box::new(move |_| {
+                (bi, sum.iter().fold(0u64, |s, &v| s.wrapping_add(v)))
+            }));
         }
         for (bi, t) in ctx.join_all(2 * block, jobs) {
             totals[bi] = t;
@@ -232,7 +234,8 @@ pub fn par_sort(pool: &SbPool, data: &mut [u64]) {
         let jobs: Jobs<'_, ()> = data
             .chunks_mut(run_len)
             .map(|chunk| {
-                Box::new(move |_: &Ctx<'_>| chunk.sort_unstable()) as Box<dyn FnOnce(&Ctx<'_>) + Send>
+                Box::new(move |_: &Ctx<'_>| chunk.sort_unstable())
+                    as Box<dyn FnOnce(&Ctx<'_>) + Send>
             })
             .collect();
         ctx.join_all(2 * run_len, jobs);
@@ -244,8 +247,9 @@ pub fn par_sort(pool: &SbPool, data: &mut [u64]) {
         samples.extend(chunk.iter().step_by(step).copied());
     }
     samples.sort_unstable();
-    let mut pivots: Vec<u64> =
-        (1..q).map(|t| samples[(t * samples.len() / q).min(samples.len() - 1)]).collect();
+    let mut pivots: Vec<u64> = (1..q)
+        .map(|t| samples[(t * samples.len() / q).min(samples.len() - 1)])
+        .collect();
     pivots.dedup();
     // Split each sorted run at the pivots; bucket b = concatenation of
     // each run's b-th segment, finished by a per-bucket sort.
@@ -311,7 +315,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 40) as f64) / 65536.0
             })
             .collect()
@@ -526,8 +532,9 @@ mod fft_tests {
     #[test]
     fn serial_and_parallel_match_reference() {
         for n in [1usize, 2, 8, 64, 256, 1024] {
-            let input: Vec<C64> =
-                (0..n).map(|t| ((t as f64 * 0.31).sin(), (t as f64 * 0.17).cos())).collect();
+            let input: Vec<C64> = (0..n)
+                .map(|t| ((t as f64 * 0.31).sin(), (t as f64 * 0.17).cos()))
+                .collect();
             let want = reference_dft(&input);
             let mut s = input.clone();
             serial_fft(&mut s);
@@ -535,9 +542,18 @@ mod fft_tests {
             let pl = pool();
             par_fft(&pl, &mut p);
             for k in 0..n {
-                assert!((s[k].0 - want[k].0).abs() < 1e-6 * n as f64, "serial n={n} k={k}");
-                assert!((p[k].0 - want[k].0).abs() < 1e-6 * n as f64, "par n={n} k={k}");
-                assert!((p[k].1 - want[k].1).abs() < 1e-6 * n as f64, "par im n={n} k={k}");
+                assert!(
+                    (s[k].0 - want[k].0).abs() < 1e-6 * n as f64,
+                    "serial n={n} k={k}"
+                );
+                assert!(
+                    (p[k].0 - want[k].0).abs() < 1e-6 * n as f64,
+                    "par n={n} k={k}"
+                );
+                assert!(
+                    (p[k].1 - want[k].1).abs() < 1e-6 * n as f64,
+                    "par im n={n} k={k}"
+                );
             }
         }
     }

@@ -218,14 +218,22 @@ pub struct SortProgram {
 }
 
 /// Record a sort of `data`.
+///
+/// Per-task space is data-dependent (sample dedup, bucket occupancy),
+/// so the program is recorded with measured bounds
+/// ([`Recorder::record_measured`]): the `4·len` bounds declared at the
+/// forks are provisional and replaced by exact subtree footprints.
 pub fn sort_program(data: &[u64]) -> SortProgram {
     let mut h = None;
-    let program = Recorder::record(4 * data.len().max(1), |rec| {
+    let program = Recorder::record_measured(4 * data.len().max(1), |rec| {
         let a = rec.alloc_init(data);
         mo_sort(rec, a, data.len());
         h = Some(a);
     });
-    SortProgram { program, data: h.unwrap() }
+    SortProgram {
+        program,
+        data: h.unwrap(),
+    }
 }
 
 /// Pack a (key, value) record for sorting (`key`, `value` < 2³²).
@@ -251,7 +259,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) % modulus
             })
             .collect()
@@ -294,7 +304,11 @@ mod tests {
     #[test]
     fn sorting_packed_records_keeps_values() {
         let keys = lcg(9, 300, 50);
-        let packed: Vec<u64> = keys.iter().enumerate().map(|(i, &k)| pack(k, i as u64)).collect();
+        let packed: Vec<u64> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| pack(k, i as u64))
+            .collect();
         let sp = sort_program(&packed);
         let got = sp.program.slice(sp.data);
         for w in got.windows(2) {

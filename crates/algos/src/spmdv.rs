@@ -2,14 +2,30 @@
 //! (Fig. 4, Theorem 4).
 //!
 //! Binary recursion over the output range `[k1, k2]`, forked with
-//! `[CGC⇒SB]` and space bound `S(m) = 4m` — the space needed for the `y`
-//! segment, the corresponding slices of `A_v`/`A_0`, and the `x` window
-//! that the separator reordering makes mostly local. The input matrix
-//! must be in separator-tree leaf order (see [`crate::separator`]).
+//! `[CGC⇒SB]` and space bound `S(m) = Θ(m)` for bounded-degree
+//! separator-ordered matrices — the space needed for the `y` segment,
+//! the corresponding slices of `A_v`/`A_0`, and the `x` window that the
+//! separator reordering makes mostly local. The paper states `S(m) = 4m`
+//! counting matrix *elements*; our `A_v` layout spends 2 words per
+//! nonzero, so the bound is computed exactly from the row offsets as
+//! `2m + 1 + 3·nnz(k1..k2)` words (see [`spmdv_space`]). The input
+//! matrix must be in separator-tree leaf order (see
+//! [`crate::separator`]).
 
 use mo_core::{Arr, ForkHint, Program, Recorder};
 
 use crate::separator::SeparatorMatrix;
+
+/// Exact space bound of the subproblem over rows `k1..=k2`, in words:
+/// the `y` segment (`m`), the `a0` slice (`m + 1`), the `A_v` slice
+/// (2 words per nonzero) and the `x` window (at most one distinct word
+/// per nonzero) — `2m + 1 + 3·nnz`. The row offsets are read with
+/// untraced peeks: a real implementation keeps them in registers while
+/// descending.
+pub fn spmdv_space(rec: &Recorder, a0: Arr, k1: usize, k2: usize) -> usize {
+    let nnz = (rec.peek(a0, k2 + 1) - rec.peek(a0, k1)) as usize;
+    2 * (k2 - k1 + 1) + 1 + 3 * nnz
+}
 
 /// Recursive MO-SpM-DV over rows `k1..=k2` (Fig. 4 verbatim).
 ///
@@ -31,13 +47,15 @@ pub fn mo_spmdv(rec: &mut Recorder, av: Arr, a0: Arr, x: Arr, y: Arr, k1: usize,
         return;
     }
     let k = (k1 + k2) / 2;
-    let m_left = k - k1 + 1;
-    let m_right = k2 - k;
+    // CGC⇒SB batches need equal bounds: both halves declare the larger
+    // of the two exact bounds (still monotone — each is at most the
+    // parent's own bound over the full range).
+    let sigma = spmdv_space(rec, a0, k1, k).max(spmdv_space(rec, a0, k + 1, k2));
     rec.fork2(
         ForkHint::CgcSb,
-        4 * m_left,
+        sigma,
         move |r| mo_spmdv(r, av, a0, x, y, k1, k),
-        4 * m_right,
+        sigma,
         move |r| mo_spmdv(r, av, a0, x, y, k + 1, k2),
     );
 }
@@ -55,7 +73,9 @@ pub struct SpmdvProgram {
 impl SpmdvProgram {
     /// The product vector.
     pub fn output(&self) -> Vec<f64> {
-        (0..self.n).map(|i| self.program.get_f64(self.y, i)).collect()
+        (0..self.n)
+            .map(|i| self.program.get_f64(self.y, i))
+            .collect()
     }
 }
 
@@ -64,8 +84,9 @@ pub fn spmdv_program(matrix: &SeparatorMatrix, x: &[f64]) -> SpmdvProgram {
     assert_eq!(x.len(), matrix.n);
     let (av_data, a0_data) = matrix.to_csr();
     let n = matrix.n;
+    let root_space = 2 * n + 1 + 3 * (av_data.len() / 2);
     let mut h = None;
-    let program = Recorder::record(4 * n, |rec| {
+    let program = Recorder::record(root_space, |rec| {
         let av = rec.alloc_init(&av_data);
         let a0 = rec.alloc_init(&a0_data);
         let xs = rec.alloc_init_f64(x);
@@ -73,7 +94,11 @@ pub fn spmdv_program(matrix: &SeparatorMatrix, x: &[f64]) -> SpmdvProgram {
         mo_spmdv(rec, av, a0, xs, y, 0, n - 1);
         h = Some(y);
     });
-    SpmdvProgram { program, y: h.unwrap(), n }
+    SpmdvProgram {
+        program,
+        y: h.unwrap(),
+        n,
+    }
 }
 
 #[cfg(test)]
@@ -84,7 +109,9 @@ mod tests {
     use mo_core::sched::{simulate, Policy};
 
     fn vector(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 37) % 101) as f64 * 0.25 - 3.0).collect()
+        (0..n)
+            .map(|i| ((i * 37) % 101) as f64 * 0.25 - 3.0)
+            .collect()
     }
 
     #[test]

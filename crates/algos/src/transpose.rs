@@ -78,7 +78,11 @@ pub fn transpose_program(data: &[u64], n: usize) -> MtProgram {
         input = Some(a);
         output = Some(out);
     });
-    MtProgram { program, input: input.unwrap(), output: output.unwrap() }
+    MtProgram {
+        program,
+        input: input.unwrap(),
+        output: output.unwrap(),
+    }
 }
 
 /// Plain reference transpose, for checking.
@@ -99,7 +103,9 @@ mod tests {
     use mo_core::sched::{simulate, Policy};
 
     fn data(n: usize) -> Vec<u64> {
-        (0..(n * n) as u64).map(|x| x.wrapping_mul(0x9E37_79B9)).collect()
+        (0..(n * n) as u64)
+            .map(|x| x.wrapping_mul(0x9E37_79B9))
+            .collect()
     }
 
     #[test]
@@ -167,7 +173,10 @@ mod tests {
             mo_mt(rec, a, a, inter, n, 1);
             handle = Some(a);
         });
-        assert_eq!(prog.slice(handle.unwrap()), reference_transpose(&d, n).as_slice());
+        assert_eq!(
+            prog.slice(handle.unwrap()),
+            reference_transpose(&d, n).as_slice()
+        );
     }
 
     /// Theorem 1's cache bound: misses per L1 ≈ n²/(q₁B₁) within a small

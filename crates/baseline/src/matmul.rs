@@ -46,10 +46,13 @@ pub fn tiled_matmul_program(a: &[f64], b: &[f64], n: usize, tile: usize) -> (Pro
         let mb = rec.alloc_init_f64(b);
         let mc = rec.alloc(n * n);
         // One parallel task per C-tile; each walks its k-tiles serially.
+        // The *resident* working set per k-step is ~4·tile² (how `tile`
+        // is tuned), but s(τ) declares the task's full footprint: its C
+        // tile plus the row band of A and column band of B it sweeps.
         let children: Vec<Spawn<'_>> = (0..nt * nt)
             .map(|t| {
                 let (ti, tj) = (t / nt, t % nt);
-                spawn(4 * tile * tile, move |rec: &mut Recorder| {
+                spawn(tile * tile + 2 * tile * n, move |rec: &mut Recorder| {
                     for tk in 0..nt {
                         for i in ti * tile..(ti + 1) * tile {
                             for k in tk * tile..(tk + 1) * tile {

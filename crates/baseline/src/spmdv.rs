@@ -43,8 +43,10 @@ pub fn flat_spmdv_program(rows: &[Vec<(usize, f64)>], x: &[f64]) -> (Program, Ar
         }
     }
     a0.push(av.len() as u64 / 2);
+    // Root space bound: the four arrays it touches (A_v, A_0, x, y).
+    let root_space = av.len() + (n + 1) + 2 * n;
     let mut h = None;
-    let program = Recorder::record(4 * n, |rec| {
+    let program = Recorder::record(root_space, |rec| {
         let av = rec.alloc_init(&av);
         let a0 = rec.alloc_init(&a0);
         let xs = rec.alloc_init_f64(x);

@@ -1,49 +1,43 @@
-//! Criterion benches of the *infrastructure* itself: record and replay
-//! throughput of the simulator stack (useful when extending the
-//! scheduler — regressions here make every experiment slower).
+//! Benches of the *infrastructure* itself: record and replay throughput
+//! of the simulator stack (useful when extending the scheduler —
+//! regressions here make every experiment slower).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use hm_model::{CacheSystem, MachineSpec};
-use mo_bench::{default_machine, rand_u64};
+use mo_bench::{bench, default_machine, rand_u64};
 use mo_core::sched::{simulate, Policy};
 use mo_core::Recorder;
 
-fn bench_cache_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache_system_access");
+fn bench_cache_system() {
+    println!("cache_system_access");
     let spec = MachineSpec::example_h5();
-    g.bench_function("sequential_1M", |b| {
-        b.iter(|| {
-            let mut sys = CacheSystem::new(&spec);
-            for w in 0..1_000_000u64 {
-                sys.read(black_box(0), w);
-            }
-            sys.metrics().cache_complexity(1)
-        });
+    bench("sequential_1M", || {
+        let mut sys = CacheSystem::new(&spec);
+        for w in 0..1_000_000u64 {
+            sys.read(black_box(0), w);
+        }
+        sys.metrics().cache_complexity(1)
     });
-    g.finish();
 }
 
-fn bench_record_replay(c: &mut Criterion) {
-    let mut g = c.benchmark_group("record_replay");
-    g.sample_size(10);
+fn bench_record_replay() {
+    println!("record_replay");
     let spec = default_machine();
     for n in [1usize << 12, 1 << 14] {
         let data = rand_u64(1, n, 1 << 30);
-        g.bench_with_input(BenchmarkId::new("record_sort", n), &n, |b, _| {
-            b.iter(|| mo_algorithms::sort::sort_program(black_box(&data)));
+        bench(&format!("record_sort/{n}"), || {
+            mo_algorithms::sort::sort_program(black_box(&data))
         });
         let sp = mo_algorithms::sort::sort_program(&data);
-        g.bench_with_input(BenchmarkId::new("replay_sort_mo", n), &n, |b, _| {
-            b.iter(|| simulate(black_box(&sp.program), &spec, Policy::Mo));
+        bench(&format!("replay_sort_mo/{n}"), || {
+            simulate(black_box(&sp.program), &spec, Policy::Mo)
         });
     }
-    g.finish();
 }
 
-fn bench_scheduler_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scheduler");
+fn bench_scheduler_overhead() {
+    println!("scheduler");
     let spec = default_machine();
     // A fork-heavy, compute-light program stresses anchoring decisions.
     let prog = Recorder::record(1 << 20, |rec| {
@@ -66,11 +60,13 @@ fn bench_scheduler_overhead(c: &mut Criterion) {
         let a = rec.alloc(1 << 14);
         tree(rec, a, 0, 1 << 14);
     });
-    g.bench_function("replay_forky_16k", |b| {
-        b.iter(|| simulate(black_box(&prog), &spec, Policy::Mo));
+    bench("replay_forky_16k", || {
+        simulate(black_box(&prog), &spec, Policy::Mo)
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_cache_system, bench_record_replay, bench_scheduler_overhead);
-criterion_main!(benches);
+fn main() {
+    bench_cache_system();
+    bench_record_replay();
+    bench_scheduler_overhead();
+}

@@ -1,4 +1,4 @@
-//! Wall-clock Criterion benches: the real-machine implementations
+//! Wall-clock benches: the real-machine implementations
 //! (`mo_algorithms::real` on the SB pool) against the naive baselines.
 //!
 //! On a laptop-class box absolute numbers are machine-specific; the
@@ -6,7 +6,6 @@
 //! lose to the naive ones as sizes cross cache boundaries, and should
 //! win increasingly as they do.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mo_algorithms::real::{
@@ -14,6 +13,7 @@ use mo_algorithms::real::{
 };
 use mo_baselines::matmul::naive_matmul;
 use mo_baselines::transpose::naive_transpose;
+use mo_bench::bench;
 use mo_core::rt::{HwHierarchy, SbPool};
 
 fn pool() -> SbPool {
@@ -24,88 +24,77 @@ fn rand_f64(seed: u64, n: usize) -> Vec<f64> {
     let mut x = seed | 1;
     (0..n)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 40) as f64) / 65536.0
         })
         .collect()
 }
 
-fn bench_transpose(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transpose");
+fn bench_transpose() {
+    println!("transpose");
     for n in [256usize, 512, 1024] {
         let a = rand_f64(1, n * n);
         let mut out = vec![0.0; n * n];
-        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
-            b.iter(|| naive_transpose(black_box(&a), black_box(&mut out), n));
+        bench(&format!("naive/{n}"), || {
+            naive_transpose(black_box(&a), black_box(&mut out), n)
         });
         let p = pool();
-        g.bench_with_input(BenchmarkId::new("mo_real", n), &n, |b, &n| {
-            b.iter(|| par_transpose(&p, black_box(&a), black_box(&mut out), n));
+        bench(&format!("mo_real/{n}"), || {
+            par_transpose(&p, black_box(&a), black_box(&mut out), n)
         });
     }
-    g.finish();
 }
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matmul");
-    g.sample_size(10);
+fn bench_matmul() {
+    println!("matmul");
     for n in [128usize, 256] {
         let a = rand_f64(2, n * n);
         let bm = rand_f64(3, n * n);
         let mut cm = vec![0.0; n * n];
-        g.bench_with_input(BenchmarkId::new("naive_ijk", n), &n, |b, &n| {
-            b.iter(|| {
-                cm.iter_mut().for_each(|v| *v = 0.0);
-                naive_matmul(black_box(&mut cm), black_box(&a), black_box(&bm), n)
-            });
+        bench(&format!("naive_ijk/{n}"), || {
+            cm.iter_mut().for_each(|v| *v = 0.0);
+            naive_matmul(black_box(&mut cm), black_box(&a), black_box(&bm), n)
         });
         let p = pool();
-        g.bench_with_input(BenchmarkId::new("mo_real", n), &n, |b, &n| {
-            b.iter(|| {
-                cm.iter_mut().for_each(|v| *v = 0.0);
-                par_matmul(&p, black_box(&mut cm), black_box(&a), black_box(&bm), n)
-            });
+        bench(&format!("mo_real/{n}"), || {
+            cm.iter_mut().for_each(|v| *v = 0.0);
+            par_matmul(&p, black_box(&mut cm), black_box(&a), black_box(&bm), n)
         });
     }
-    g.finish();
 }
 
-fn bench_floyd_warshall(c: &mut Criterion) {
-    let mut g = c.benchmark_group("floyd_warshall");
-    g.sample_size(10);
+fn bench_floyd_warshall() {
+    println!("floyd_warshall");
     for n in [128usize, 256] {
         let d0 = rand_f64(4, n * n);
         let p = pool();
-        g.bench_with_input(BenchmarkId::new("mo_real", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut d = d0.clone();
-                par_floyd_warshall(&p, black_box(&mut d), n);
-                d
-            });
+        bench(&format!("mo_real/{n}"), || {
+            let mut d = d0.clone();
+            par_floyd_warshall(&p, black_box(&mut d), n);
+            d
         });
-        g.bench_with_input(BenchmarkId::new("serial_triple_loop", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut x = d0.clone();
-                for k in 0..n {
-                    for i in 0..n {
-                        let dik = x[i * n + k];
-                        for j in 0..n {
-                            let via = dik + x[k * n + j];
-                            if via < x[i * n + j] {
-                                x[i * n + j] = via;
-                            }
+        bench(&format!("serial_triple_loop/{n}"), || {
+            let mut x = d0.clone();
+            for k in 0..n {
+                for i in 0..n {
+                    let dik = x[i * n + k];
+                    for j in 0..n {
+                        let via = dik + x[k * n + j];
+                        if via < x[i * n + j] {
+                            x[i * n + j] = via;
                         }
                     }
                 }
-                x
-            });
+            }
+            x
         });
     }
-    g.finish();
 }
 
-fn bench_sort(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sort");
+fn bench_sort() {
+    println!("sort");
     for n in [1usize << 14, 1 << 17] {
         let mut x = 5u64;
         let data: Vec<u64> = (0..n)
@@ -114,84 +103,68 @@ fn bench_sort(c: &mut Criterion) {
                 x >> 20
             })
             .collect();
-        g.bench_with_input(BenchmarkId::new("std_unstable", n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = data.clone();
-                d.sort_unstable();
-                d
-            });
+        bench(&format!("std_unstable/{n}"), || {
+            let mut d = data.clone();
+            d.sort_unstable();
+            d
         });
         let p = pool();
-        g.bench_with_input(BenchmarkId::new("mo_sample_sort", n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = data.clone();
-                par_sort(&p, &mut d);
-                d
-            });
+        bench(&format!("mo_sample_sort/{n}"), || {
+            let mut d = data.clone();
+            par_sort(&p, &mut d);
+            d
         });
     }
-    g.finish();
 }
 
-fn bench_prefix_sum(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prefix_sum");
+fn bench_prefix_sum() {
+    println!("prefix_sum");
     for n in [1usize << 16, 1 << 20] {
         let data: Vec<u64> = (0..n as u64).collect();
-        g.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = data.clone();
-                let mut acc = 0u64;
-                for v in d.iter_mut() {
-                    let nv = acc.wrapping_add(*v);
-                    *v = acc;
-                    acc = nv;
-                }
-                d
-            });
+        bench(&format!("serial/{n}"), || {
+            let mut d = data.clone();
+            let mut acc = 0u64;
+            for v in d.iter_mut() {
+                let nv = acc.wrapping_add(*v);
+                *v = acc;
+                acc = nv;
+            }
+            d
         });
         let p = pool();
-        g.bench_with_input(BenchmarkId::new("mo_block_scan", n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = data.clone();
-                par_prefix_sum(&p, &mut d);
-                d
-            });
+        bench(&format!("mo_block_scan/{n}"), || {
+            let mut d = data.clone();
+            par_prefix_sum(&p, &mut d);
+            d
         });
     }
-    g.finish();
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn bench_fft() {
+    println!("fft");
     for n in [1usize << 14, 1 << 17] {
-        let input: Vec<(f64, f64)> =
-            (0..n).map(|t| ((t as f64 * 0.3).sin(), (t as f64 * 0.7).cos())).collect();
-        g.bench_with_input(BenchmarkId::new("serial_iterative", n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = input.clone();
-                serial_fft(black_box(&mut d));
-                d
-            });
+        let input: Vec<(f64, f64)> = (0..n)
+            .map(|t| ((t as f64 * 0.3).sin(), (t as f64 * 0.7).cos()))
+            .collect();
+        bench(&format!("serial_iterative/{n}"), || {
+            let mut d = input.clone();
+            serial_fft(black_box(&mut d));
+            d
         });
         let p = pool();
-        g.bench_with_input(BenchmarkId::new("mo_real_recursive", n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = input.clone();
-                par_fft(&p, black_box(&mut d));
-                d
-            });
+        bench(&format!("mo_real_recursive/{n}"), || {
+            let mut d = input.clone();
+            par_fft(&p, black_box(&mut d));
+            d
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_transpose,
-    bench_matmul,
-    bench_floyd_warshall,
-    bench_sort,
-    bench_prefix_sum,
-    bench_fft
-);
-criterion_main!(benches);
+fn main() {
+    bench_transpose();
+    bench_matmul();
+    bench_floyd_warshall();
+    bench_sort();
+    bench_prefix_sum();
+    bench_fft();
+}

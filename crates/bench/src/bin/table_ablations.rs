@@ -44,7 +44,9 @@ fn main() {
         let r = run_mo(&mt.program, &spec);
         println!(
             "  B1 = {b1:>2}: units {:>5}, ping-pongs {:>6}, L1 misses {:>7}",
-            r.units, r.pingpongs, r.cache_complexity(1)
+            r.units,
+            r.pingpongs,
+            r.cache_complexity(1)
         );
     }
     println!("  (larger B1 => coarser segments => fewer write interleavings)");

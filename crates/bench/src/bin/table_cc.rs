@@ -6,10 +6,15 @@ use mo_bench::{header, row, run_mo};
 fn random_graph(n: usize, m: usize, seed: u64) -> Vec<(usize, usize)> {
     let mut x = seed | 1;
     let mut rnd = move |k: usize| {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((x >> 33) as usize) % k
     };
-    (0..m).map(|_| (rnd(n), rnd(n))).filter(|&(u, v)| u != v).collect()
+    (0..m)
+        .map(|_| (rnd(n), rnd(n)))
+        .filter(|&(u, v)| u != v)
+        .collect()
 }
 
 fn main() {
@@ -38,9 +43,7 @@ fn main() {
                 row(
                     &format!("L{level} misses vs (N/(q_i B_i)) log_C N log(N/B1)"),
                     r.cache_complexity(level) as f64,
-                    (big_n / (qi * bi))
-                        * logc
-                        * (big_n / spec.level(1).block as f64).log2(),
+                    (big_n / (qi * bi)) * logc * (big_n / spec.level(1).block as f64).log2(),
                 );
             }
             row("speed-up vs p", r.speedup(), p);

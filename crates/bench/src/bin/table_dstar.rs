@@ -12,14 +12,20 @@ fn fw(x: f64, u: f64, v: f64, _w: f64) -> f64 {
 }
 
 fn main() {
-    header("TabI", "recursive call orders: I-GEP 𝒟 vs N-GEP 𝒟* (Table I)");
+    header(
+        "TabI",
+        "recursive call orders: I-GEP 𝒟 vs N-GEP 𝒟* (Table I)",
+    );
     let n = 32;
     let kappa = 4;
     let a = rand_f64(1, n * n);
     let b = rand_f64(2, n * n);
     let (m_d, out_d) = ngep_matmul(&a, &b, n, kappa, DOrder::IGep);
     let (m_ds, out_ds) = ngep_matmul(&a, &b, n, kappa, DOrder::DStar);
-    val("matmul results identical (commutative)", (out_d == out_ds) as u64 as f64);
+    val(
+        "matmul results identical (commutative)",
+        (out_d == out_ds) as u64 as f64,
+    );
     val("total words moved, D", m_d.total_words() as f64);
     val("total words moved, D*", m_ds.total_words() as f64);
     println!("\nper-processor communication complexity (the h-relation that M(p,B) charges):");

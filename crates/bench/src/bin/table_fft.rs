@@ -9,7 +9,9 @@ use mo_bench::{header, row, run_mo};
 use no_framework::algs::fft::no_fft;
 
 fn signal(n: usize) -> Vec<(f64, f64)> {
-    (0..n).map(|t| ((t as f64 * 0.37).sin(), (t as f64 * 0.11).cos() * 0.5)).collect()
+    (0..n)
+        .map(|t| ((t as f64 * 0.37).sin(), (t as f64 * 0.11).cos() * 0.5))
+        .collect()
 }
 
 fn main() {
@@ -26,7 +28,11 @@ fn main() {
             let logn = nf.log2();
             // Complex elements are 2 words and every element is touched
             // ~10x per level of the √n recursion; the Θ captures shape.
-            row("parallel steps vs (n/p + B1) log n", r.makespan as f64, (nf / p + b1) * logn);
+            row(
+                "parallel steps vs (n/p + B1) log n",
+                r.makespan as f64,
+                (nf / p + b1) * logn,
+            );
             for level in 1..=spec.cache_levels() {
                 let qi = spec.caches_at(level) as f64;
                 let bi = spec.level(level).block as f64;
@@ -48,6 +54,10 @@ fn main() {
         let comm = m.communication_complexity(p, b) as f64;
         let np = (n / p) as f64;
         let pred = (2.0 * n as f64 / (p * b) as f64) * ((n as f64).ln() / np.ln()).max(1.0);
-        row(&format!("comm p={p} B={b} vs (n/pB) log_(n/p) n"), comm, pred);
+        row(
+            &format!("comm p={p} B={b} vs (n/pB) log_(n/p) n"),
+            comm,
+            pred,
+        );
     }
 }

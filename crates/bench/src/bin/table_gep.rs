@@ -2,9 +2,7 @@
 //! (matrix multiplication, Floyd–Warshall, Gaussian elimination), vs the
 //! naive and resource-aware tiled baselines.
 
-use mo_algorithms::gep::{
-    fw_update, ge_update, igep_program, matmul_program, UpdateSet,
-};
+use mo_algorithms::gep::{fw_update, ge_update, igep_program, matmul_program, UpdateSet};
 use mo_baselines::matmul::{naive_matmul_program, tiled_matmul_program};
 use mo_bench::{fw_instance, header, rand_f64, row, run_mo, run_serial, val};
 
@@ -40,10 +38,15 @@ fn main() {
         let fw = igep_program(&d, n, fw_update, UpdateSet::All);
         let rfw = run_mo(&fw.program, &spec);
         println!("Floyd–Warshall APSP, n = {n}:");
-        row("L1 misses vs n^3/(q_1 B_1 sqrt(C_1))", rfw.cache_complexity(1) as f64, {
-            let q1 = spec.caches_at(1) as f64;
-            (n as f64).powi(3) / (q1 * spec.level(1).block as f64 * (spec.level(1).capacity as f64).sqrt())
-        });
+        row(
+            "L1 misses vs n^3/(q_1 B_1 sqrt(C_1))",
+            rfw.cache_complexity(1) as f64,
+            {
+                let q1 = spec.caches_at(1) as f64;
+                (n as f64).powi(3)
+                    / (q1 * spec.level(1).block as f64 * (spec.level(1).capacity as f64).sqrt())
+            },
+        );
         let mut ge_in = rand_f64(9, n * n);
         for i in 0..n {
             ge_in[i * n + i] += 2.0 * n as f64;
@@ -66,12 +69,21 @@ fn main() {
     val("naive ijk triple loop", rn.cache_complexity(1) as f64);
     let (tl, _) = tiled_matmul_program(&a, &b, n, 16);
     let rt = run_serial(&tl, &spec);
-    val("resource-aware tiled (tile=16, tuned to C1)", rt.cache_complexity(1) as f64);
+    val(
+        "resource-aware tiled (tile=16, tuned to C1)",
+        rt.cache_complexity(1) as f64,
+    );
     let (tl2, _) = tiled_matmul_program(&a, &b, n, 4);
     let rt2 = run_serial(&tl2, &spec);
-    val("resource-aware tiled (tile=4, mistuned)", rt2.cache_complexity(1) as f64);
+    val(
+        "resource-aware tiled (tile=4, mistuned)",
+        rt2.cache_complexity(1) as f64,
+    );
     let mp = matmul_program(&a, &b, n);
     let rm = run_serial(&mp.program, &spec);
-    val("I-GEP (oblivious: no tuning parameter)", rm.cache_complexity(1) as f64);
+    val(
+        "I-GEP (oblivious: no tuning parameter)",
+        rm.cache_complexity(1) as f64,
+    );
     println!("  (the oblivious recursion matches the tuned tile without knowing C1)");
 }

@@ -19,7 +19,11 @@ fn main() {
             let nf = n as f64;
             let logn = nf.log2();
             // Work is Θ(n log n) across the contraction levels.
-            row("parallel steps vs (n/p) log n", r.makespan as f64, nf * logn / p);
+            row(
+                "parallel steps vs (n/p) log n",
+                r.makespan as f64,
+                nf * logn / p,
+            );
             for level in 1..=spec.cache_levels() {
                 let qi = spec.caches_at(level) as f64;
                 let bi = spec.level(level).block as f64;
@@ -40,6 +44,9 @@ fn main() {
         let (bp, _) = serial_chase_program(&succ);
         let rb = run_serial(&bp, &spec);
         val("serial chase steps (no parallelism)", rb.makespan as f64);
-        val("serial chase L1 misses (~1 per hop)", rb.cache_complexity(1) as f64);
+        val(
+            "serial chase L1 misses (~1 per hop)",
+            rb.cache_complexity(1) as f64,
+        );
     }
 }

@@ -18,8 +18,11 @@ fn main() {
     }
     println!("\ncapacity constraint C_i >= p_i * C_(i-1):");
     for i in 2..=spec.cache_levels() {
-        let (ci, ci1, pi) =
-            (spec.level(i).capacity, spec.level(i - 1).capacity, spec.level(i).fanout);
+        let (ci, ci1, pi) = (
+            spec.level(i).capacity,
+            spec.level(i - 1).capacity,
+            spec.level(i).fanout,
+        );
         println!("  C_{i} = {ci} >= p_{i} * C_{} = {}", i - 1, pi * ci1);
     }
     println!(

@@ -16,7 +16,10 @@ fn main() {
         let kappa = 4;
         let d = fw_instance(n, 3);
         let (m, _) = ngep_program(&d, n, kappa, fw, UpdateSet::All, DOrder::DStar);
-        println!("\nn = {n} (kappa = {kappa}, N = {} PEs):", (n / kappa) * (n / kappa));
+        println!(
+            "\nn = {n} (kappa = {kappa}, N = {} PEs):",
+            (n / kappa) * (n / kappa)
+        );
         val("supersteps", m.supersteps() as f64);
         for (p, b) in [(4usize, 4usize), (16, 4), (16, 16)] {
             if p > (n / kappa) * (n / kappa) {
@@ -26,7 +29,11 @@ fn main() {
             let pred = (n * n) as f64 / ((p as f64).sqrt() * b as f64);
             row(&format!("comm p={p} B={b} vs n^2/(sqrt(p) B)"), comm, pred);
             let compute = m.computation_complexity(p) as f64;
-            row(&format!("comp p={p} vs n^3/p"), compute, (n * n * n) as f64 / p as f64);
+            row(
+                &format!("comp p={p} vs n^3/p"),
+                compute,
+                (n * n * n) as f64 / p as f64,
+            );
         }
         // D-BSP with geometric bandwidth/block profiles: g_i halves and
         // B_i shrinks toward the leaves (as in the theorem's premise).

@@ -17,7 +17,11 @@ fn main() {
         let (m, labels) = no_cc(n, &edges);
         assert!(labels.iter().all(|&l| l == 0), "one cycle => one component");
         let nn = (n + edges.len()) as f64;
-        println!("\nn = {n}, m = {} ({} supersteps):", edges.len(), m.supersteps());
+        println!(
+            "\nn = {n}, m = {} ({} supersteps):",
+            edges.len(),
+            m.supersteps()
+        );
         for (p, b) in [(16usize, 1usize), (16, 8), (64, 8)] {
             let comm = m.communication_complexity(p, b) as f64;
             row(

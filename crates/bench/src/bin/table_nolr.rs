@@ -7,7 +7,9 @@ fn random_list(n: usize, seed: u64) -> Vec<u64> {
     let mut order: Vec<usize> = (0..n).collect();
     let mut x = seed | 1;
     for i in (1..n).rev() {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = ((x >> 33) as usize) % (i + 1);
         order.swap(i, j);
     }
@@ -27,10 +29,18 @@ fn main() {
         for (p, b) in [(16usize, 1usize), (16, 8), (64, 1)] {
             let comm = m.communication_complexity(p, b) as f64;
             // Thm 9 leading term: n/(pB) (the contraction volume).
-            row(&format!("comm p={p} B={b} vs n/(pB)"), comm, n as f64 / (p * b) as f64);
+            row(
+                &format!("comm p={p} B={b} vs n/(pB)"),
+                comm,
+                n as f64 / (p * b) as f64,
+            );
         }
         let comp = m.computation_complexity(16) as f64;
-        row("comp p=16 vs (n/p) log n", comp, (n as f64 / 16.0) * (n as f64).log2());
+        row(
+            "comp p=16 vs (n/p) log n",
+            comp,
+            (n as f64 / 16.0) * (n as f64).log2(),
+        );
         // D-BSP time under a geometric profile.
         let p = 16usize;
         let logp = p.trailing_zeros() as usize;

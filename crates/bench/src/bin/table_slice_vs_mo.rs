@@ -14,21 +14,27 @@ use mo_algorithms::sort::sort_program;
 use mo_bench::{header, rand_f64, rand_u64, run_flat, run_mo, val};
 
 fn main() {
-    header("§II", "MO hints vs hint-ignoring greedy: shared-cache misses");
+    header(
+        "§II",
+        "MO hints vs hint-ignoring greedy: shared-cache misses",
+    );
     let spec = hm_model::MachineSpec::example_h5();
     println!("machine: {spec}\n");
 
     let n = 1 << 12;
-    let signal: Vec<(f64, f64)> =
-        (0..n).map(|t| ((t as f64 * 0.3).sin(), (t as f64 * 0.7).cos())).collect();
+    let signal: Vec<(f64, f64)> = (0..n)
+        .map(|t| ((t as f64 * 0.3).sin(), (t as f64 * 0.7).cos()))
+        .collect();
     let fft = fft_program(&signal);
     let sort = sort_program(&rand_u64(5, n, u64::MAX >> 20));
     let nm = 64;
     let mm = matmul_program(&rand_f64(1, nm * nm), &rand_f64(2, nm * nm), nm);
 
-    for (what, prog) in
-        [("MO-FFT (n=4096)", &fft.program), ("sort (n=4096)", &sort.program), ("I-GEP matmul (n=64)", &mm.program)]
-    {
+    for (what, prog) in [
+        ("MO-FFT (n=4096)", &fft.program),
+        ("sort (n=4096)", &sort.program),
+        ("I-GEP matmul (n=64)", &mm.program),
+    ] {
         let mo = run_mo(prog, &spec);
         let flat = run_flat(prog, &spec);
         println!("{what}:");

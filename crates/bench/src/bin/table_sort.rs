@@ -44,7 +44,13 @@ fn main() {
     assert!(out.windows(2).all(|w| w[0] <= w[1]));
     for (p, b) in [(16usize, 4usize), (16, 16), (64, 4)] {
         let comm = m.communication_complexity(p, b) as f64;
-        row(&format!("comm p={p} B={b} vs n/(pB) per pass"), comm, n as f64 / (p * b) as f64);
+        row(
+            &format!("comm p={p} B={b} vs n/(pB) per pass"),
+            comm,
+            n as f64 / (p * b) as f64,
+        );
     }
-    println!("  (column sort runs a polylog number of passes; the paper notes the NO sort is slower)");
+    println!(
+        "  (column sort runs a polylog number of passes; the paper notes the NO sort is slower)"
+    );
 }

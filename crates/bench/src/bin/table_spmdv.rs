@@ -7,7 +7,10 @@ use mo_baselines::spmdv::{flat_spmdv_program, natural_mesh};
 use mo_bench::{header, row, run_mo, val};
 
 fn main() {
-    header("F4/T4", "MO-SpM-DV with n^(1/2)-edge-separator meshes (Fig. 4, Thm 4)");
+    header(
+        "F4/T4",
+        "MO-SpM-DV with n^(1/2)-edge-separator meshes (Fig. 4, Thm 4)",
+    );
     for (name, spec) in mo_bench::machines() {
         println!("\n--- machine: {name} ---");
         let p = spec.cores() as f64;
@@ -19,10 +22,14 @@ fn main() {
             let r = run_mo(&sp.program, &spec);
             println!("mesh {side}x{side} (n = {n}, nnz = {}):", m.nnz());
             let nf = n as f64;
-            row("parallel steps vs n/p + B1 + log(n/B1)", r.makespan as f64, {
-                let b1 = spec.level(1).block as f64;
-                nf / p + b1 + (nf / b1).log2()
-            });
+            row(
+                "parallel steps vs n/p + B1 + log(n/B1)",
+                r.makespan as f64,
+                {
+                    let b1 = spec.level(1).block as f64;
+                    nf / p + b1 + (nf / b1).log2()
+                },
+            );
             for level in 1..=spec.cache_levels() {
                 let qi = spec.caches_at(level) as f64;
                 let bi = spec.level(level).block as f64;
@@ -37,11 +44,15 @@ fn main() {
                 let rows = natural_mesh(side);
                 let (bp, _) = flat_spmdv_program(&rows, &x);
                 let rb = run_mo(&bp, &spec);
-                val("natural-order baseline L1 misses", rb.cache_complexity(1) as f64);
-                val("separator-ordered MO L1 misses", r.cache_complexity(1) as f64);
-                println!(
-                    "  (the separator ordering keeps the x-window local; Thm 4 needs it)"
+                val(
+                    "natural-order baseline L1 misses",
+                    rb.cache_complexity(1) as f64,
                 );
+                val(
+                    "separator-ordered MO L1 misses",
+                    r.cache_complexity(1) as f64,
+                );
+                println!("  (the separator ordering keeps the x-window local; Thm 4 needs it)");
             }
         }
     }

@@ -46,7 +46,10 @@ fn print_rows(rows: &[Row]) {
 }
 
 fn main() {
-    header("TabII", "summary of results (Table II): ratio stability across scale");
+    header(
+        "TabII",
+        "summary of results (Table II): ratio stability across scale",
+    );
     let spec = default_machine();
     let p = spec.cores() as f64;
     let (q2, b2) = (spec.caches_at(2) as f64, spec.level(2).block as f64);
@@ -80,7 +83,12 @@ fn main() {
             cm.1 = nr;
         }
     }
-    rows.push(Row { problem: "prefix sum", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+    rows.push(Row {
+        problem: "prefix sum",
+        time_ratios: t,
+        cache_ratios: c,
+        comm_ratios: cm,
+    });
 
     // --- matrix transposition ---
     let mut t = (0.0, 0.0);
@@ -105,7 +113,12 @@ fn main() {
             cm.1 = nr;
         }
     }
-    rows.push(Row { problem: "matrix transposition", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+    rows.push(Row {
+        problem: "matrix transposition",
+        time_ratios: t,
+        cache_ratios: c,
+        comm_ratios: cm,
+    });
 
     // --- matrix multiplication (GEP row shares these bounds) ---
     let mut t = (0.0, 0.0);
@@ -132,7 +145,12 @@ fn main() {
             cm.1 = nr;
         }
     }
-    rows.push(Row { problem: "matmul / GEP", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+    rows.push(Row {
+        problem: "matmul / GEP",
+        time_ratios: t,
+        cache_ratios: c,
+        comm_ratios: cm,
+    });
 
     // --- FFT ---
     let mut t = (0.0, 0.0);
@@ -144,7 +162,8 @@ fn main() {
         let r = run_mo(&fp.program, &spec);
         let nf = n as f64;
         let tr = r.makespan as f64 / (nf * nf.log2() / p);
-        let cr = r.cache_complexity(2) as f64 / ((nf / (q2 * b2)) * (nf.log2() / c2.log2()).max(1.0));
+        let cr =
+            r.cache_complexity(2) as f64 / ((nf / (q2 * b2)) * (nf.log2() / c2.log2()).max(1.0));
         let (m, _) = no_fft(&sig);
         let nr = m.communication_complexity(np, nb) as f64
             / ((nf / (np * nb) as f64) * (nf.ln() / ((n / np) as f64).ln()));
@@ -158,7 +177,12 @@ fn main() {
             cm.1 = nr;
         }
     }
-    rows.push(Row { problem: "FFT", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+    rows.push(Row {
+        problem: "FFT",
+        time_ratios: t,
+        cache_ratios: c,
+        comm_ratios: cm,
+    });
 
     // --- sorting ---
     let mut t = (0.0, 0.0);
@@ -170,7 +194,8 @@ fn main() {
         let r = run_mo(&sp.program, &spec);
         let nf = n as f64;
         let tr = r.makespan as f64 / (nf * nf.log2() / p);
-        let cr = r.cache_complexity(2) as f64 / ((nf / (q2 * b2)) * (nf.log2() / c2.log2()).max(1.0));
+        let cr =
+            r.cache_complexity(2) as f64 / ((nf / (q2 * b2)) * (nf.log2() / c2.log2()).max(1.0));
         let (m, _) = no_sort(&data);
         let nr = m.communication_complexity(np, nb) as f64 / (nf / (np * nb) as f64);
         if k == 0 {
@@ -183,7 +208,12 @@ fn main() {
             cm.1 = nr;
         }
     }
-    rows.push(Row { problem: "sorting", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+    rows.push(Row {
+        problem: "sorting",
+        time_ratios: t,
+        cache_ratios: c,
+        comm_ratios: cm,
+    });
 
     // --- list ranking ---
     let mut t = (0.0, 0.0);
@@ -195,7 +225,8 @@ fn main() {
         let r = run_mo(&lp.program, &spec);
         let nf = n as f64;
         let tr = r.makespan as f64 / (nf * nf.log2() / p);
-        let cr = r.cache_complexity(2) as f64 / ((nf / (q2 * b2)) * (nf.log2() / c2.log2()).max(1.0));
+        let cr =
+            r.cache_complexity(2) as f64 / ((nf / (q2 * b2)) * (nf.log2() / c2.log2()).max(1.0));
         let mut s2 = succ.clone();
         for v in s2.iter_mut() {
             if *v == n as u64 {
@@ -214,7 +245,12 @@ fn main() {
             cm.1 = nr;
         }
     }
-    rows.push(Row { problem: "list ranking", time_ratios: t, cache_ratios: c, comm_ratios: cm });
+    rows.push(Row {
+        problem: "list ranking",
+        time_ratios: t,
+        cache_ratios: c,
+        comm_ratios: cm,
+    });
 
     println!("machine: {spec}");
     println!("NO evaluation point: M(p = {np}, B = {nb})\n");

@@ -21,7 +21,11 @@ fn main() {
             let r = run_mo(&mt.program, &spec);
             println!("n = {n}:");
             let n2 = (n * n) as f64;
-            row("parallel steps vs n^2/p + B1", r.makespan as f64, 4.0 * n2 / p + b1);
+            row(
+                "parallel steps vs n^2/p + B1",
+                r.makespan as f64,
+                4.0 * n2 / p + b1,
+            );
             for level in 1..=spec.cache_levels() {
                 let qi = spec.caches_at(level) as f64;
                 let bi = spec.level(level).block as f64;
@@ -37,9 +41,18 @@ fn main() {
                 let (rec, _) = recursive_transpose_program(&data, n);
                 let rn = run_serial(&nav, &spec);
                 let rr = run_mo(&rec, &spec);
-                val("naive baseline L1 misses (thrashes ~n^2)", rn.cache_complexity(1) as f64);
-                val("recursive CO baseline L1 misses", rr.cache_complexity(1) as f64);
-                val("recursive CO baseline steps (Θ(log n) depth)", rr.makespan as f64);
+                val(
+                    "naive baseline L1 misses (thrashes ~n^2)",
+                    rn.cache_complexity(1) as f64,
+                );
+                val(
+                    "recursive CO baseline L1 misses",
+                    rr.cache_complexity(1) as f64,
+                );
+                val(
+                    "recursive CO baseline steps (Θ(log n) depth)",
+                    rr.makespan as f64,
+                );
                 val("MO-MT steps (O(B1) depth)", r.makespan as f64);
             }
         }

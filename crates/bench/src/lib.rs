@@ -74,8 +74,14 @@ pub fn header(id: &str, what: &str) {
 
 /// One measured-vs-predicted row.
 pub fn row(label: &str, measured: f64, predicted: f64) {
-    let ratio = if predicted > 0.0 { measured / predicted } else { f64::NAN };
-    println!("  {label:<44} measured {measured:>12.0}  Θ-pred {predicted:>12.0}  ratio {ratio:>7.2}");
+    let ratio = if predicted > 0.0 {
+        measured / predicted
+    } else {
+        f64::NAN
+    };
+    println!(
+        "  {label:<44} measured {measured:>12.0}  Θ-pred {predicted:>12.0}  ratio {ratio:>7.2}"
+    );
 }
 
 /// A plain annotated value.
@@ -83,12 +89,38 @@ pub fn val(label: &str, v: f64) {
     println!("  {label:<44} {v:>12.2}");
 }
 
+/// A dependency-free micro-benchmark timer for the `benches/` targets
+/// (the container has no criterion): adaptive iteration count, median of
+/// several timed batches, `ns/iter` output.
+pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) {
+    use std::hint::black_box;
+    use std::time::Instant;
+    // Warm up and size the batch to ~25 ms.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().as_nanos().max(1);
+    let iters = ((25_000_000 / once) as usize).clamp(1, 1 << 20);
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples.push(t.elapsed().as_nanos() / iters as u128);
+    }
+    samples.sort_unstable();
+    let med = samples[samples.len() / 2];
+    println!("  {label:<44} {med:>12} ns/iter   ({iters} iters x 5)");
+}
+
 /// Deterministic pseudo-random u64s.
 pub fn rand_u64(seed: u64, n: usize, modulus: u64) -> Vec<u64> {
     let mut x = seed | 1;
     (0..n)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) % modulus
         })
         .collect()
@@ -99,7 +131,9 @@ pub fn rand_f64(seed: u64, n: usize) -> Vec<f64> {
     let mut x = seed | 1;
     (0..n)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 40) as f64) / 1024.0 + 0.25
         })
         .collect()

@@ -29,7 +29,10 @@ impl Arr {
     /// A sub-range `[start, start + len)` of this region.
     pub fn sub(&self, start: usize, len: usize) -> Arr {
         assert!(start + len <= self.len, "sub-range out of bounds");
-        Arr { off: self.off + start as u64, len }
+        Arr {
+            off: self.off + start as u64,
+            len,
+        }
     }
 
     /// Split into two halves at `mid`.
@@ -59,7 +62,12 @@ impl Mat {
     /// View `arr` as a `rows × cols` row-major matrix (tight stride).
     pub fn new(arr: Arr, rows: usize, cols: usize) -> Mat {
         assert!(rows * cols <= arr.len, "matrix does not fit the array");
-        Mat { off: arr.off, rows, cols, stride: cols }
+        Mat {
+            off: arr.off,
+            rows,
+            cols,
+            stride: cols,
+        }
     }
 
     /// Word address of element `(i, j)`.
@@ -71,14 +79,25 @@ impl Mat {
 
     /// A rectangular sub-view with origin `(i, j)` and shape `r × c`.
     pub fn view(&self, i: usize, j: usize, r: usize, c: usize) -> Mat {
-        assert!(i + r <= self.rows && j + c <= self.cols, "view out of bounds");
-        Mat { off: self.addr(i, j), rows: r, cols: c, stride: self.stride }
+        assert!(
+            i + r <= self.rows && j + c <= self.cols,
+            "view out of bounds"
+        );
+        Mat {
+            off: self.addr(i, j),
+            rows: r,
+            cols: c,
+            stride: self.stride,
+        }
     }
 
     /// Row `i` as a 1-D handle (contiguous within the row).
     pub fn row(&self, i: usize) -> Arr {
         assert!(i < self.rows);
-        Arr { off: self.addr(i, 0), len: self.cols }
+        Arr {
+            off: self.addr(i, 0),
+            len: self.cols,
+        }
     }
 
     /// The four quadrants `(X11, X12, X21, X22)` of a square

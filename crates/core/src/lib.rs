@@ -47,7 +47,11 @@ mod record;
 pub mod rt;
 pub mod sched;
 mod trace;
+pub mod verify;
 
 pub use arr::{Arr, Mat};
-pub use record::{spawn, ForkHint, Program, ProgramStats, Recorder, Segment, Spawn, TaskId, TaskNode};
+pub use record::{
+    spawn, ForkHint, Program, ProgramStats, Recorder, Segment, Spawn, TaskId, TaskNode,
+};
 pub use trace::TraceEntry;
+pub use verify::{verify, HintViolation, Race, RaceKind, VerifyReport};

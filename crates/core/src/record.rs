@@ -170,8 +170,13 @@ impl Program {
                 match seg {
                     Segment::Compute { .. } => st.compute_segments += 1,
                     Segment::CgcLoop { .. } => st.cgc_loops += 1,
-                    Segment::Fork { hint: ForkHint::Sb, .. } => st.sb_forks += 1,
-                    Segment::Fork { hint: ForkHint::CgcSb, .. } => st.cgcsb_forks += 1,
+                    Segment::Fork {
+                        hint: ForkHint::Sb, ..
+                    } => st.sb_forks += 1,
+                    Segment::Fork {
+                        hint: ForkHint::CgcSb,
+                        ..
+                    } => st.cgcsb_forks += 1,
                 }
             }
         }
@@ -187,7 +192,10 @@ pub struct Spawn<'a> {
 
 /// Build a [`Spawn`] from a space bound and a body.
 pub fn spawn<'a>(space: usize, body: impl FnOnce(&mut Recorder) + 'a) -> Spawn<'a> {
-    Spawn { space, body: Box::new(body) }
+    Spawn {
+        space,
+        body: Box::new(body),
+    }
 }
 
 /// Sanity cap on the task DAG size; recording beyond this aborts rather
@@ -214,12 +222,21 @@ pub struct Recorder {
     in_cgc: bool,
     /// Allocation alignment in words.
     align: usize,
+    /// Space bounds by task id that take precedence over the bounds the
+    /// algorithm declares (empty outside measured re-recording).
+    space_overrides: Vec<usize>,
 }
+
+/// Stack size for the recording thread. Recording recurses natively with
+/// the algorithm (one native frame per fork level), so deep sequential
+/// spawn chains need far more stack than the 2 MiB a test thread gets;
+/// the reservation is virtual memory and costs nothing until touched.
+const RECORD_STACK: usize = 256 << 20;
 
 impl Recorder {
     /// Record a program: `root_space` is the root task's space bound and
     /// `body` the algorithm.
-    pub fn record(root_space: usize, body: impl FnOnce(&mut Recorder)) -> Program {
+    pub fn record(root_space: usize, body: impl FnOnce(&mut Recorder) + Send) -> Program {
         Self::record_aligned(root_space, 64, body)
     }
 
@@ -229,29 +246,88 @@ impl Recorder {
     pub fn record_aligned(
         root_space: usize,
         align: usize,
-        body: impl FnOnce(&mut Recorder),
+        body: impl FnOnce(&mut Recorder) + Send,
+    ) -> Program {
+        Self::record_impl(root_space, align, Vec::new(), body)
+    }
+
+    /// Record a program with *measured* space bounds.
+    ///
+    /// Algorithms with data-dependent task trees (sorting, list and graph
+    /// contraction) cannot state exact per-task space analytically: the
+    /// size of a recursive subproblem depends on the data (sample
+    /// dedup, bucket occupancy, independent-set size, …). This helper
+    /// records the deterministic `body` twice: a scouting pass using the
+    /// provisional bounds declared at each [`fork`](Recorder::fork), from
+    /// which [`crate::verify::measured_bounds`] measures every task's true
+    /// subtree footprint (equalized across CGC⇒SB batches), and a final
+    /// pass in which those measured bounds replace the provisional ones.
+    /// The resulting program always passes the [`crate::verify`] space
+    /// lints; the race detector is unaffected (races do not depend on
+    /// declared bounds).
+    pub fn record_measured(
+        root_space: usize,
+        mut body: impl FnMut(&mut Recorder) + Send,
+    ) -> Program {
+        let scout = Self::record_impl(root_space, 64, Vec::new(), &mut body);
+        let bounds = crate::verify::measured_bounds(&scout);
+        Self::record_impl(root_space, 64, bounds, body)
+    }
+
+    fn record_impl(
+        root_space: usize,
+        align: usize,
+        space_overrides: Vec<usize>,
+        body: impl FnOnce(&mut Recorder) + Send,
     ) -> Program {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
-        let mut rec = Recorder {
-            mem: Vec::new(),
-            trace: Vec::new(),
-            tasks: vec![TaskNode { space: root_space, segments: Vec::new(), parent: None }],
-            stack: vec![0],
-            pending_start: 0,
-            in_cgc: false,
-            align,
-        };
-        body(&mut rec);
-        rec.close_pending();
-        debug_assert_eq!(rec.stack.len(), 1);
-        Program { mem: rec.mem, trace: rec.trace, tasks: rec.tasks }
+        let root = space_overrides.first().copied().unwrap_or(root_space);
+        // Recording runs on its own big-stack thread (see [`RECORD_STACK`]);
+        // panics from the body are re-raised on the caller's thread.
+        std::thread::scope(|s| {
+            let handle = std::thread::Builder::new()
+                .name("mo-record".into())
+                .stack_size(RECORD_STACK)
+                .spawn_scoped(s, move || {
+                    let mut rec = Recorder {
+                        mem: Vec::new(),
+                        trace: Vec::new(),
+                        tasks: vec![TaskNode {
+                            space: root,
+                            segments: Vec::new(),
+                            parent: None,
+                        }],
+                        stack: vec![0],
+                        pending_start: 0,
+                        in_cgc: false,
+                        align,
+                        space_overrides,
+                    };
+                    body(&mut rec);
+                    rec.close_pending();
+                    debug_assert_eq!(rec.stack.len(), 1);
+                    Program {
+                        mem: rec.mem,
+                        trace: rec.trace,
+                        tasks: rec.tasks,
+                    }
+                })
+                .expect("failed to spawn recording thread");
+            match handle.join() {
+                Ok(prog) => prog,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        })
     }
 
     /// Allocate `len` words of zeroed simulated memory.
     pub fn alloc(&mut self, len: usize) -> Arr {
         let off = self.mem.len().div_ceil(self.align) * self.align;
         self.mem.resize(off + len, 0);
-        Arr { off: off as u64, len }
+        Arr {
+            off: off as u64,
+            len,
+        }
     }
 
     /// Allocate and initialize from `data` **without tracing**: the data
@@ -368,10 +444,14 @@ impl Recorder {
         self.close_pending();
         let mut ids = Vec::with_capacity(children.len());
         for child in children {
-            assert!(self.tasks.len() < MAX_TASKS, "task DAG too large; add a base-case grain");
+            assert!(
+                self.tasks.len() < MAX_TASKS,
+                "task DAG too large; add a base-case grain"
+            );
             let id = self.tasks.len();
+            let space = self.space_overrides.get(id).copied().unwrap_or(child.space);
             self.tasks.push(TaskNode {
-                space: child.space,
+                space,
                 segments: Vec::new(),
                 parent: Some(*self.stack.last().unwrap()),
             });
@@ -383,7 +463,10 @@ impl Recorder {
             ids.push(id);
         }
         let tid = *self.stack.last().unwrap();
-        self.tasks[tid].segments.push(Segment::Fork { hint, children: ids });
+        self.tasks[tid].segments.push(Segment::Fork {
+            hint,
+            children: ids,
+        });
         self.pending_start = self.trace.len();
     }
 
@@ -409,9 +492,10 @@ impl Recorder {
         let end = self.trace.len();
         if end > self.pending_start {
             let tid = *self.stack.last().unwrap();
-            self.tasks[tid]
-                .segments
-                .push(Segment::Compute { start: self.pending_start, end });
+            self.tasks[tid].segments.push(Segment::Compute {
+                start: self.pending_start,
+                end,
+            });
         }
         self.pending_start = end;
     }
@@ -433,7 +517,10 @@ mod tests {
         });
         assert_eq!(prog.tasks().len(), 1);
         assert_eq!(prog.tasks()[0].segments.len(), 1);
-        assert!(matches!(prog.tasks()[0].segments[0], Segment::Compute { start: 0, end: 3 }));
+        assert!(matches!(
+            prog.tasks()[0].segments[0],
+            Segment::Compute { start: 0, end: 3 }
+        ));
         let a = handle.unwrap();
         assert_eq!(prog.get(a, 0), 7);
         assert_eq!(prog.get(a, 1), 8);
@@ -541,7 +628,13 @@ mod tests {
         let _ = Recorder::record(16, |rec| {
             let a = rec.alloc(2);
             rec.cgc_for(2, |rec, _| {
-                rec.fork2(ForkHint::Sb, 1, |r| r.write(a, 0, 1), 1, |r| r.write(a, 1, 1));
+                rec.fork2(
+                    ForkHint::Sb,
+                    1,
+                    |r| r.write(a, 0, 1),
+                    1,
+                    |r| r.write(a, 1, 1),
+                );
             });
         });
     }
@@ -564,10 +657,13 @@ mod tests {
                     r.write(b, 0, 2);
                 },
             );
-            rec.fork(ForkHint::CgcSb, vec![spawn(8, |r: &mut Recorder| {
-                let b = r.alloc(1);
-                r.write(b, 0, 3);
-            })]);
+            rec.fork(
+                ForkHint::CgcSb,
+                vec![spawn(8, |r: &mut Recorder| {
+                    let b = r.alloc(1);
+                    r.write(b, 0, 3);
+                })],
+            );
         });
         let st = prog.stats();
         assert_eq!(st.tasks, 4);

@@ -24,9 +24,7 @@
 //! serialization cutoff — below the cutoff no thread is ever created.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicIsize, Ordering};
-
-use parking_lot::RwLock;
+use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering};
 
 /// One level of the real machine's hierarchy (capacity in *words*, i.e.
 /// `u64`-sized units, to match the simulator's convention).
@@ -56,15 +54,23 @@ impl HwHierarchy {
     /// under a shared cache of `shared_words`.
     pub fn flat(cores: usize, l1_words: usize, shared_words: usize) -> Self {
         Self::new(vec![
-            HwLevel { capacity: l1_words, fanout: 1 },
-            HwLevel { capacity: shared_words, fanout: cores.max(1) },
+            HwLevel {
+                capacity: l1_words,
+                fanout: 1,
+            },
+            HwLevel {
+                capacity: shared_words,
+                fanout: cores.max(1),
+            },
         ])
     }
 
     /// Best-effort detection: `available_parallelism` cores, a 32 KiB L1
     /// and an 8 MiB shared last-level cache (the common desktop shape).
     pub fn detect() -> Self {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Self::flat(cores, 32 * 1024 / 8, 8 * 1024 * 1024 / 8)
     }
 
@@ -95,6 +101,14 @@ pub struct RtStats {
     pub denied_forks: u64,
 }
 
+/// Lock-free fork counters backing [`RtStats`].
+#[derive(Debug, Default)]
+struct StatCells {
+    parallel_forks: AtomicU64,
+    serial_forks: AtomicU64,
+    denied_forks: AtomicU64,
+}
+
 /// A space-bound fork–join pool over the real machine.
 #[derive(Debug)]
 pub struct SbPool {
@@ -102,14 +116,18 @@ pub struct SbPool {
     /// Remaining core permits (may briefly go negative under races; only
     /// `try_acquire`'s check is gated).
     permits: AtomicIsize,
-    stats: RwLock<RtStats>,
+    stats: StatCells,
 }
 
 impl SbPool {
     /// Create a pool for `hier`.
     pub fn new(hier: HwHierarchy) -> Self {
         let cores = hier.cores() as isize;
-        Self { hier, permits: AtomicIsize::new(cores - 1), stats: RwLock::new(RtStats::default()) }
+        Self {
+            hier,
+            permits: AtomicIsize::new(cores - 1),
+            stats: StatCells::default(),
+        }
     }
 
     /// Pool over the detected machine.
@@ -124,19 +142,27 @@ impl SbPool {
 
     /// Statistics of the forks taken so far.
     pub fn stats(&self) -> RtStats {
-        *self.stats.read()
+        RtStats {
+            parallel_forks: self.stats.parallel_forks.load(Ordering::Relaxed),
+            serial_forks: self.stats.serial_forks.load(Ordering::Relaxed),
+            denied_forks: self.stats.denied_forks.load(Ordering::Relaxed),
+        }
     }
 
     /// Run a root task. The context it receives exposes `join` and `pfor`.
     pub fn run<R: Send>(&self, f: impl FnOnce(&Ctx<'_>) -> R + Send) -> R {
-        *self.stats.write() = RtStats::default();
+        self.stats.parallel_forks.store(0, Ordering::Relaxed);
+        self.stats.serial_forks.store(0, Ordering::Relaxed);
+        self.stats.denied_forks.store(0, Ordering::Relaxed);
         let ctx = Ctx { pool: self };
         f(&ctx)
     }
 
     fn try_acquire(&self) -> bool {
         self.permits
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| (p > 0).then(|| p - 1))
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| {
+                (p > 0).then(|| p - 1)
+            })
             .is_ok()
     }
 
@@ -176,14 +202,17 @@ impl<'p> Ctx<'p> {
         let cutoff = self.pool.hier.l1_capacity();
         if space_a.max(space_b) <= cutoff {
             // Both children would anchor at one private cache: serialize.
-            self.pool.stats.write().serial_forks += 1;
+            self.pool.stats.serial_forks.fetch_add(1, Ordering::Relaxed);
             return (fa(self), fb(self));
         }
         if !self.pool.try_acquire() {
-            self.pool.stats.write().denied_forks += 1;
+            self.pool.stats.denied_forks.fetch_add(1, Ordering::Relaxed);
             return (fa(self), fb(self));
         }
-        self.pool.stats.write().parallel_forks += 1;
+        self.pool
+            .stats
+            .parallel_forks
+            .fetch_add(1, Ordering::Relaxed);
         let pool = self.pool;
         let out = std::thread::scope(|s| {
             let hb = s.spawn(move || {
@@ -265,9 +294,7 @@ mod tests {
     #[test]
     fn join_returns_both_results() {
         let p = pool();
-        let (a, b) = p.run(|ctx| {
-            ctx.join(1 << 16, |_| 21u32, 1 << 16, |_| 2u32)
-        });
+        let (a, b) = p.run(|ctx| ctx.join(1 << 16, |_| 21u32, 1 << 16, |_| 2u32));
         assert_eq!(a * b, 42);
     }
 
@@ -298,8 +325,7 @@ mod tests {
                 return data.iter().sum();
             }
             let (l, r) = data.split_at(data.len() / 2);
-            let (a, b) =
-                ctx.join(l.len() * 8, |c| sum(c, l), r.len() * 8, |c| sum(c, r));
+            let (a, b) = ctx.join(l.len() * 8, |c| sum(c, l), r.len() * 8, |c| sum(c, r));
             a + b
         }
         let data: Vec<u64> = (0..100_000u64).collect();
@@ -365,8 +391,9 @@ mod tests {
     fn join_all_preserves_order() {
         let p = pool();
         let out = p.run(|ctx| {
-            let fs: Jobs<'_, usize> =
-                (0..9usize).map(|i| Box::new(move |_: &Ctx<'_>| i * i) as _).collect();
+            let fs: Jobs<'_, usize> = (0..9usize)
+                .map(|i| Box::new(move |_: &Ctx<'_>| i * i) as _)
+                .collect();
             ctx.join_all(1 << 14, fs)
         });
         assert_eq!(out, (0..9).map(|i| i * i).collect::<Vec<_>>());

@@ -146,7 +146,9 @@ impl<'p> Engine<'p> {
             core_busy: vec![0; topo.cores()],
             used: (1..=levels).map(|i| vec![0; spec.caches_at(i)]).collect(),
             load: (1..=levels).map(|i| vec![0; spec.caches_at(i)]).collect(),
-            waiting: (1..=levels).map(|i| vec![VecDeque::new(); spec.caches_at(i)]).collect(),
+            waiting: (1..=levels)
+                .map(|i| vec![VecDeque::new(); spec.caches_at(i)])
+                .collect(),
             events: BinaryHeap::new(),
             seq: 0,
             units: Vec::new(),
@@ -187,7 +189,12 @@ impl<'p> Engine<'p> {
         self.core_free[core] = end;
         self.core_busy[core] += len;
         self.makespan = self.makespan.max(end);
-        self.units.push(Unit { core, start, trace_lo: lo, trace_hi: hi });
+        self.units.push(Unit {
+            core,
+            start,
+            trace_lo: lo,
+            trace_hi: hi,
+        });
         self.seq += 1;
         self.events.push(Reverse((end, self.seq, task)));
     }
@@ -217,9 +224,9 @@ impl<'p> Engine<'p> {
 
     fn least_loaded_under(&self, parent: Anchor, level: usize) -> CacheId {
         let candidates: Vec<CacheId> = match parent {
-            Anchor::Memory => {
-                (0..self.topo.caches_at(level)).map(|j| CacheId::new(level, j)).collect()
-            }
+            Anchor::Memory => (0..self.topo.caches_at(level))
+                .map(|j| CacheId::new(level, j))
+                .collect(),
             Anchor::Cache(c) => self.topo.caches_under(c, level),
         };
         let mut best = candidates[0];
@@ -291,7 +298,9 @@ impl<'p> Engine<'p> {
             return (0..m).map(|c| (parent, ppos * m + c, eff)).collect();
         }
         let caches: Vec<CacheId> = match parent {
-            Anchor::Memory => (0..self.topo.caches_at(t)).map(|x| CacheId::new(t, x)).collect(),
+            Anchor::Memory => (0..self.topo.caches_at(t))
+                .map(|x| CacheId::new(t, x))
+                .collect(),
             Anchor::Cache(c) => self.topo.caches_under(c, t),
         };
         let q = caches.len();
@@ -330,8 +339,9 @@ impl<'p> Engine<'p> {
         let anchor = self.tstate[task].anchor;
         match (self.policy, anchor) {
             (Policy::Mo, Anchor::Cache(c)) => {
-                let parent_anchor =
-                    self.prog.tasks()[task].parent.map(|p| self.tstate[p].anchor);
+                let parent_anchor = self.prog.tasks()[task]
+                    .parent
+                    .map(|p| self.tstate[p].anchor);
                 if parent_anchor == Some(Anchor::Cache(c)) {
                     // Same anchor as parent: footprint is a subset of the
                     // parent's charge; no extra admission needed.
@@ -532,7 +542,11 @@ impl<'p> Engine<'p> {
             // resolution the analysis needs (units are single tasks'
             // private working sets).
             for e in &trace[u.trace_lo..u.trace_hi] {
-                let kind = if e.is_write() { AccessKind::Write } else { AccessKind::Read };
+                let kind = if e.is_write() {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 sys.access(c, e.addr(), kind);
             }
             cursor[c] += 1;
@@ -558,7 +572,22 @@ impl<'p> Engine<'p> {
 /// Returns the virtual makespan (parallel steps), per-cache metrics from
 /// replaying every access through the HM cache hierarchy, and per-core
 /// utilization.
+///
+/// In debug builds every program is first checked by
+/// [`crate::verify::verify`]: the scheduler theorems assume race-free
+/// programs with honest hints, so simulating a program that fails
+/// verification produces numbers with no meaning. The check asserts only
+/// on error-severity findings (races and hint violations), not on
+/// structural warnings.
 pub fn simulate(prog: &Program, spec: &MachineSpec, policy: Policy) -> RunReport {
+    #[cfg(debug_assertions)]
+    {
+        let report = crate::verify::verify(prog);
+        debug_assert!(
+            report.is_clean(),
+            "mo-verify rejected the program:\n{report}"
+        );
+    }
     Engine::new(prog, spec, policy).run()
 }
 
@@ -594,7 +623,7 @@ mod tests {
     #[test]
     fn cgc_short_loop_limits_cores() {
         let n = 16; // B1 = 8 => at most 2 segments
-        // Root space exceeds every cache so its shadow is the whole machine.
+                    // Root space exceeds every cache so its shadow is the whole machine.
         let prog = Recorder::record(1 << 20, |rec| {
             let a = rec.alloc(n);
             rec.cgc_for(n, |rec, k| {

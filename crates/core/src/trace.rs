@@ -14,9 +14,13 @@ const ADDR_MASK: u64 = (1 << 48) - 1;
 
 impl TraceEntry {
     /// Pack an access.
+    ///
+    /// An address above 48 bits would silently corrupt the flag bits, so
+    /// the bound is enforced in **all** builds, not just debug: a trace
+    /// that cannot be represented must not be recorded.
     #[inline]
     pub fn new(addr: u64, write: bool) -> Self {
-        debug_assert!(addr <= ADDR_MASK, "address {addr} exceeds 48 bits");
+        assert!(addr <= ADDR_MASK, "address {addr} exceeds 48 bits");
         TraceEntry(addr | if write { WRITE_BIT } else { 0 })
     }
 
@@ -39,7 +43,12 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        for &(a, w) in &[(0u64, false), (1, true), (ADDR_MASK, true), (123456789, false)] {
+        for &(a, w) in &[
+            (0u64, false),
+            (1, true),
+            (ADDR_MASK, true),
+            (123456789, false),
+        ] {
             let e = TraceEntry::new(a, w);
             assert_eq!(e.addr(), a);
             assert_eq!(e.is_write(), w);
@@ -47,9 +56,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds 48 bits")]
     fn rejects_oversized_address() {
         let _ = TraceEntry::new(ADDR_MASK + 1, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 bits")]
+    fn rejects_address_colliding_with_flag_bit() {
+        let _ = TraceEntry::new(WRITE_BIT, false);
     }
 }

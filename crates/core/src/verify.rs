@@ -1,0 +1,1116 @@
+//! Static verification of recorded programs: a determinacy-race detector
+//! and a scheduler-hint lint pass.
+//!
+//! The paper's scheduler theorems (IPDPS 2010, §III) hold only for
+//! *race-free* fork–join programs whose hints are honest:
+//!
+//! * children declared under an SB or CGC⇒SB fork must not claim more
+//!   space than their parent (anchoring happens *under the parent's
+//!   shadow*, so a child bound exceeding the parent's breaks the shadow
+//!   nesting the proofs rely on);
+//! * a task's actual memory footprint (distinct words touched by it and
+//!   its descendants) must fit its declared space bound `s(τ)` — the
+//!   space admission protocol charges `s(τ)` against the anchor cache, so
+//!   an understated bound silently overflows the cache in the model;
+//! * CGC⇒SB sibling batches must carry *equal* space bounds (§III-C
+//!   distributes "a large number of subtasks with the same space bound");
+//! * CGC loop iterations must be independent (no write conflicts) and
+//!   laid out left-to-right so contiguous iteration segments touch
+//!   contiguous data (§III-A).
+//!
+//! [`verify`] checks all of this *statically* over a recorded
+//! [`Program`] — no machine spec and no re-execution needed. The
+//! determinacy-race detector computes series-parallel relations over the
+//! fork–join DAG with an English/Hebrew interval labeling (two DFS
+//! numberings; two strands are logically parallel iff the numberings
+//! disagree on their order) and sweeps every trace entry through shadow
+//! memory in recorded order, which is exactly the English (left-to-right
+//! depth-first) serial execution order.
+//!
+//! A [`debug_assert!`]-gated hook in [`crate::sched::simulate`] runs the
+//! verifier on every simulated program in debug builds, so a racy or
+//! hint-dishonest algorithm fails loudly long before its (meaningless)
+//! cache-complexity table is admired.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::record::{ForkHint, Program, Segment, TaskId};
+
+/// The flavour of a determinacy race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaceKind {
+    /// Two logically parallel writes to the same word.
+    WriteWrite,
+    /// A write logically parallel with a read of the same word (either
+    /// order in the recorded trace).
+    ReadWrite,
+}
+
+/// A determinacy race between two logically parallel accesses.
+///
+/// `first` is the task of the access that appears earlier in the recorded
+/// (serial, depth-first) order; `second` the later one. For a race between
+/// iterations of one CGC loop both tasks coincide and `first_strand` /
+/// `second_strand` distinguish the iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Race {
+    /// Conflict flavour.
+    pub kind: RaceKind,
+    /// The conflicting word address.
+    pub addr: u64,
+    /// Task of the earlier access.
+    pub first: TaskId,
+    /// Task of the later access.
+    pub second: TaskId,
+    /// Strand index (see [`VerifyReport::strands`]) of the earlier access.
+    pub first_strand: usize,
+    /// Strand index of the later access.
+    pub second_strand: usize,
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::ReadWrite => "read-write",
+        };
+        write!(
+            f,
+            "{kind} race on word {:#x}: task {} (strand {}) ∥ task {} (strand {})",
+            self.addr, self.first, self.first_strand, self.second, self.second_strand
+        )
+    }
+}
+
+/// A violated scheduler-hint invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HintViolation {
+    /// A forked child declares a larger space bound than its parent, so it
+    /// cannot be anchored under the parent's shadow.
+    SpaceNotMonotone {
+        /// The parent task.
+        parent: TaskId,
+        /// The offending child.
+        child: TaskId,
+        /// Parent's declared bound (words).
+        parent_space: usize,
+        /// Child's declared bound (words).
+        child_space: usize,
+    },
+    /// A task (with its descendants) touches more distinct words than its
+    /// declared space bound, defeating space admission.
+    FootprintExceedsBound {
+        /// The offending task.
+        task: TaskId,
+        /// Declared `s(τ)` in words.
+        declared: usize,
+        /// Measured distinct words touched by the task's subtree.
+        measured: usize,
+    },
+    /// Children of one CGC⇒SB fork declare unequal space bounds; §III-C
+    /// requires a batch of equal-size subtasks.
+    CgcSbUnequalSpace {
+        /// The forking task.
+        parent: TaskId,
+        /// Smallest declared child bound.
+        min_space: usize,
+        /// Largest declared child bound.
+        max_space: usize,
+    },
+    /// Two iterations of one CGC loop write the same word (also a
+    /// determinacy race, reported here with loop coordinates).
+    CgcWriteOverlap {
+        /// Task owning the loop.
+        task: TaskId,
+        /// Segment index of the loop within the task.
+        seg: usize,
+        /// The doubly-written word.
+        addr: u64,
+        /// Earlier iteration index.
+        iter_a: usize,
+        /// Later iteration index.
+        iter_b: usize,
+    },
+    /// CGC iteration write regions are not laid out left-to-right: the
+    /// per-iteration minimum (or maximum) written address decreases at
+    /// `iter`, so contiguous iteration segments touch non-contiguous data
+    /// and the §III-A block-boundary argument no longer applies.
+    CgcNonMonotoneLayout {
+        /// Task owning the loop.
+        task: TaskId,
+        /// Segment index of the loop within the task.
+        seg: usize,
+        /// First iteration whose write region steps backwards.
+        iter: usize,
+    },
+    /// A CGC iteration records no memory access at all; empty iterations
+    /// distort the ≥ `B_1`-iterations-per-segment length structure the
+    /// scheduler relies on when chopping the loop.
+    CgcEmptyIteration {
+        /// Task owning the loop.
+        task: TaskId,
+        /// Segment index of the loop within the task.
+        seg: usize,
+        /// First empty iteration index.
+        iter: usize,
+    },
+}
+
+impl HintViolation {
+    /// Whether this finding invalidates the scheduler theorems (an error)
+    /// or merely weakens the constant-factor argument (a warning).
+    pub fn is_error(&self) -> bool {
+        !matches!(
+            self,
+            HintViolation::CgcNonMonotoneLayout { .. } | HintViolation::CgcEmptyIteration { .. }
+        )
+    }
+}
+
+impl fmt::Display for HintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            HintViolation::SpaceNotMonotone {
+                parent,
+                child,
+                parent_space,
+                child_space,
+            } => write!(
+                f,
+                "space bound not monotone: child task {child} declares {child_space} words \
+                 but parent task {parent} declares only {parent_space}"
+            ),
+            HintViolation::FootprintExceedsBound {
+                task,
+                declared,
+                measured,
+            } => write!(
+                f,
+                "footprint exceeds bound: task {task} declares s(τ) = {declared} words \
+                 but touches {measured} distinct words"
+            ),
+            HintViolation::CgcSbUnequalSpace {
+                parent,
+                min_space,
+                max_space,
+            } => write!(
+                f,
+                "CGC⇒SB batch of task {parent} has unequal child bounds ({min_space}..{max_space})"
+            ),
+            HintViolation::CgcWriteOverlap {
+                task,
+                seg,
+                addr,
+                iter_a,
+                iter_b,
+            } => write!(
+                f,
+                "CGC write overlap in task {task} segment {seg}: iterations {iter_a} and \
+                 {iter_b} both write word {addr:#x}"
+            ),
+            HintViolation::CgcNonMonotoneLayout { task, seg, iter } => write!(
+                f,
+                "CGC layout not left-to-right in task {task} segment {seg}: write region \
+                 steps backwards at iteration {iter}"
+            ),
+            HintViolation::CgcEmptyIteration { task, seg, iter } => write!(
+                f,
+                "CGC loop in task {task} segment {seg} has an empty iteration (first: {iter})"
+            ),
+        }
+    }
+}
+
+/// Hard caps on stored diagnostics; totals keep counting past them.
+const MAX_RACES: usize = 64;
+const MAX_VIOLATIONS: usize = 64;
+
+/// The result of [`verify`]: machine-readable diagnostics plus summary
+/// statistics for the per-algorithm verification table.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Tasks in the DAG.
+    pub tasks: usize,
+    /// Serial strands (compute segments + CGC iterations with ≥ 1 access).
+    pub strands: usize,
+    /// Total recorded memory operations swept.
+    pub work: u64,
+    /// Total conflicting accesses observed (each racing access counts
+    /// once; may exceed `races.len()`, which is deduplicated and capped).
+    pub conflicts: u64,
+    /// Distinct races, deduplicated by `(kind, first task, second task)`
+    /// and capped at an internal limit.
+    pub races: Vec<Race>,
+    /// Hint invariants broken in a way that invalidates the scheduler
+    /// theorems (capped at an internal limit; see `violation_count`).
+    pub violations: Vec<HintViolation>,
+    /// Total error-severity violations found (uncapped count).
+    pub violation_count: u64,
+    /// Structural warnings: hint usage that weakens, but does not void,
+    /// the paper's constant-factor arguments.
+    pub warnings: Vec<HintViolation>,
+    /// Per-task measured footprint: distinct words touched by the task
+    /// and its descendants.
+    pub footprints: Vec<usize>,
+    /// Measured footprint of the root (the whole program).
+    pub max_footprint: usize,
+    /// Tightest margin `s(τ) − footprint(τ)` over all tasks; negative
+    /// exactly when some `FootprintExceedsBound` was reported.
+    pub min_slack: i64,
+    /// Loosest margin `s(τ) − footprint(τ)` over all tasks.
+    pub max_slack: i64,
+}
+
+impl VerifyReport {
+    /// No races and no error-severity hint violations.
+    pub fn is_clean(&self) -> bool {
+        self.conflicts == 0 && self.violation_count == 0
+    }
+
+    /// No findings at all, warnings included.
+    pub fn is_pristine(&self) -> bool {
+        self.is_clean() && self.warnings.is_empty()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verify: {} tasks, {} strands, {} ops; {} conflicting accesses, \
+             {} hint violations, {} warnings; footprint {} (slack {}..{})",
+            self.tasks,
+            self.strands,
+            self.work,
+            self.conflicts,
+            self.violation_count,
+            self.warnings.len(),
+            self.max_footprint,
+            self.min_slack,
+            self.max_slack,
+        )?;
+        for r in &self.races {
+            writeln!(f, "  race: {r}")?;
+        }
+        for v in &self.violations {
+            writeln!(f, "  violation: {v}")?;
+        }
+        for w in &self.warnings {
+            writeln!(f, "  warning: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A maximal serial piece of the program: one compute segment or one CGC
+/// iteration. Strands tile the trace, so sorting by `lo` recovers the
+/// recorded (English) order.
+#[derive(Debug, Clone, Copy)]
+struct Strand {
+    task: TaskId,
+    lo: usize,
+    hi: usize,
+}
+
+/// Per-segment strand bookkeeping for the Hebrew traversal.
+enum SegStrands {
+    Compute(usize),
+    /// One strand id per iteration (including empty iterations, which get
+    /// `usize::MAX`).
+    Cgc(Vec<usize>),
+    Fork(Vec<TaskId>),
+}
+
+const NO_STRAND: usize = usize::MAX;
+
+/// Collects strands in recording order and the per-segment structure
+/// needed to re-traverse them right-to-left.
+fn collect_strands(prog: &Program) -> (Vec<Strand>, Vec<Vec<SegStrands>>) {
+    let mut strands = Vec::new();
+    let mut segs: Vec<Vec<SegStrands>> = Vec::with_capacity(prog.tasks().len());
+    for (tid, task) in prog.tasks().iter().enumerate() {
+        let mut infos = Vec::with_capacity(task.segments.len());
+        for seg in &task.segments {
+            match seg {
+                Segment::Compute { start, end } => {
+                    strands.push(Strand {
+                        task: tid,
+                        lo: *start,
+                        hi: *end,
+                    });
+                    infos.push(SegStrands::Compute(strands.len() - 1));
+                }
+                Segment::CgcLoop { start, iter_ends } => {
+                    let mut ids = Vec::with_capacity(iter_ends.len());
+                    let mut lo = *start;
+                    for &hi in iter_ends {
+                        if hi > lo {
+                            strands.push(Strand { task: tid, lo, hi });
+                            ids.push(strands.len() - 1);
+                        } else {
+                            ids.push(NO_STRAND);
+                        }
+                        lo = hi;
+                    }
+                    infos.push(SegStrands::Cgc(ids));
+                }
+                Segment::Fork { children, .. } => {
+                    infos.push(SegStrands::Fork(children.clone()));
+                }
+            }
+        }
+        segs.push(infos);
+    }
+    // Recording is depth-first left-to-right, so trace position is the
+    // English (serial execution) order. Strands were pushed per task, not
+    // per trace position — sort and remap the per-segment ids.
+    let mut order: Vec<usize> = (0..strands.len()).collect();
+    order.sort_unstable_by_key(|&i| strands[i].lo);
+    let mut rank = vec![0usize; strands.len()];
+    for (new, &old) in order.iter().enumerate() {
+        rank[old] = new;
+    }
+    let sorted: Vec<Strand> = order.iter().map(|&i| strands[i]).collect();
+    for infos in &mut segs {
+        for info in infos {
+            match info {
+                SegStrands::Compute(s) => *s = rank[*s],
+                SegStrands::Cgc(ids) => {
+                    for id in ids {
+                        if *id != NO_STRAND {
+                            *id = rank[*id];
+                        }
+                    }
+                }
+                SegStrands::Fork(_) => {}
+            }
+        }
+    }
+    (sorted, segs)
+}
+
+/// Hebrew numbering: a second depth-first sweep that visits *parallel*
+/// compositions (fork children, CGC iterations) right-to-left while
+/// keeping series order. Two strands are logically parallel iff English
+/// and Hebrew disagree on their order (Bender et al., SP-order).
+fn hebrew_labels(prog: &Program, strands: &[Strand], segs: &[Vec<SegStrands>]) -> Vec<usize> {
+    debug_assert!(strands.windows(2).all(|w| w[0].lo <= w[1].lo));
+    let mut hebrew = vec![0usize; strands.len()];
+    let mut next = 0usize;
+    enum Item<'a> {
+        Task(TaskId),
+        Seg(&'a SegStrands),
+    }
+    let mut stack = vec![Item::Task(prog.root())];
+    while let Some(item) = stack.pop() {
+        match item {
+            Item::Task(t) => {
+                // Segments are a series composition: preserve their order
+                // by pushing in reverse.
+                for seg in segs[t].iter().rev() {
+                    stack.push(Item::Seg(seg));
+                }
+            }
+            Item::Seg(SegStrands::Compute(s)) => {
+                hebrew[*s] = next;
+                next += 1;
+            }
+            Item::Seg(SegStrands::Cgc(ids)) => {
+                // Iterations are parallel: number them right-to-left.
+                for &s in ids.iter().rev() {
+                    if s != NO_STRAND {
+                        hebrew[s] = next;
+                        next += 1;
+                    }
+                }
+            }
+            Item::Seg(SegStrands::Fork(children)) => {
+                // Children are parallel: pushing left-to-right makes them
+                // pop (and number) right-to-left.
+                for &c in children.iter() {
+                    stack.push(Item::Task(c));
+                }
+            }
+        }
+    }
+    debug_assert_eq!(next, strands.len());
+    hebrew
+}
+
+/// Last writer and the most-parallel reader of one shadow word.
+#[derive(Clone, Copy, Default)]
+struct Shadow {
+    /// Strand of the last write, `NO_STRAND` if never written.
+    writer: usize,
+    /// Among readers since the last write, the strand with the maximum
+    /// Hebrew label — if any past reader is parallel to a new writer,
+    /// this one is.
+    reader: usize,
+}
+
+struct RaceSweep {
+    shadow: HashMap<u64, Shadow>,
+    conflicts: u64,
+    races: Vec<Race>,
+    seen: HashMap<(RaceKind, TaskId, TaskId), ()>,
+}
+
+impl RaceSweep {
+    fn new() -> Self {
+        RaceSweep {
+            shadow: HashMap::new(),
+            conflicts: 0,
+            races: Vec::new(),
+            seen: HashMap::new(),
+        }
+    }
+
+    fn report(
+        &mut self,
+        kind: RaceKind,
+        addr: u64,
+        strands: &[Strand],
+        earlier: usize,
+        later: usize,
+    ) {
+        self.conflicts += 1;
+        let key = (kind, strands[earlier].task, strands[later].task);
+        if self.races.len() < MAX_RACES && !self.seen.contains_key(&key) {
+            self.seen.insert(key, ());
+            self.races.push(Race {
+                kind,
+                addr,
+                first: strands[earlier].task,
+                second: strands[later].task,
+                first_strand: earlier,
+                second_strand: later,
+            });
+        }
+    }
+
+    /// Sweep every access in English order. `hebrew[w] > hebrew[s]` for an
+    /// English-earlier strand `w` means `w ∥ s`.
+    fn run(&mut self, prog: &Program, strands: &[Strand], hebrew: &[usize]) {
+        let trace = prog.trace();
+        for (sid, s) in strands.iter().enumerate() {
+            let h = hebrew[sid];
+            for e in &trace[s.lo..s.hi] {
+                let addr = e.addr();
+                let cell = self.shadow.entry(addr).or_insert(Shadow {
+                    writer: NO_STRAND,
+                    reader: NO_STRAND,
+                });
+                let (w, r) = (cell.writer, cell.reader);
+                if e.is_write() {
+                    if w != NO_STRAND && w != sid && hebrew[w] > h {
+                        self.report(RaceKind::WriteWrite, addr, strands, w, sid);
+                    }
+                    if r != NO_STRAND && r != sid && hebrew[r] > h {
+                        self.report(RaceKind::ReadWrite, addr, strands, r, sid);
+                    }
+                    let cell = self.shadow.get_mut(&addr).unwrap();
+                    cell.writer = sid;
+                    cell.reader = NO_STRAND;
+                } else {
+                    if w != NO_STRAND && w != sid && hebrew[w] > h {
+                        self.report(RaceKind::ReadWrite, addr, strands, w, sid);
+                    }
+                    let cell = self.shadow.get_mut(&addr).unwrap();
+                    if cell.reader == NO_STRAND || hebrew[cell.reader] < h {
+                        cell.reader = sid;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Measured per-task footprints: distinct words touched by each task's
+/// subtree, by bottom-up small-to-large set merging (children carry
+/// larger ids than parents, so one reverse pass suffices).
+fn footprints(prog: &Program, strands: &[Strand]) -> Vec<usize> {
+    use std::collections::HashSet;
+    let trace = prog.trace();
+    let n = prog.tasks().len();
+    let mut sets: Vec<HashSet<u64>> = vec![HashSet::new(); n];
+    for s in strands {
+        let set = &mut sets[s.task];
+        for e in &trace[s.lo..s.hi] {
+            set.insert(e.addr());
+        }
+    }
+    let mut out = vec![0usize; n];
+    for t in (1..n).rev() {
+        out[t] = sets[t].len();
+        let p = prog.tasks()[t].parent.expect("non-root task has a parent");
+        let child = std::mem::take(&mut sets[t]);
+        if sets[p].len() < child.len() {
+            let parent = std::mem::replace(&mut sets[p], child);
+            sets[p].extend(parent);
+        } else {
+            sets[p].extend(child);
+        }
+    }
+    if n > 0 {
+        out[0] = sets[0].len();
+    }
+    out
+}
+
+/// The hint lint pass: space-bound monotonicity, CGC⇒SB equal bounds,
+/// CGC write disjointness and left-to-right layout.
+fn lint_hints(
+    prog: &Program,
+    fp: &[usize],
+    violations: &mut Vec<HintViolation>,
+    violation_count: &mut u64,
+    warnings: &mut Vec<HintViolation>,
+) {
+    let push = |v: HintViolation,
+                violations: &mut Vec<HintViolation>,
+                violation_count: &mut u64,
+                warnings: &mut Vec<HintViolation>| {
+        if v.is_error() {
+            *violation_count += 1;
+            if violations.len() < MAX_VIOLATIONS {
+                violations.push(v);
+            }
+        } else if warnings.len() < MAX_VIOLATIONS {
+            warnings.push(v);
+        }
+    };
+    let trace = prog.trace();
+    for (tid, task) in prog.tasks().iter().enumerate() {
+        // Footprint honesty.
+        if fp[tid] > task.space {
+            push(
+                HintViolation::FootprintExceedsBound {
+                    task: tid,
+                    declared: task.space,
+                    measured: fp[tid],
+                },
+                violations,
+                violation_count,
+                warnings,
+            );
+        }
+        for (seg_idx, seg) in task.segments.iter().enumerate() {
+            match seg {
+                Segment::Fork { hint, children } => {
+                    // Shadow nesting: children anchored under the parent.
+                    for &ch in children {
+                        let cs = prog.tasks()[ch].space;
+                        if cs > task.space {
+                            push(
+                                HintViolation::SpaceNotMonotone {
+                                    parent: tid,
+                                    child: ch,
+                                    parent_space: task.space,
+                                    child_space: cs,
+                                },
+                                violations,
+                                violation_count,
+                                warnings,
+                            );
+                        }
+                    }
+                    if *hint == ForkHint::CgcSb && children.len() > 1 {
+                        let lo = children
+                            .iter()
+                            .map(|&c| prog.tasks()[c].space)
+                            .min()
+                            .unwrap();
+                        let hi = children
+                            .iter()
+                            .map(|&c| prog.tasks()[c].space)
+                            .max()
+                            .unwrap();
+                        if lo != hi {
+                            push(
+                                HintViolation::CgcSbUnequalSpace {
+                                    parent: tid,
+                                    min_space: lo,
+                                    max_space: hi,
+                                },
+                                violations,
+                                violation_count,
+                                warnings,
+                            );
+                        }
+                    }
+                }
+                Segment::CgcLoop { start, iter_ends } => {
+                    let mut writers: HashMap<u64, usize> = HashMap::new();
+                    let mut last_min = 0u64;
+                    let mut last_max = 0u64;
+                    let mut have_prev = false;
+                    let mut reported_layout = false;
+                    let mut reported_empty = false;
+                    let mut lo = *start;
+                    for (k, &hi) in iter_ends.iter().enumerate() {
+                        if hi == lo && !reported_empty {
+                            reported_empty = true;
+                            push(
+                                HintViolation::CgcEmptyIteration {
+                                    task: tid,
+                                    seg: seg_idx,
+                                    iter: k,
+                                },
+                                violations,
+                                violation_count,
+                                warnings,
+                            );
+                        }
+                        let mut wmin = u64::MAX;
+                        let mut wmax = 0u64;
+                        for e in &trace[lo..hi] {
+                            if !e.is_write() {
+                                continue;
+                            }
+                            let addr = e.addr();
+                            wmin = wmin.min(addr);
+                            wmax = wmax.max(addr);
+                            match writers.insert(addr, k) {
+                                Some(prev) if prev != k => {
+                                    push(
+                                        HintViolation::CgcWriteOverlap {
+                                            task: tid,
+                                            seg: seg_idx,
+                                            addr,
+                                            iter_a: prev,
+                                            iter_b: k,
+                                        },
+                                        violations,
+                                        violation_count,
+                                        warnings,
+                                    );
+                                }
+                                _ => {}
+                            }
+                        }
+                        if wmin != u64::MAX {
+                            if have_prev && !reported_layout && (wmin < last_min || wmax < last_max)
+                            {
+                                reported_layout = true;
+                                push(
+                                    HintViolation::CgcNonMonotoneLayout {
+                                        task: tid,
+                                        seg: seg_idx,
+                                        iter: k,
+                                    },
+                                    violations,
+                                    violation_count,
+                                    warnings,
+                                );
+                            }
+                            last_min = wmin;
+                            last_max = wmax;
+                            have_prev = true;
+                        }
+                        lo = hi;
+                    }
+                }
+                Segment::Compute { .. } => {}
+            }
+        }
+    }
+}
+
+/// Measured space bounds for every task of a recorded program: the
+/// task's subtree footprint (at least 1 word), with CGC⇒SB sibling
+/// batches equalized to the batch maximum so the §III-C equal-bounds
+/// requirement holds by construction.
+///
+/// This is the oracle behind [`crate::Recorder::record_measured`]:
+/// algorithms whose per-task space is data-dependent (sorting, list
+/// contraction, graph contraction) record a scouting pass, measure, and
+/// re-record with these bounds. The result is always monotone (a
+/// child's footprint is a subset of its parent's) and always covers the
+/// measured footprint.
+pub fn measured_bounds(prog: &Program) -> Vec<usize> {
+    let (strands, _) = collect_strands(prog);
+    let fp = footprints(prog, &strands);
+    let mut bounds: Vec<usize> = fp.iter().map(|&f| f.max(1)).collect();
+    for task in prog.tasks() {
+        for seg in &task.segments {
+            if let Segment::Fork {
+                hint: ForkHint::CgcSb,
+                children,
+            } = seg
+            {
+                let hi = children.iter().map(|&c| bounds[c]).max().unwrap_or(1);
+                for &c in children {
+                    bounds[c] = hi;
+                }
+            }
+        }
+    }
+    bounds
+}
+
+/// Statically verify a recorded program: determinacy races over the
+/// series-parallel fork–join DAG and honesty of the SB / CGC⇒SB / CGC
+/// scheduler hints. Runs in `O(T log T)` for a trace of `T` entries and
+/// needs no machine spec.
+pub fn verify(prog: &Program) -> VerifyReport {
+    let (strands, segs) = collect_strands(prog);
+    let hebrew = hebrew_labels(prog, &strands, &segs);
+    let mut sweep = RaceSweep::new();
+    sweep.run(prog, &strands, &hebrew);
+    let fp = footprints(prog, &strands);
+    let mut violations = Vec::new();
+    let mut warnings = Vec::new();
+    let mut violation_count = 0u64;
+    lint_hints(
+        prog,
+        &fp,
+        &mut violations,
+        &mut violation_count,
+        &mut warnings,
+    );
+    let mut min_slack = i64::MAX;
+    let mut max_slack = i64::MIN;
+    for (t, &m) in fp.iter().enumerate() {
+        let slack = prog.tasks()[t].space as i64 - m as i64;
+        min_slack = min_slack.min(slack);
+        max_slack = max_slack.max(slack);
+    }
+    if fp.is_empty() {
+        min_slack = 0;
+        max_slack = 0;
+    }
+    VerifyReport {
+        tasks: prog.tasks().len(),
+        strands: strands.len(),
+        work: prog.work(),
+        conflicts: sweep.conflicts,
+        races: sweep.races,
+        violations,
+        violation_count,
+        warnings,
+        max_footprint: fp.first().copied().unwrap_or(0),
+        footprints: fp,
+        min_slack,
+        max_slack,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{spawn, Recorder};
+
+    #[test]
+    fn straight_line_is_clean() {
+        let prog = Recorder::record(70, |rec| {
+            let a = rec.alloc(4);
+            rec.write(a, 0, 1);
+            let v = rec.read(a, 0);
+            rec.write(a, 1, v);
+        });
+        let r = verify(&prog);
+        assert!(r.is_pristine(), "{r}");
+        assert_eq!(r.strands, 1);
+        assert_eq!(r.max_footprint, 2);
+    }
+
+    #[test]
+    fn disjoint_sb_children_are_clean() {
+        let prog = Recorder::record(200, |rec| {
+            let a = rec.alloc(2);
+            rec.fork2(
+                ForkHint::Sb,
+                100,
+                |rec| rec.write(a, 0, 1),
+                100,
+                |rec| rec.write(a, 1, 2),
+            );
+            let _ = rec.read(a, 0);
+        });
+        let r = verify(&prog);
+        assert!(r.is_pristine(), "{r}");
+    }
+
+    #[test]
+    fn sibling_write_write_race_is_found() {
+        let prog = Recorder::record(200, |rec| {
+            let a = rec.alloc(2);
+            rec.fork2(
+                ForkHint::Sb,
+                100,
+                |rec| rec.write(a, 0, 1),
+                100,
+                |rec| rec.write(a, 0, 2),
+            );
+        });
+        let r = verify(&prog);
+        assert!(!r.is_clean());
+        assert_eq!(r.races.len(), 1);
+        assert_eq!(r.races[0].kind, RaceKind::WriteWrite);
+        assert_eq!((r.races[0].first, r.races[0].second), (1, 2));
+    }
+
+    #[test]
+    fn sibling_read_write_race_is_found_both_orders() {
+        // Earlier sibling reads, later one writes.
+        let prog = Recorder::record(200, |rec| {
+            let a = rec.alloc(2);
+            rec.fork2(
+                ForkHint::Sb,
+                100,
+                |rec| {
+                    let _ = rec.read(a, 0);
+                },
+                100,
+                |rec| rec.write(a, 0, 2),
+            );
+        });
+        let r = verify(&prog);
+        assert_eq!(r.races[0].kind, RaceKind::ReadWrite);
+        // Earlier sibling writes, later one reads.
+        let prog = Recorder::record(200, |rec| {
+            let a = rec.alloc(2);
+            rec.fork2(
+                ForkHint::Sb,
+                100,
+                |rec| rec.write(a, 0, 2),
+                100,
+                |rec| {
+                    let _ = rec.read(a, 0);
+                },
+            );
+        });
+        let r = verify(&prog);
+        assert_eq!(r.races[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn parent_child_sequencing_is_not_a_race() {
+        // Parent writes before the fork and reads after the join; children
+        // read and write the same words in between. All serial.
+        let prog = Recorder::record(300, |rec| {
+            let a = rec.alloc(2);
+            rec.write(a, 0, 7);
+            rec.fork2(
+                ForkHint::Sb,
+                100,
+                |rec| {
+                    let v = rec.read(a, 0);
+                    rec.write(a, 1, v);
+                },
+                100,
+                |_| {},
+            );
+            let _ = rec.read(a, 1);
+            rec.write(a, 0, 9);
+        });
+        let r = verify(&prog);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn nested_cousins_race_across_fork_levels() {
+        // Grandchild of child 1 races with child 2.
+        let prog = Recorder::record(400, |rec| {
+            let a = rec.alloc(2);
+            rec.fork2(
+                ForkHint::Sb,
+                200,
+                |rec| {
+                    rec.fork2(ForkHint::Sb, 100, |rec| rec.write(a, 0, 1), 100, |_| {});
+                },
+                200,
+                |rec| rec.write(a, 0, 2),
+            );
+        });
+        let r = verify(&prog);
+        assert_eq!(r.races.len(), 1);
+        assert_eq!(r.races[0].kind, RaceKind::WriteWrite);
+    }
+
+    #[test]
+    fn cgc_iterations_racing_is_found() {
+        let prog = Recorder::record(100, |rec| {
+            let a = rec.alloc(8);
+            rec.cgc_for(8, |rec, k| {
+                rec.write(a, k / 2, k as u64); // pairs collide
+            });
+        });
+        let r = verify(&prog);
+        assert!(!r.is_clean());
+        assert!(r.races.iter().any(|x| x.kind == RaceKind::WriteWrite));
+        // The lint reports the same overlap with loop coordinates.
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, HintViolation::CgcWriteOverlap { .. })));
+    }
+
+    #[test]
+    fn cgc_disjoint_iterations_are_clean() {
+        let prog = Recorder::record(100, |rec| {
+            let a = rec.alloc(8);
+            let b = rec.alloc(8);
+            rec.cgc_for(8, |rec, k| {
+                let v = rec.read(a, k);
+                rec.write(b, k, v + 1);
+            });
+        });
+        let r = verify(&prog);
+        assert!(r.is_pristine(), "{r}");
+        assert_eq!(r.strands, 8);
+    }
+
+    #[test]
+    fn cgc_parallel_reads_of_shared_word_are_fine() {
+        let prog = Recorder::record(100, |rec| {
+            let a = rec.alloc(8);
+            let b = rec.alloc(8);
+            rec.write(a, 0, 5);
+            rec.cgc_for(8, |rec, k| {
+                let v = rec.read(a, 0); // shared read
+                rec.write(b, k, v);
+            });
+        });
+        let r = verify(&prog);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn understated_space_bound_is_flagged() {
+        let prog = Recorder::record(70, |rec| {
+            let a = rec.alloc(64);
+            rec.fork(
+                ForkHint::Sb,
+                vec![spawn(2, move |rec: &mut Recorder| {
+                    for k in 0..10 {
+                        rec.write(a, k, 1); // 10 words, declared 2
+                    }
+                })],
+            );
+        });
+        let r = verify(&prog);
+        assert!(r.violations.iter().any(|v| matches!(
+            v,
+            HintViolation::FootprintExceedsBound {
+                task: 1,
+                declared: 2,
+                measured: 10
+            }
+        )));
+        assert!(r.min_slack < 0);
+    }
+
+    #[test]
+    fn non_monotone_child_bound_is_flagged() {
+        let prog = Recorder::record(10, |rec| {
+            let a = rec.alloc(2);
+            rec.fork(
+                ForkHint::Sb,
+                vec![spawn(50, move |rec: &mut Recorder| rec.write(a, 0, 1))],
+            );
+        });
+        let r = verify(&prog);
+        assert!(r.violations.iter().any(|v| matches!(
+            v,
+            HintViolation::SpaceNotMonotone {
+                parent: 0,
+                child: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn cgcsb_unequal_bounds_are_flagged() {
+        let prog = Recorder::record(100, |rec| {
+            let a = rec.alloc(2);
+            rec.fork2(
+                ForkHint::CgcSb,
+                10,
+                |rec| rec.write(a, 0, 1),
+                20,
+                |rec| rec.write(a, 1, 1),
+            );
+        });
+        let r = verify(&prog);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, HintViolation::CgcSbUnequalSpace { parent: 0, .. })));
+    }
+
+    #[test]
+    fn backwards_cgc_layout_is_a_warning_not_an_error() {
+        let prog = Recorder::record(100, |rec| {
+            let a = rec.alloc(8);
+            rec.cgc_for(8, |rec, k| {
+                rec.write(a, 7 - k, 1); // right-to-left
+            });
+        });
+        let r = verify(&prog);
+        assert!(r.is_clean(), "{r}");
+        assert!(r
+            .warnings
+            .iter()
+            .any(|v| matches!(v, HintViolation::CgcNonMonotoneLayout { .. })));
+    }
+
+    #[test]
+    fn footprint_counts_subtree_distinct_words() {
+        let prog = Recorder::record(100, |rec| {
+            let a = rec.alloc(4);
+            rec.write(a, 0, 1);
+            rec.fork2(
+                ForkHint::Sb,
+                50,
+                |rec| rec.write(a, 1, 1),
+                50,
+                |rec| {
+                    rec.write(a, 2, 1);
+                    rec.write(a, 2, 2); // same word twice
+                },
+            );
+        });
+        let r = verify(&prog);
+        assert_eq!(r.footprints[1], 1);
+        assert_eq!(r.footprints[2], 1);
+        assert_eq!(r.footprints[0], 3);
+        assert_eq!(r.max_footprint, 3);
+    }
+
+    #[test]
+    fn race_count_dedupes_but_keeps_totals() {
+        let prog = Recorder::record(200, |rec| {
+            let a = rec.alloc(8);
+            rec.fork2(
+                ForkHint::Sb,
+                100,
+                |rec| {
+                    for k in 0..8 {
+                        rec.write(a, k, 1);
+                    }
+                },
+                100,
+                |rec| {
+                    for k in 0..8 {
+                        rec.write(a, k, 2);
+                    }
+                },
+            );
+        });
+        let r = verify(&prog);
+        assert_eq!(r.conflicts, 8);
+        assert_eq!(r.races.len(), 1); // dedup by (kind, task pair)
+    }
+
+    #[test]
+    fn empty_program_verifies() {
+        let prog = Recorder::record(0, |_| {});
+        let r = verify(&prog);
+        assert!(r.is_pristine());
+        assert_eq!(r.strands, 0);
+        assert_eq!(r.max_footprint, 0);
+    }
+}

@@ -79,7 +79,11 @@ fn cgc_assigns_segments_left_to_right() {
     });
     let r = simulate(&prog, &spec, Policy::Mo);
     assert_eq!(r.units, p);
-    assert!(r.core_busy.iter().all(|&b| b == b1 as u64), "{:?}", r.core_busy);
+    assert!(
+        r.core_busy.iter().all(|&b| b == b1 as u64),
+        "{:?}",
+        r.core_busy
+    );
 }
 
 #[test]
@@ -258,8 +262,15 @@ fn cgcsb_deferred_expansion_keeps_contiguity() {
     });
     let r = simulate(&prog, &spec, Policy::Mo);
     // Perfect parallelism: every core busy exactly `per` steps.
-    assert_eq!(r.makespan, per as u64, "deferred expansion must spread leaves");
-    assert!(r.core_busy.iter().all(|&b| b == per as u64), "{:?}", r.core_busy);
+    assert_eq!(
+        r.makespan, per as u64,
+        "deferred expansion must spread leaves"
+    );
+    assert!(
+        r.core_busy.iter().all(|&b| b == per as u64),
+        "{:?}",
+        r.core_busy
+    );
 }
 
 #[test]
@@ -313,10 +324,11 @@ fn units_and_busy_time_are_consistent() {
     let n = 4096usize;
     let prog = Recorder::record(1 << 22, |rec| {
         let a = rec.alloc(n);
+        let b = rec.alloc(n);
         rec.cgc_for(n, |rec, k| rec.write(a, k, 1));
         rec.cgc_for(n, |rec, k| {
             let v = rec.read(a, k);
-            rec.write(a, n - 1 - k.min(n - 1), v);
+            rec.write(b, k, v);
         });
     });
     for policy in [Policy::Mo, Policy::Flat, Policy::Serial] {

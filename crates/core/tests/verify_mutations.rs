@@ -1,0 +1,336 @@
+//! Negative tests for `mo_core::verify`: each test seeds one specific
+//! defect into an otherwise well-formed program and asserts the verifier
+//! finds exactly that defect — plus, per hint kind, a clean twin program
+//! that must produce no findings.
+
+use mo_core::verify::HintViolation;
+use mo_core::{spawn, verify, ForkHint, RaceKind, Recorder};
+
+// ---------------------------------------------------------------------
+// Seeded determinacy races
+// ---------------------------------------------------------------------
+
+#[test]
+fn seeded_write_write_race_between_siblings_is_detected() {
+    let mut addr = 0;
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(4);
+        addr = a.base();
+        rec.fork2(
+            ForkHint::Sb,
+            16,
+            move |r| r.write(a, 0, 1),
+            16,
+            move |r| r.write(a, 0, 2),
+        );
+    });
+    let rep = verify(&prog);
+    assert!(!rep.is_clean());
+    assert!(rep.conflicts > 0);
+    let race = rep
+        .races
+        .iter()
+        .find(|r| r.kind == RaceKind::WriteWrite)
+        .expect("WW race must be reported");
+    assert_eq!(race.addr, addr);
+    assert_eq!(
+        (race.first, race.second),
+        (1, 2),
+        "both sibling tasks named"
+    );
+}
+
+#[test]
+fn seeded_read_write_race_is_detected_in_both_orders() {
+    // Reader recorded before the writer…
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(2);
+        rec.fork2(
+            ForkHint::Sb,
+            16,
+            move |r| {
+                r.read(a, 0);
+            },
+            16,
+            move |r| r.write(a, 0, 9),
+        );
+    });
+    let rep = verify(&prog);
+    assert!(rep.races.iter().any(|r| r.kind == RaceKind::ReadWrite));
+
+    // …and the writer recorded before the reader.
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(2);
+        rec.fork2(
+            ForkHint::Sb,
+            16,
+            move |r| r.write(a, 0, 9),
+            16,
+            move |r| {
+                r.read(a, 0);
+            },
+        );
+    });
+    let rep = verify(&prog);
+    assert!(rep.races.iter().any(|r| r.kind == RaceKind::ReadWrite));
+}
+
+#[test]
+fn serial_reuse_of_a_word_is_not_a_race() {
+    // Same word written by two *serial* forks (one after the other) and
+    // by the parent in between: no logical parallelism, no race.
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(2);
+        rec.fork(
+            ForkHint::Sb,
+            vec![spawn(16, move |r: &mut Recorder| r.write(a, 0, 1))],
+        );
+        rec.write(a, 0, 2);
+        rec.fork(
+            ForkHint::Sb,
+            vec![spawn(16, move |r: &mut Recorder| {
+                let v = r.read(a, 0);
+                r.write(a, 0, v + 1);
+            })],
+        );
+    });
+    let rep = verify(&prog);
+    assert!(rep.is_clean(), "{rep}");
+    assert_eq!(rep.conflicts, 0);
+}
+
+// ---------------------------------------------------------------------
+// Seeded hint violations
+// ---------------------------------------------------------------------
+
+#[test]
+fn understated_space_bound_is_detected() {
+    // The child declares 2 words but its subtree touches 8.
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(8);
+        rec.fork(
+            ForkHint::Sb,
+            vec![spawn(2, move |r: &mut Recorder| {
+                for i in 0..8 {
+                    r.write(a, i, i as u64);
+                }
+            })],
+        );
+    });
+    let rep = verify(&prog);
+    assert!(!rep.is_clean());
+    assert!(rep.races.is_empty(), "a lying bound is not a race");
+    match rep.violations[..] {
+        [HintViolation::FootprintExceedsBound {
+            task: 1,
+            declared: 2,
+            measured: 8,
+        }] => {}
+        ref v => panic!("expected one FootprintExceedsBound, got {v:?}"),
+    }
+    assert!(rep.min_slack < 0);
+}
+
+#[test]
+fn non_monotone_space_bounds_are_detected() {
+    // Child declares more space than its parent: it cannot be anchored
+    // under the parent's shadow.
+    let prog = Recorder::record(16, |rec| {
+        let a = rec.alloc(2);
+        rec.fork(
+            ForkHint::Sb,
+            vec![spawn(128, move |r: &mut Recorder| r.write(a, 0, 1))],
+        );
+    });
+    let rep = verify(&prog);
+    assert!(!rep.is_clean());
+    assert!(rep.violations.iter().any(|v| matches!(
+        v,
+        HintViolation::SpaceNotMonotone {
+            parent: 0,
+            child: 1,
+            parent_space: 16,
+            child_space: 128
+        }
+    )));
+}
+
+#[test]
+fn unequal_cgcsb_batch_bounds_are_detected() {
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(4);
+        rec.fork2(
+            ForkHint::CgcSb,
+            8,
+            move |r| r.write(a, 0, 1),
+            16,
+            move |r| r.write(a, 1, 2),
+        );
+    });
+    let rep = verify(&prog);
+    assert!(!rep.is_clean());
+    assert!(rep.violations.iter().any(|v| matches!(
+        v,
+        HintViolation::CgcSbUnequalSpace {
+            parent: 0,
+            min_space: 8,
+            max_space: 16
+        }
+    )));
+}
+
+#[test]
+fn overlapping_cgc_iteration_writes_are_detected() {
+    // Iterations 0 and 2 both write word 0: reported both as a CGC write
+    // overlap (with loop coordinates) and as a WW race.
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(4);
+        rec.cgc_for(3, |rec, k| {
+            rec.write(a, if k == 2 { 0 } else { k }, k as u64);
+        });
+    });
+    let rep = verify(&prog);
+    assert!(!rep.is_clean());
+    assert!(rep.violations.iter().any(|v| matches!(
+        v,
+        HintViolation::CgcWriteOverlap {
+            task: 0,
+            iter_a: 0,
+            iter_b: 2,
+            ..
+        }
+    )));
+    assert!(rep
+        .races
+        .iter()
+        .any(|r| r.kind == RaceKind::WriteWrite && r.first == r.second));
+}
+
+// ---------------------------------------------------------------------
+// Structural warnings (clean but not pristine)
+// ---------------------------------------------------------------------
+
+#[test]
+fn right_to_left_cgc_layout_is_a_warning_not_an_error() {
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(4);
+        rec.cgc_for(4, |rec, k| rec.write(a, 3 - k, k as u64));
+    });
+    let rep = verify(&prog);
+    assert!(rep.is_clean(), "{rep}");
+    assert!(!rep.is_pristine());
+    assert!(rep.warnings.iter().any(|v| matches!(
+        v,
+        HintViolation::CgcNonMonotoneLayout {
+            task: 0,
+            iter: 1,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn empty_cgc_iteration_is_a_warning_not_an_error() {
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(4);
+        rec.cgc_for(3, |rec, k| {
+            if k != 1 {
+                rec.write(a, k, 1);
+            }
+        });
+    });
+    let rep = verify(&prog);
+    assert!(rep.is_clean(), "{rep}");
+    assert!(!rep.is_pristine());
+    assert!(rep.warnings.iter().any(|v| matches!(
+        v,
+        HintViolation::CgcEmptyIteration {
+            task: 0,
+            iter: 1,
+            ..
+        }
+    )));
+}
+
+// ---------------------------------------------------------------------
+// Clean twin programs, one per hint kind
+// ---------------------------------------------------------------------
+
+#[test]
+fn clean_sb_fork_has_no_findings() {
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(4);
+        rec.fork2(
+            ForkHint::Sb,
+            2,
+            move |r| r.write(a, 0, 1),
+            2,
+            move |r| r.write(a, 1, 2),
+        );
+        let v = rec.read(a, 0) + rec.read(a, 1);
+        rec.write(a, 2, v);
+    });
+    let rep = verify(&prog);
+    assert!(rep.is_pristine(), "{rep}");
+    assert_eq!(rep.tasks, 3);
+    assert!(rep.min_slack >= 0);
+}
+
+#[test]
+fn clean_cgcsb_batch_has_no_findings() {
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(8);
+        let children = (0..4)
+            .map(|i| {
+                spawn(2, move |r: &mut Recorder| {
+                    r.write(a, 2 * i, 1);
+                    r.write(a, 2 * i + 1, 2);
+                })
+            })
+            .collect();
+        rec.fork(ForkHint::CgcSb, children);
+    });
+    let rep = verify(&prog);
+    assert!(rep.is_pristine(), "{rep}");
+    assert_eq!(rep.tasks, 5);
+}
+
+#[test]
+fn clean_cgc_loop_has_no_findings() {
+    let prog = Recorder::record(64, |rec| {
+        let a = rec.alloc(8);
+        rec.cgc_for(8, |rec, k| rec.write(a, k, k as u64));
+        rec.cgc_for(8, |rec, k| {
+            let v = rec.read(a, k);
+            rec.write(a, k, v + 1);
+        });
+    });
+    let rep = verify(&prog);
+    assert!(rep.is_pristine(), "{rep}");
+    assert_eq!(rep.strands, 16);
+}
+
+#[test]
+fn measured_bounds_rerecording_always_passes_the_space_lints() {
+    // Deliberately silly provisional bounds: record_measured must replace
+    // them with exact subtree footprints and verify clean.
+    let prog = Recorder::record_measured(1, |rec| {
+        let a = rec.alloc(8);
+        rec.fork2(
+            ForkHint::CgcSb,
+            1,
+            move |r| {
+                for i in 0..4 {
+                    r.write(a, i, 1);
+                }
+            },
+            999,
+            move |r| r.write(a, 4, 1),
+        );
+    });
+    let rep = verify(&prog);
+    assert!(rep.is_clean(), "{rep}");
+    // CGC⇒SB equalization: both children carry the batch maximum.
+    assert_eq!(prog.tasks()[1].space, prog.tasks()[2].space);
+    assert!(rep.min_slack >= 0);
+}

@@ -98,12 +98,22 @@ impl LruCache {
         }
         let idx = match self.free.pop() {
             Some(i) => {
-                self.nodes[i as usize] = Node { block, prev: NIL, next: NIL, dirty: write };
+                self.nodes[i as usize] = Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                    dirty: write,
+                };
                 i
             }
             None => {
                 let i = self.nodes.len() as u32;
-                self.nodes.push(Node { block, prev: NIL, next: NIL, dirty: write });
+                self.nodes.push(Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                    dirty: write,
+                });
                 i
             }
         };
@@ -266,11 +276,16 @@ mod tests {
             }
         }
         let mut c = LruCache::new(16);
-        let mut n = Naive { cap: 16, v: Vec::new() };
+        let mut n = Naive {
+            cap: 16,
+            v: Vec::new(),
+        };
         // Deterministic pseudo-random trace.
         let mut x: u64 = 0x9e3779b97f4a7c15;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = (x >> 33) % 48;
             let hit = matches!(c.access(b, false), Probe::Hit);
             assert_eq!(hit, n.access(b));

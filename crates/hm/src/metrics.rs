@@ -154,7 +154,11 @@ mod tests {
     fn miss_rate_handles_zero() {
         let c = CacheCounters::default();
         assert_eq!(c.miss_rate(), 0.0);
-        let c = CacheCounters { hits: 3, misses: 1, writebacks: 0 };
+        let c = CacheCounters {
+            hits: 3,
+            misses: 1,
+            writebacks: 0,
+        };
         assert!((c.miss_rate() - 0.25).abs() < 1e-12);
     }
 

@@ -19,7 +19,11 @@ pub struct LevelSpec {
 impl LevelSpec {
     /// Convenience constructor.
     pub const fn new(capacity: usize, block: usize, fanout: usize) -> Self {
-        Self { capacity, block, fanout }
+        Self {
+            capacity,
+            block,
+            fanout,
+        }
     }
 
     /// Number of blocks this cache can hold.
@@ -85,17 +89,28 @@ impl fmt::Display for SpecError {
             }
             SpecError::ZeroFanout { level } => write!(f, "fanout p_{level} must be positive"),
             SpecError::BadBlock { level, block } => {
-                write!(f, "block size B_{level} = {block} must be a positive power of two")
+                write!(
+                    f,
+                    "block size B_{level} = {block} must be a positive power of two"
+                )
             }
             SpecError::BadCapacity { level, capacity } => write!(
                 f,
                 "capacity C_{level} = {capacity} must be positive and a multiple of B_{level}"
             ),
             SpecError::BlockNotMonotone { level } => {
-                write!(f, "block sizes must be non-decreasing: B_{level} < B_{}", level - 1)
+                write!(
+                    f,
+                    "block sizes must be non-decreasing: B_{level} < B_{}",
+                    level - 1
+                )
             }
             SpecError::CapacityConstraint { level } => {
-                write!(f, "capacity constraint C_{level} >= p_{level} * C_{} violated", level - 1)
+                write!(
+                    f,
+                    "capacity constraint C_{level} >= p_{level} * C_{} violated",
+                    level - 1
+                )
             }
         }
     }
@@ -125,7 +140,9 @@ impl MachineSpec {
             return Err(SpecError::NoLevels);
         }
         if levels[0].fanout != 1 {
-            return Err(SpecError::PrivateL1 { fanout: levels[0].fanout });
+            return Err(SpecError::PrivateL1 {
+                fanout: levels[0].fanout,
+            });
         }
         for (idx, l) in levels.iter().enumerate() {
             let level = idx + 1;
@@ -133,10 +150,16 @@ impl MachineSpec {
                 return Err(SpecError::ZeroFanout { level });
             }
             if l.block == 0 || !l.block.is_power_of_two() {
-                return Err(SpecError::BadBlock { level, block: l.block });
+                return Err(SpecError::BadBlock {
+                    level,
+                    block: l.block,
+                });
             }
             if l.capacity == 0 || l.capacity % l.block != 0 {
-                return Err(SpecError::BadCapacity { level, capacity: l.capacity });
+                return Err(SpecError::BadCapacity {
+                    level,
+                    capacity: l.capacity,
+                });
             }
             if idx > 0 {
                 if l.block < levels[idx - 1].block {
@@ -237,13 +260,21 @@ impl MachineSpec {
     /// `None` if only the shared memory is big enough. This is the level an
     /// SB-scheduled task of that space bound anchors at.
     pub fn smallest_level_fitting(&self, words: usize) -> Option<usize> {
-        self.levels.iter().position(|l| l.capacity >= words).map(|idx| idx + 1)
+        self.levels
+            .iter()
+            .position(|l| l.capacity >= words)
+            .map(|idx| idx + 1)
     }
 }
 
 impl fmt::Display for MachineSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "HM machine: h = {}, p = {} cores", self.h(), self.cores())?;
+        writeln!(
+            f,
+            "HM machine: h = {}, p = {} cores",
+            self.h(),
+            self.cores()
+        )?;
         for (idx, l) in self.levels.iter().enumerate() {
             let i = idx + 1;
             writeln!(
@@ -302,11 +333,8 @@ mod tests {
     #[test]
     fn rejects_capacity_below_children() {
         // L2 smaller than the 4 L1s it covers.
-        let err = MachineSpec::new(vec![
-            LevelSpec::new(1024, 8, 1),
-            LevelSpec::new(2048, 8, 4),
-        ])
-        .unwrap_err();
+        let err = MachineSpec::new(vec![LevelSpec::new(1024, 8, 1), LevelSpec::new(2048, 8, 4)])
+            .unwrap_err();
         assert!(matches!(err, SpecError::CapacityConstraint { level: 2 }));
     }
 

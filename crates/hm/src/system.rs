@@ -45,7 +45,9 @@ impl CacheSystem {
         let caches = (1..=spec.cache_levels())
             .map(|i| {
                 let l = spec.level(i);
-                (0..spec.caches_at(i)).map(|_| LruCache::new(l.blocks())).collect()
+                (0..spec.caches_at(i))
+                    .map(|_| LruCache::new(l.blocks()))
+                    .collect()
             })
             .collect();
         Self {

@@ -110,7 +110,10 @@ impl Topology {
     /// The shadow of a cache: the contiguous core range sharing it.
     pub fn shadow(&self, cache: CacheId) -> Shadow {
         let span = self.cores_under[cache.level - 1];
-        Shadow { lo: cache.index * span, hi: (cache.index + 1) * span }
+        Shadow {
+            lo: cache.index * span,
+            hi: (cache.index + 1) * span,
+        }
     }
 
     /// The parent of `cache` at the next level up, or `None` at the top.
@@ -120,7 +123,10 @@ impl Topology {
         }
         let child_span = self.cores_under[cache.level - 1];
         let parent_span = self.cores_under[cache.level];
-        Some(CacheId::new(cache.level + 1, cache.index * child_span / parent_span))
+        Some(CacheId::new(
+            cache.level + 1,
+            cache.index * child_span / parent_span,
+        ))
     }
 
     /// The children of `cache` one level down (cache ids), or an empty range
@@ -142,7 +148,9 @@ impl Topology {
         debug_assert!(level >= 1 && level <= anchor.level);
         let shadow = self.shadow(anchor);
         let span = self.cores_under[level - 1];
-        (shadow.lo / span..shadow.hi / span).map(|j| CacheId::new(level, j)).collect()
+        (shadow.lo / span..shadow.hi / span)
+            .map(|j| CacheId::new(level, j))
+            .collect()
     }
 
     /// Number of level-`level` caches under the shadow of `anchor`, without

@@ -8,7 +8,11 @@ fn catalog_topologies_are_self_consistent() {
         let t = Topology::new(&spec);
         assert_eq!(t.cores(), spec.cores(), "{name}");
         for level in 1..=t.cache_levels() {
-            assert_eq!(t.caches_at(level) * t.cores_under(level), t.cores(), "{name} L{level}");
+            assert_eq!(
+                t.caches_at(level) * t.cores_under(level),
+                t.cores(),
+                "{name} L{level}"
+            );
         }
         // q_i is non-increasing with the level.
         for level in 2..=t.cache_levels() {
@@ -131,9 +135,18 @@ fn spec_errors_render_humane_messages() {
         (SpecError::PrivateL1 { fanout: 3 }, "p_1 must be 1"),
         (SpecError::ZeroFanout { level: 2 }, "p_2"),
         (SpecError::BadBlock { level: 1, block: 7 }, "power of two"),
-        (SpecError::BadCapacity { level: 2, capacity: 13 }, "C_2"),
+        (
+            SpecError::BadCapacity {
+                level: 2,
+                capacity: 13,
+            },
+            "C_2",
+        ),
         (SpecError::BlockNotMonotone { level: 3 }, "non-decreasing"),
-        (SpecError::CapacityConstraint { level: 2 }, "capacity constraint"),
+        (
+            SpecError::CapacityConstraint { level: 2 },
+            "capacity constraint",
+        ),
     ];
     for (e, needle) in cases {
         let msg = e.to_string();

@@ -127,9 +127,7 @@ pub fn no_cc(n: usize, edges: &[(usize, usize)]) -> (NoMachine, Vec<u64>) {
         }
         // Host-side convergence check (the scheduler's O(log n) bound
         // guarantees termination; this just cuts idle rounds).
-        let stable = edges
-            .iter()
-            .all(|&(u, v)| m.mem(u)[0] == m.mem(v)[0]);
+        let stable = edges.iter().all(|&(u, v)| m.mem(u)[0] == m.mem(v)[0]);
         if stable {
             break;
         }
@@ -190,7 +188,9 @@ mod tests {
     fn random_graphs() {
         let mut x = 5u64;
         let mut rnd = move |k: usize| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 33) as usize) % k
         };
         for (n, m) in [(50, 30), (100, 80), (200, 400)] {
@@ -211,7 +211,10 @@ mod tests {
         let (m, _) = no_cc(n, &edges);
         let c1 = m.communication_complexity(16, 1);
         let c8 = m.communication_complexity(16, 8);
-        assert!(c8 < c1 / 2, "blocking should compress the root hotspot: {c8} vs {c1}");
+        assert!(
+            c8 < c1 / 2,
+            "blocking should compress the root hotspot: {c8} vs {c1}"
+        );
         // Volume sanity: O(supersteps · n) words in total.
         assert!(m.total_words() <= (m.supersteps() as u64) * 4 * n as u64);
     }

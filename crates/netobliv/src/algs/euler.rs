@@ -228,7 +228,13 @@ pub fn no_euler(parent: &[usize], root: usize) -> NoEuler {
     let depth = grab(V_DEPTH, &m);
     let size = grab(V_SIZE, &m);
     let preorder = grab(V_PRE, &m);
-    NoEuler { machine: m, parent: parent_out, depth, size, preorder }
+    NoEuler {
+        machine: m,
+        parent: parent_out,
+        depth,
+        size,
+        preorder,
+    }
 }
 
 #[cfg(test)]
@@ -274,7 +280,9 @@ mod tests {
         let mut x = seed | 1;
         let mut parent = vec![0usize; n];
         for v in 1..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             parent[v] = ((x >> 33) as usize) % v;
         }
         parent
@@ -302,10 +310,13 @@ mod tests {
             let r = no_euler(&parent, 0);
             assert_eq!(r.depth, reference_depths(&parent, 0), "depths n={n}");
             assert_eq!(r.size, reference_sizes(&parent, 0), "sizes n={n}");
-            assert_eq!(r.parent, parent.iter().map(|&p| p as u64).collect::<Vec<_>>());
+            assert_eq!(
+                r.parent,
+                parent.iter().map(|&p| p as u64).collect::<Vec<_>>()
+            );
             // Preorder: parent strictly before child.
-            for v in 1..n {
-                assert!(r.preorder[parent[v]] < r.preorder[v]);
+            for (v, &pv) in parent.iter().enumerate().skip(1) {
+                assert!(r.preorder[pv] < r.preorder[v]);
             }
         }
     }

@@ -114,8 +114,9 @@ pub fn no_fft(input: &[(f64, f64)]) -> (NoMachine, Vec<(f64, f64)>) {
         m.mem_mut(pe).extend([re.to_bits(), im.to_bits()]);
     }
     fft_groups(&mut m, n);
-    let out =
-        (0..n).map(|pe| (f64::from_bits(m.mem(pe)[0]), f64::from_bits(m.mem(pe)[1]))).collect();
+    let out = (0..n)
+        .map(|pe| (f64::from_bits(m.mem(pe)[0]), f64::from_bits(m.mem(pe)[1])))
+        .collect();
     (m, out)
 }
 
@@ -165,8 +166,8 @@ mod tests {
         for (p, b) in [(16usize, 2usize), (64, 2), (16, 8)] {
             let comm = m.communication_complexity(p, b) as f64;
             let np = (n / p) as f64;
-            let predicted = (2.0 * n as f64 / (p as f64 * b as f64))
-                * ((n as f64).ln() / np.ln()).max(1.0);
+            let predicted =
+                (2.0 * n as f64 / (p as f64 * b as f64)) * ((n as f64).ln() / np.ln()).max(1.0);
             assert!(
                 comm <= 8.0 * predicted && comm >= 0.2 * predicted,
                 "p={p} B={b}: comm {comm} vs Θ({predicted})"

@@ -266,8 +266,7 @@ pub(crate) fn lr_level(m: &mut NoMachine, n: usize, depth: usize) {
             match ctx.inbox[i].1 {
                 0 => {
                     ctx.mem[b(S_SUCC)] = ctx.inbox[i + 1].1;
-                    ctx.mem[b(S_DIST)] =
-                        ctx.mem[b(S_DIST)].wrapping_add(ctx.inbox[i + 2].1);
+                    ctx.mem[b(S_DIST)] = ctx.mem[b(S_DIST)].wrapping_add(ctx.inbox[i + 2].1);
                     i += 3;
                 }
                 _ => {
@@ -283,8 +282,7 @@ pub(crate) fn lr_level(m: &mut NoMachine, n: usize, depth: usize) {
         if pe >= m_pad {
             return;
         }
-        ctx.mem[b(S_NEWID)] =
-            if pe < n { 1 - ctx.mem[b(S_INS)] } else { 0 };
+        ctx.mem[b(S_NEWID)] = if pe < n { 1 - ctx.mem[b(S_INS)] } else { 0 };
     });
     let n1 = scan_slot(m, m_pad, b(S_NEWID)) as usize;
     debug_assert!(n1 > 0 && n1 < n);
@@ -445,7 +443,9 @@ mod tests {
         let mut order: Vec<usize> = (0..n).collect();
         let mut x = seed | 1;
         for i in (1..n).rev() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = ((x >> 33) as usize) % (i + 1);
             order.swap(i, j);
         }
@@ -483,7 +483,10 @@ mod tests {
         let (a1, a8) = comm(1024);
         let (b1, _) = comm(2048);
         let ratio = b1 / a1;
-        assert!((1.5..=2.5).contains(&ratio), "comm not linear in n: x{ratio}");
+        assert!(
+            (1.5..=2.5).contains(&ratio),
+            "comm not linear in n: x{ratio}"
+        );
         // Blocking helps substantially (redistribution is contiguous).
         assert!(a8 < 0.7 * a1, "B=8 {a8} vs B=1 {a1}");
     }

@@ -155,12 +155,32 @@ fn stages(fun: Fun, order: DOrder) -> Vec<Vec<Spec>> {
         ],
         D => match order {
             DOrder::IGep => vec![
-                vec![(D, 0, 0, 0, 0), (D, 1, 0, 1, 0), (D, 2, 2, 0, 0), (D, 3, 2, 1, 0)],
-                vec![(D, 0, 1, 2, 3), (D, 1, 1, 3, 3), (D, 2, 3, 2, 3), (D, 3, 3, 3, 3)],
+                vec![
+                    (D, 0, 0, 0, 0),
+                    (D, 1, 0, 1, 0),
+                    (D, 2, 2, 0, 0),
+                    (D, 3, 2, 1, 0),
+                ],
+                vec![
+                    (D, 0, 1, 2, 3),
+                    (D, 1, 1, 3, 3),
+                    (D, 2, 3, 2, 3),
+                    (D, 3, 3, 3, 3),
+                ],
             ],
             DOrder::DStar => vec![
-                vec![(D, 0, 0, 0, 0), (D, 1, 1, 3, 3), (D, 2, 3, 2, 3), (D, 3, 2, 1, 0)],
-                vec![(D, 0, 1, 2, 3), (D, 1, 0, 1, 0), (D, 2, 2, 0, 0), (D, 3, 3, 3, 3)],
+                vec![
+                    (D, 0, 0, 0, 0),
+                    (D, 1, 1, 3, 3),
+                    (D, 2, 3, 2, 3),
+                    (D, 3, 2, 1, 0),
+                ],
+                vec![
+                    (D, 0, 1, 2, 3),
+                    (D, 1, 0, 1, 0),
+                    (D, 2, 2, 0, 0),
+                    (D, 3, 3, 3, 3),
+                ],
             ],
         },
     }
@@ -191,7 +211,9 @@ impl Engine<'_> {
             return;
         }
         let nstages = stages(calls[0].fun, self.order).len();
-        debug_assert!(calls.iter().all(|c| stages(c.fun, self.order).len() == nstages));
+        debug_assert!(calls
+            .iter()
+            .all(|c| stages(c.fun, self.order).len() == nstages));
         for stage in 0..nstages {
             let mut subcalls = Vec::new();
             for call in &calls {
@@ -215,17 +237,52 @@ impl Engine<'_> {
         // parent's X blocks (if that operand aliased X) or of the
         // parent's frame slot.
         let src = [
-            (parent.group + q[1] * s4, if parent.alias[0] { usize::MAX } else { parent.frame }),
-            (parent.group + q[2] * s4, if parent.alias[1] { usize::MAX } else { parent.frame + self.bsz }),
-            (parent.group + q[3] * s4, if parent.alias[2] { usize::MAX } else { parent.frame + 2 * self.bsz }),
+            (
+                parent.group + q[1] * s4,
+                if parent.alias[0] {
+                    usize::MAX
+                } else {
+                    parent.frame
+                },
+            ),
+            (
+                parent.group + q[2] * s4,
+                if parent.alias[1] {
+                    usize::MAX
+                } else {
+                    parent.frame + self.bsz
+                },
+            ),
+            (
+                parent.group + q[3] * s4,
+                if parent.alias[2] {
+                    usize::MAX
+                } else {
+                    parent.frame + 2 * self.bsz
+                },
+            ),
         ];
         let frame = if parent.frame == usize::MAX {
             self.bsz // first frame
         } else {
             parent.frame + 3 * self.bsz
         };
-        let frame = if alias.iter().all(|&a| a) { usize::MAX } else { frame };
-        Call { fun, x, u, v, w, group: x.base, frame, alias, src }
+        let frame = if alias.iter().all(|&a| a) {
+            usize::MAX
+        } else {
+            frame
+        };
+        Call {
+            fun,
+            x,
+            u,
+            v,
+            w,
+            group: x.base,
+            frame,
+            alias,
+            src,
+        }
     }
 
     /// One routing superstep (+ delivery) bringing every sub-call's
@@ -246,7 +303,10 @@ impl Engine<'_> {
                     let src_pe = src_group + t;
                     let dst_pe = call.group + t;
                     let soff = if src_off == usize::MAX { 0 } else { src_off };
-                    sends.entry(src_pe).or_default().push((dst_pe, soff, dst_off));
+                    sends
+                        .entry(src_pe)
+                        .or_default()
+                        .push((dst_pe, soff, dst_off));
                     recvs.entry(dst_pe).or_default().push((src_pe, dst_off));
                 }
             }
@@ -299,8 +359,11 @@ impl Engine<'_> {
                     call.frame + slot * bsz
                 }
             };
-            let (uo, vo, wo) =
-                (off(0, call.alias[0]), off(1, call.alias[1]), off(2, call.alias[2]));
+            let (uo, vo, wo) = (
+                off(0, call.alias[0]),
+                off(1, call.alias[1]),
+                off(2, call.alias[2]),
+            );
             let mut ops = 0u64;
             for k in 0..kappa {
                 for i in 0..kappa {
@@ -404,7 +467,14 @@ pub fn ngep_program(
         let need = frame_words(npes, bsz);
         m.mem_mut(pe).resize(need, 0);
     }
-    let region = Region { base: 0, s: npes, row0: 0, col0: 0, m: n, space: 0 };
+    let region = Region {
+        base: 0,
+        s: npes,
+        row0: 0,
+        col0: 0,
+        m: n,
+        space: 0,
+    };
     let root = Call {
         fun: Fun::A,
         x: region,
@@ -416,7 +486,14 @@ pub fn ngep_program(
         alias: [true, true, true],
         src: [(0, usize::MAX); 3],
     };
-    let mut eng = Engine { m: &mut m, kappa, bsz, f, sigma, order };
+    let mut eng = Engine {
+        m: &mut m,
+        kappa,
+        bsz,
+        f,
+        sigma,
+        order,
+    };
     eng.run_level(vec![root]);
     let out = store_blocks(&m, n, kappa);
     (m, out)
@@ -445,7 +522,14 @@ pub fn ngep_matmul(
         let need = frame_words(npes, bsz) + 3 * bsz;
         m.mem_mut(pe).resize(need, 0);
     }
-    let mk = |space: u8| Region { base: 0, s: npes, row0: 0, col0: 0, m: n, space };
+    let mk = |space: u8| Region {
+        base: 0,
+        s: npes,
+        row0: 0,
+        col0: 0,
+        m: n,
+        space,
+    };
     let root = Call {
         fun: Fun::D,
         x: mk(0),
@@ -460,8 +544,14 @@ pub fn ngep_matmul(
     fn mm(x: f64, u: f64, v: f64, _w: f64) -> f64 {
         x + u * v
     }
-    let mut eng =
-        Engine { m: &mut m, kappa, bsz, f: mm, sigma: UpdateSet::All, order };
+    let mut eng = Engine {
+        m: &mut m,
+        kappa,
+        bsz,
+        f: mm,
+        sigma: UpdateSet::All,
+        order,
+    };
     eng.run_level(vec![root]);
     let out = store_blocks(&m, n, kappa);
     (m, out)
@@ -596,7 +686,10 @@ mod tests {
         // U/V duplication is gone; the W-diagonal duplication remains in
         // both orders (the paper keeps it too), so the gain is a strict
         // but moderate constant factor.
-        assert!(h_ds < h_d, "D* should lower the h-relation: {h_ds} vs {h_d}");
+        assert!(
+            h_ds < h_d,
+            "D* should lower the h-relation: {h_ds} vs {h_d}"
+        );
     }
 
     /// Theorem 6 shape: communication ≈ n²/(√p·B) on M(p,B).

@@ -95,8 +95,10 @@ fn sort_groups(m: &mut NoMachine, starts: &[usize], g: usize) {
     }
     let s = pick_s(g).unwrap();
     let r = g / s;
-    let col_starts: Vec<usize> =
-        starts.iter().flat_map(|&lo| (0..s).map(move |c| lo + c * r)).collect();
+    let col_starts: Vec<usize> = starts
+        .iter()
+        .flat_map(|&lo| (0..s).map(move |c| lo + c * r))
+        .collect();
     // 1: sort columns.
     sort_groups(m, &col_starts, r);
     // 2: transpose-reshape (Leighton): pick the matrix up in
@@ -115,8 +117,10 @@ fn sort_groups(m: &mut NoMachine, starts: &[usize], g: usize) {
     // block sorts: half-offset r-blocks fix the column-boundary windows
     // and re-sorting the columns restores alignment; one more round
     // absorbs the corner cases of the displacement bound.
-    let offset: Vec<usize> =
-        starts.iter().flat_map(|&lo| (0..s - 1).map(move |k| lo + r / 2 + k * r)).collect();
+    let offset: Vec<usize> = starts
+        .iter()
+        .flat_map(|&lo| (0..s - 1).map(move |k| lo + r / 2 + k * r))
+        .collect();
     for _ in 0..2 {
         sort_groups(m, &offset, r);
         sort_groups(m, &col_starts, r);
@@ -145,7 +149,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) % modulus
             })
             .collect()
@@ -200,7 +206,10 @@ mod tests {
         );
         // Doubling B halves the per-processor block count (up to ceils).
         let c2 = m.communication_complexity(16, 8) as f64;
-        assert!(c2 < 0.7 * c && c2 > 0.3 * c, "B-scaling broken: {c2} vs {c}");
+        assert!(
+            c2 < 0.7 * c && c2 > 0.3 * c,
+            "B-scaling broken: {c2} vs {c}"
+        );
         // More processors never increases any processor's block count.
         let c64 = m.communication_complexity(64, 4) as f64;
         assert!(c64 <= 4.0 * c, "p=64 comm {c64} vs p=16 comm {c}");

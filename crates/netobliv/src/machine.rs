@@ -77,7 +77,12 @@ impl NoMachine {
     /// A machine with `n` PEs, all memories empty.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
-        Self { n, mem: vec![Vec::new(); n], inbox: vec![Vec::new(); n], log: Vec::new() }
+        Self {
+            n,
+            mem: vec![Vec::new(); n],
+            inbox: vec![Vec::new(); n],
+            log: Vec::new(),
+        }
     }
 
     /// Number of PEs `N`.
@@ -135,7 +140,10 @@ impl NoMachine {
         for ib in &mut self.inbox {
             ib.sort_by_key(|m| m.0); // deterministic delivery order
         }
-        slog.traffic = pair_words.into_iter().map(|((s, d), w)| (s, d, w)).collect();
+        slog.traffic = pair_words
+            .into_iter()
+            .map(|((s, d), w)| (s, d, w))
+            .collect();
         slog.traffic.sort_unstable();
         self.log.push(slog);
     }
@@ -143,6 +151,18 @@ impl NoMachine {
     /// Number of supersteps executed.
     pub fn supersteps(&self) -> usize {
         self.log.len()
+    }
+
+    /// The communication pattern as data: per superstep, the sorted
+    /// `(src_pe, dst_pe, words)` triples of cross-PE traffic.
+    ///
+    /// A *network-oblivious* algorithm's signature depends only on the
+    /// input size, never on the input values — comparing signatures
+    /// across same-size inputs is the machine-level obliviousness check
+    /// (the D-BSP optimality theorems of §VI quantify over the pattern,
+    /// not the data).
+    pub fn traffic_signature(&self) -> Vec<Vec<(u32, u32, u64)>> {
+        self.log.iter().map(|s| s.traffic.clone()).collect()
     }
 
     /// Total words sent across all supersteps (PE-level, excluding

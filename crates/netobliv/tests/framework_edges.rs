@@ -153,7 +153,11 @@ fn supersteps_and_volume_are_deterministic() {
     let run = || {
         let data: Vec<u64> = (0..256u64).rev().collect();
         let (m, _) = algs::sort::no_sort(&data);
-        (m.supersteps(), m.total_words(), m.communication_complexity(8, 4))
+        (
+            m.supersteps(),
+            m.total_words(),
+            m.communication_complexity(8, 4),
+        )
     };
     assert_eq!(run(), run());
 }

@@ -38,7 +38,7 @@ fn road_network(n: usize, seed: u64) -> Vec<f64> {
     d
 }
 
-fn main() {
+pub fn main() {
     let n = 128;
     let d = road_network(n, 42);
 
@@ -49,16 +49,26 @@ fn main() {
     // Multicore-oblivious I-GEP, simulated.
     let t0 = Instant::now();
     let gp = igep_program(&d, n, fw_update, UpdateSet::All);
-    println!("recorded I-GEP: {} ops, {} tasks ({:?})", gp.program.work(), gp.program.tasks().len(), t0.elapsed());
+    println!(
+        "recorded I-GEP: {} ops, {} tasks ({:?})",
+        gp.program.work(),
+        gp.program.tasks().len(),
+        t0.elapsed()
+    );
     assert_eq!(gp.output(), want, "I-GEP must equal the GEP reference");
-    for spec in [MachineSpec::three_level(8, 1 << 10, 8, 1 << 18, 32).unwrap(), MachineSpec::example_h5()] {
+    for spec in [
+        MachineSpec::three_level(8, 1 << 10, 8, 1 << 18, 32).unwrap(),
+        MachineSpec::example_h5(),
+    ] {
         let r = simulate(&gp.program, &spec, Policy::Mo);
         println!(
             "  h={} machine: steps {:>9}, speed-up {:.2}, per-level misses {:?}",
             spec.h(),
             r.makespan,
             r.speedup(),
-            (1..=spec.cache_levels()).map(|l| r.cache_complexity(l)).collect::<Vec<_>>(),
+            (1..=spec.cache_levels())
+                .map(|l| r.cache_complexity(l))
+                .collect::<Vec<_>>(),
         );
     }
 
@@ -67,7 +77,11 @@ fn main() {
     let mut real = d.clone();
     let t0 = Instant::now();
     par_floyd_warshall(&pool, &mut real, n);
-    println!("real SB-pool Floyd–Warshall: {:?} ({} cores)", t0.elapsed(), pool.hierarchy().cores());
+    println!(
+        "real SB-pool Floyd–Warshall: {:?} ({} cores)",
+        t0.elapsed(),
+        pool.hierarchy().cores()
+    );
     assert_eq!(real, want);
 
     // A couple of interpretable answers.

@@ -14,7 +14,7 @@ use oblivious::algs::listrank::{listrank_program, random_list, reference_ranks};
 use oblivious::hm::MachineSpec;
 use oblivious::mo::sched::{simulate, Policy};
 
-fn main() {
+pub fn main() {
     let spec = MachineSpec::three_level(8, 1 << 10, 8, 1 << 18, 32).unwrap();
 
     // --- 1. list ranking: a randomly threaded task chain ---
@@ -79,7 +79,11 @@ fn main() {
     let mut reps: Vec<u64> = labels.clone();
     reps.sort_unstable();
     reps.dedup();
-    println!("components       n={nv}, m={}: {} components", edges.len(), reps.len());
+    println!(
+        "components       n={nv}, m={}: {} components",
+        edges.len(),
+        reps.len()
+    );
     let r = simulate(&cp.program, &spec, Policy::Mo);
     println!(
         "                 {} ops, steps {}, speed-up {:.2}",

@@ -13,7 +13,7 @@ use oblivious::hm::{LevelSpec, MachineSpec};
 use oblivious::mo::sched::{simulate, Policy};
 use oblivious::no::algs::sort::no_sort;
 
-fn main() {
+pub fn main() {
     let n = 1 << 12;
     let mut x = 77u64;
     let data: Vec<u64> = (0..n)
@@ -27,13 +27,31 @@ fn main() {
     want.sort_unstable();
     assert_eq!(sp.program.slice(sp.data), want.as_slice());
 
-    println!("one recorded MO sort ({} ops), many machines:\n", sp.program.work());
+    println!(
+        "one recorded MO sort ({} ops), many machines:\n",
+        sp.program.work()
+    );
     let machines = vec![
-        ("1 core".into(), MachineSpec::three_level(1, 1 << 10, 8, 1 << 16, 32).unwrap()),
-        ("4 cores".into(), MachineSpec::three_level(4, 1 << 10, 8, 1 << 17, 32).unwrap()),
-        ("16 cores".into(), MachineSpec::three_level(16, 1 << 10, 8, 1 << 19, 32).unwrap()),
-        ("tiny L1s".into(), MachineSpec::three_level(8, 128, 8, 1 << 18, 32).unwrap()),
-        ("huge blocks".into(), MachineSpec::three_level(8, 1 << 12, 64, 1 << 18, 64).unwrap()),
+        (
+            "1 core".into(),
+            MachineSpec::three_level(1, 1 << 10, 8, 1 << 16, 32).unwrap(),
+        ),
+        (
+            "4 cores".into(),
+            MachineSpec::three_level(4, 1 << 10, 8, 1 << 17, 32).unwrap(),
+        ),
+        (
+            "16 cores".into(),
+            MachineSpec::three_level(16, 1 << 10, 8, 1 << 19, 32).unwrap(),
+        ),
+        (
+            "tiny L1s".into(),
+            MachineSpec::three_level(8, 128, 8, 1 << 18, 32).unwrap(),
+        ),
+        (
+            "huge blocks".into(),
+            MachineSpec::three_level(8, 1 << 12, 64, 1 << 18, 64).unwrap(),
+        ),
         ("Fig.1 h=5".to_string(), MachineSpec::example_h5()),
         (
             "deep h=4".into(),

@@ -9,7 +9,7 @@ use oblivious::hm::MachineSpec;
 use oblivious::mo::sched::{simulate, Policy};
 use oblivious::mo::{ForkHint, Recorder};
 
-fn main() {
+pub fn main() {
     // 1. Record an algorithm. It never mentions cores, cache sizes or
     //    block lengths — it only annotates parallel loops (CGC) and forks
     //    (SB / CGC⇒SB) with space bounds.
@@ -42,12 +42,22 @@ fn main() {
         );
         sums = Some((lo, hi));
     });
-    println!("recorded: {} memory ops, {} tasks", program.work(), program.tasks().len());
+    println!(
+        "recorded: {} memory ops, {} tasks",
+        program.work(),
+        program.tasks().len()
+    );
 
     // 2. Replay the same program on machines of different shapes.
     let machines = [
-        ("2 cores, tiny L1", MachineSpec::three_level(2, 256, 8, 1 << 16, 32).unwrap()),
-        ("8 cores, 3 levels", MachineSpec::three_level(8, 1 << 10, 8, 1 << 18, 32).unwrap()),
+        (
+            "2 cores, tiny L1",
+            MachineSpec::three_level(2, 256, 8, 1 << 16, 32).unwrap(),
+        ),
+        (
+            "8 cores, 3 levels",
+            MachineSpec::three_level(8, 1 << 10, 8, 1 << 18, 32).unwrap(),
+        ),
         ("8 cores, Fig. 1 (h=5)", MachineSpec::example_h5()),
     ];
     for (name, spec) in machines {

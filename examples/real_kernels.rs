@@ -14,7 +14,7 @@ use oblivious::algs::real::{
 };
 use oblivious::mo::rt::{HwHierarchy, SbPool};
 
-fn main() {
+pub fn main() {
     let pool = SbPool::detected();
     println!(
         "detected machine: {} cores, L1 cutoff {} words\n",
@@ -28,7 +28,11 @@ fn main() {
     let mut out = vec![0.0; n * n];
     let t0 = Instant::now();
     par_transpose(&pool, &a, &mut out, n);
-    println!("transpose {n}x{n}: {:?}  (stats {:?})", t0.elapsed(), pool.stats());
+    println!(
+        "transpose {n}x{n}: {:?}  (stats {:?})",
+        t0.elapsed(),
+        pool.stats()
+    );
     assert!(out[1] == a[n]);
 
     // Matmul.
@@ -38,7 +42,11 @@ fn main() {
     let mut c = vec![0.0; n * n];
     let t0 = Instant::now();
     par_matmul(&pool, &mut c, &a, &b, n);
-    println!("matmul {n}x{n}:    {:?}  (stats {:?})", t0.elapsed(), pool.stats());
+    println!(
+        "matmul {n}x{n}:    {:?}  (stats {:?})",
+        t0.elapsed(),
+        pool.stats()
+    );
 
     // FFT vs its serial baseline.
     let n = 1 << 16;
@@ -54,7 +62,10 @@ fn main() {
     for k in (0..n).step_by(997) {
         assert!((d1[k].0 - d2[k].0).abs() < 1e-6);
     }
-    println!("fft n={n}:        serial {ts:?} vs pool {tp:?}  (stats {:?})", pool.stats());
+    println!(
+        "fft n={n}:        serial {ts:?} vs pool {tp:?}  (stats {:?})",
+        pool.stats()
+    );
 
     // Sort and prefix sum.
     let n = 1 << 18;

@@ -12,7 +12,7 @@ use oblivious::hm::MachineSpec;
 use oblivious::mo::sched::{simulate, Policy};
 use oblivious::no::algs::fft::no_fft;
 
-fn main() {
+pub fn main() {
     let n = 1 << 12;
     // Two tones (bins 137 and 512) + deterministic pseudo-noise.
     let mut x = 1u64;
@@ -36,8 +36,12 @@ fn main() {
         assert!((spectrum[k].0 - want[k].0).abs() < 1e-6);
     }
     let mag = |v: (f64, f64)| (v.0 * v.0 + v.1 * v.1).sqrt();
-    let mut peaks: Vec<(usize, f64)> =
-        spectrum.iter().take(n / 2).map(|&v| mag(v)).enumerate().collect();
+    let mut peaks: Vec<(usize, f64)> = spectrum
+        .iter()
+        .take(n / 2)
+        .map(|&v| mag(v))
+        .enumerate()
+        .collect();
     peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top spectral peaks (bin, magnitude):");
     for (bin, m) in peaks.iter().take(2) {

@@ -1,0 +1,48 @@
+//! Verifier smoke test over every shipped example: each example's
+//! `main` is compiled into this harness and executed in a debug build,
+//! so every `simulate` call inside runs the `mo_core::verify` hook —
+//! an example that records a racy or bound-violating program fails here
+//! before it ever reaches a reader.
+
+#[path = "../examples/apsp_floyd_warshall.rs"]
+mod apsp_floyd_warshall;
+#[path = "../examples/graph_pipeline.rs"]
+mod graph_pipeline;
+#[path = "../examples/oblivious_everywhere.rs"]
+mod oblivious_everywhere;
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+#[path = "../examples/real_kernels.rs"]
+mod real_kernels;
+#[path = "../examples/spectral_fft.rs"]
+mod spectral_fft;
+
+#[test]
+fn quickstart_runs_and_verifies() {
+    quickstart::main();
+}
+
+#[test]
+fn apsp_floyd_warshall_runs_and_verifies() {
+    apsp_floyd_warshall::main();
+}
+
+#[test]
+fn graph_pipeline_runs_and_verifies() {
+    graph_pipeline::main();
+}
+
+#[test]
+fn oblivious_everywhere_runs_and_verifies() {
+    oblivious_everywhere::main();
+}
+
+#[test]
+fn real_kernels_runs_and_verifies() {
+    real_kernels::main();
+}
+
+#[test]
+fn spectral_fft_runs_and_verifies() {
+    spectral_fft::main();
+}

@@ -78,8 +78,12 @@ fn list_ranking_agrees_mo_no() {
 fn fft_convolution_roundtrip() {
     use algs::fft::fft_program;
     let n = 256usize;
-    let a: Vec<(f64, f64)> = (0..n).map(|i| (if i < 16 { 1.0 } else { 0.0 }, 0.0)).collect();
-    let b: Vec<(f64, f64)> = (0..n).map(|i| (if i < 8 { 0.5 } else { 0.0 }, 0.0)).collect();
+    let a: Vec<(f64, f64)> = (0..n)
+        .map(|i| (if i < 16 { 1.0 } else { 0.0 }, 0.0))
+        .collect();
+    let b: Vec<(f64, f64)> = (0..n)
+        .map(|i| (if i < 8 { 0.5 } else { 0.0 }, 0.0))
+        .collect();
     let fa = fft_program(&a).output();
     let fb = fft_program(&b).output();
     // Pointwise product, then inverse FFT = conj ∘ FFT ∘ conj / n.
@@ -97,7 +101,11 @@ fn fft_convolution_roundtrip() {
         for t in 0..n {
             direct += a[t].0 * b[(n + k - t) % n].0;
         }
-        assert!((conv[k] - direct).abs() < 1e-6, "k = {k}: {} vs {direct}", conv[k]);
+        assert!(
+            (conv[k] - direct).abs() < 1e-6,
+            "k = {k}: {} vs {direct}",
+            conv[k]
+        );
     }
 }
 
