@@ -12,6 +12,8 @@
 
 use mo_core::rt::{Ctx, Jobs, SbPool};
 
+pub mod registry;
+
 /// Parallel out-of-place matrix transposition (`n × n`, row-major):
 /// CGC-style row-band parallelism with a serial cache-oblivious recursive
 /// kernel per band.
@@ -210,6 +212,63 @@ pub fn par_prefix_sum(pool: &SbPool, a: &mut [u64]) {
     });
 }
 
+/// Parallel SpM-DV (`y = A·x`) over a CSR matrix: SB fork–join over row
+/// bands, with the space bound computed exactly from the row offsets —
+/// the real-machine counterpart of [`crate::spmdv::mo_spmdv`]'s
+/// `2m + 1 + 3·nnz` accounting (2 words per stored nonzero: column
+/// index + value, plus at most one `x` word per nonzero, plus the `y`
+/// segment and offset slice).
+pub fn par_spmdv(
+    pool: &SbPool,
+    row_ptr: &[usize],
+    cols: &[usize],
+    vals: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let m = y.len();
+    assert_eq!(row_ptr.len(), m + 1);
+    assert_eq!(cols.len(), vals.len());
+    assert_eq!(row_ptr[m], cols.len());
+    if m == 0 {
+        return;
+    }
+    pool.run(|ctx| spmdv_rows(ctx, row_ptr, cols, vals, x, y, 0));
+}
+
+fn spmdv_rows(
+    ctx: &Ctx<'_>,
+    row_ptr: &[usize],
+    cols: &[usize],
+    vals: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    r0: usize,
+) {
+    let rows = y.len();
+    if rows > 64 {
+        let mid = rows / 2;
+        let (yt, yb) = y.split_at_mut(mid);
+        let nnz_t = row_ptr[r0 + mid] - row_ptr[r0];
+        let nnz_b = row_ptr[r0 + rows] - row_ptr[r0 + mid];
+        ctx.join(
+            2 * mid + 1 + 3 * nnz_t,
+            |c| spmdv_rows(c, row_ptr, cols, vals, x, yt, r0),
+            2 * (rows - mid) + 1 + 3 * nnz_b,
+            |c| spmdv_rows(c, row_ptr, cols, vals, x, yb, r0 + mid),
+        );
+        return;
+    }
+    for (i, yi) in y.iter_mut().enumerate() {
+        let r = r0 + i;
+        let mut acc = 0.0;
+        for k in row_ptr[r]..row_ptr[r + 1] {
+            acc += vals[k] * x[cols[k]];
+        }
+        *yi = acc;
+    }
+}
+
 fn serial_exclusive(a: &mut [u64]) {
     let mut acc = 0u64;
     for v in a.iter_mut() {
@@ -402,6 +461,39 @@ mod tests {
             let p = pool();
             par_sort(&p, &mut data);
             assert_eq!(data, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn spmdv_matches_dense_reference() {
+        for m in [1usize, 17, 200, 1000] {
+            // Deterministic sparse matrix: ~5 nonzeros per row.
+            let mut x = 11u64 + m as u64;
+            let mut row_ptr = vec![0usize];
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            for _ in 0..m {
+                let deg = 1 + (x % 5) as usize;
+                for _ in 0..deg {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    cols.push(((x >> 33) as usize) % m);
+                    vals.push(((x >> 20) % 100) as f64 * 0.25);
+                }
+                row_ptr.push(cols.len());
+            }
+            let vin: Vec<f64> = (0..m).map(|i| (i as f64 * 0.1).sin()).collect();
+            let mut want = vec![0.0f64; m];
+            for r in 0..m {
+                for k in row_ptr[r]..row_ptr[r + 1] {
+                    want[r] += vals[k] * vin[cols[k]];
+                }
+            }
+            let p = pool();
+            let mut got = vec![0.0f64; m];
+            par_spmdv(&p, &row_ptr, &cols, &vals, &vin, &mut got);
+            for r in 0..m {
+                assert!((got[r] - want[r]).abs() < 1e-9, "m={m} r={r}");
+            }
         }
     }
 

@@ -1,0 +1,302 @@
+//! Kernel registry for the serving layer: every real-machine kernel the
+//! service can run, keyed by a [`Kernel`] tag, with an **analytic
+//! footprint function** — the space bound `s(τ)` in words that a job of
+//! size `n` declares to the scheduler and the admission controller.
+//!
+//! The footprint is the currency of the whole system: the recorded MO
+//! algorithms declare it per fork (and `mo_core::verify` audits it);
+//! the real pool serializes forks below the L1 cutoff with it; and
+//! `mo-serve` admits or queues whole *jobs* with it. The functions here
+//! count exactly the words a job's working set touches (inputs, outputs
+//! and scratch), mirroring the per-algorithm accounting documented on
+//! each kernel (e.g. [`crate::spmdv::spmdv_space`]).
+//!
+//! Jobs execute against deterministic seed-generated inputs and return
+//! a checksum, so callers (the server's batch path, the load generator,
+//! tests) can verify that batching and concurrency never change
+//! results. [`run_in`] takes a [`Ctx`], not a pool: a server worker
+//! enters the shared pool once and runs a whole batch under it, keeping
+//! the pool's fork statistics cumulative.
+
+use mo_core::rt::{Ctx, Jobs, SbPool};
+
+/// Average nonzeros per row of the generated SpM-DV instances.
+const SPMDV_DEG: usize = 8;
+
+/// The kernels the serving layer knows how to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Out-of-place `n × n` matrix transposition.
+    Transpose,
+    /// Complex FFT of length `n` (rounded up to a power of two).
+    Fft,
+    /// `n × n` matrix multiplication (I-GEP's matmul instance).
+    Matmul,
+    /// Sort of `n` 64-bit keys.
+    Sort,
+    /// Sparse matrix × dense vector, `n` rows of ~[`SPMDV_DEG`] nonzeros.
+    SpmDv,
+}
+
+impl Kernel {
+    /// Every registered kernel.
+    pub const ALL: [Kernel; 5] = [
+        Kernel::Transpose,
+        Kernel::Fft,
+        Kernel::Matmul,
+        Kernel::Sort,
+        Kernel::SpmDv,
+    ];
+
+    /// Stable lower-case name (scenario files, metrics labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Transpose => "transpose",
+            Kernel::Fft => "fft",
+            Kernel::Matmul => "matmul",
+            Kernel::Sort => "sort",
+            Kernel::SpmDv => "spmdv",
+        }
+    }
+
+    /// Parse a [`name`](Self::name), case-insensitively.
+    pub fn parse(s: &str) -> Option<Kernel> {
+        Kernel::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s.trim()))
+    }
+
+    /// Index of this kernel inside [`Kernel::ALL`].
+    pub fn index(self) -> usize {
+        Kernel::ALL.iter().position(|k| *k == self).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Analytic footprint in words of a size-`n` job: every word of input,
+/// output and scratch the kernel touches. This is the space bound the
+/// job declares to admission control.
+pub fn footprint_words(kernel: Kernel, n: usize) -> usize {
+    match kernel {
+        // a (n²) + out (n²).
+        Kernel::Transpose => 2 * n * n,
+        // x + scratch, 2 words per complex sample, length rounded up.
+        Kernel::Fft => 4 * n.next_power_of_two(),
+        // a + b + c.
+        Kernel::Matmul => 3 * n * n,
+        // keys + merge scratch.
+        Kernel::Sort => 2 * n,
+        // row_ptr (n+1) + cols (deg·n) + vals (deg·n) + x (n) + y (n).
+        Kernel::SpmDv => (3 + 2 * SPMDV_DEG) * n + 1,
+    }
+}
+
+/// Splitmix-style generator so inputs are cheap and deterministic.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn f64_unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn checksum_f64(xs: &[f64]) -> u64 {
+    xs.iter().fold(0u64, |acc, v| {
+        acc.wrapping_mul(31).wrapping_add(v.to_bits())
+    })
+}
+
+/// Ctx-native parallel merge sort (SB fork–join splits, serial merges):
+/// unlike [`super::par_sort`] it never re-enters the pool, so a server
+/// batch can run many of these under one `enter`.
+fn sort_in_ctx(ctx: &Ctx<'_>, data: &mut [u64], scratch: &mut [u64]) {
+    let n = data.len();
+    if n <= 2048 {
+        data.sort_unstable();
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (dl, dr) = data.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        ctx.join(
+            2 * dl.len(),
+            |c| sort_in_ctx(c, dl, sl),
+            2 * dr.len(),
+            |c| sort_in_ctx(c, dr, sr),
+        );
+    }
+    // Serial merge through scratch.
+    scratch.copy_from_slice(data);
+    let (a, b) = scratch.split_at(mid);
+    let (mut i, mut j) = (0usize, 0usize);
+    for slot in data.iter_mut() {
+        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Run one job of `kernel` at size `n` with seed-generated inputs inside
+/// an existing pool context; returns the output checksum. Deterministic
+/// in `(kernel, n, seed)` regardless of batching or thread schedule.
+pub fn run_in(ctx: &Ctx<'_>, kernel: Kernel, n: usize, seed: u64) -> u64 {
+    let n = n.max(1);
+    let mut g = Gen(seed ^ (kernel.index() as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+    match kernel {
+        Kernel::Transpose => {
+            let a: Vec<f64> = (0..n * n).map(|_| g.f64_unit()).collect();
+            let mut out = vec![0.0f64; n * n];
+            super::band_transpose(ctx, &a, &mut out, n, 0);
+            checksum_f64(&out)
+        }
+        Kernel::Fft => {
+            let len = n.next_power_of_two();
+            let mut x: Vec<super::C64> = (0..len).map(|_| (g.f64_unit(), g.f64_unit())).collect();
+            if len <= 32 {
+                super::serial_fft(&mut x);
+            } else {
+                let mut scratch = vec![(0.0, 0.0); len];
+                super::fft_rec(ctx, &mut x, &mut scratch);
+            }
+            x.iter().fold(0u64, |acc, c| {
+                acc.wrapping_mul(31)
+                    .wrapping_add(c.0.to_bits() ^ c.1.to_bits())
+            })
+        }
+        Kernel::Matmul => {
+            let a: Vec<f64> = (0..n * n).map(|_| g.f64_unit()).collect();
+            let b: Vec<f64> = (0..n * n).map(|_| g.f64_unit()).collect();
+            let mut c = vec![0.0f64; n * n];
+            super::mm_rows(ctx, &mut c, &a, &b, n);
+            checksum_f64(&c)
+        }
+        Kernel::Sort => {
+            let mut data: Vec<u64> = (0..n).map(|_| g.next()).collect();
+            let mut scratch = vec![0u64; n];
+            sort_in_ctx(ctx, &mut data, &mut scratch);
+            data.iter()
+                .fold(0u64, |acc, v| acc.wrapping_mul(31).wrapping_add(*v))
+        }
+        Kernel::SpmDv => {
+            let mut row_ptr = Vec::with_capacity(n + 1);
+            row_ptr.push(0usize);
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            for _ in 0..n {
+                let deg = 1 + (g.next() as usize) % (2 * SPMDV_DEG - 1);
+                for _ in 0..deg {
+                    cols.push((g.next() as usize) % n);
+                    vals.push(g.f64_unit());
+                }
+                row_ptr.push(cols.len());
+            }
+            let x: Vec<f64> = (0..n).map(|_| g.f64_unit()).collect();
+            let mut y = vec![0.0f64; n];
+            super::spmdv_rows(ctx, &row_ptr, &cols, &vals, &x, &mut y, 0);
+            checksum_f64(&y)
+        }
+    }
+}
+
+/// Convenience single-job entry: enters `pool` (without resetting its
+/// statistics) and runs the job.
+pub fn run_kernel(pool: &SbPool, kernel: Kernel, n: usize, seed: u64) -> u64 {
+    pool.enter(|ctx| run_in(ctx, kernel, n, seed))
+}
+
+/// Run a CGC⇒SB-style batch of same-kernel, same-size (hence
+/// equal-footprint) jobs: one `join_all` whose per-job space bound is
+/// the analytic footprint, so the pool spreads the batch evenly over
+/// the cores exactly like an expanded CGC⇒SB fork. Returns one checksum
+/// per seed, in order.
+pub fn run_batch_in(ctx: &Ctx<'_>, kernel: Kernel, n: usize, seeds: &[u64]) -> Vec<u64> {
+    let space_each = footprint_words(kernel, n);
+    let jobs: Jobs<'_, u64> = seeds
+        .iter()
+        .map(|&seed| Box::new(move |c: &Ctx<'_>| run_in(c, kernel, n, seed)) as _)
+        .collect();
+    ctx.join_all(space_each, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mo_core::rt::HwHierarchy;
+
+    fn pool() -> SbPool {
+        SbPool::new(HwHierarchy::flat(4, 1 << 12, 1 << 22))
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::parse(k.name()), Some(k));
+            assert_eq!(Kernel::parse(&k.name().to_uppercase()), Some(k));
+            assert_eq!(Kernel::ALL[k.index()], k);
+        }
+        assert_eq!(Kernel::parse("no-such-kernel"), None);
+    }
+
+    #[test]
+    fn footprints_are_monotone_in_n() {
+        for k in Kernel::ALL {
+            let mut prev = 0usize;
+            for n in [16usize, 64, 256, 1024] {
+                let f = footprint_words(k, n);
+                assert!(f > prev, "{k} footprint not monotone at n={n}");
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_across_schedules() {
+        // Same (kernel, n, seed) must hash identically on 1-core and
+        // 4-core pools and under run_kernel vs a batched run.
+        let p1 = SbPool::new(HwHierarchy::flat(1, 1 << 12, 1 << 22));
+        let p4 = pool();
+        for k in Kernel::ALL {
+            let n = match k {
+                Kernel::Transpose | Kernel::Matmul => 48,
+                _ => 3000,
+            };
+            let a = run_kernel(&p1, k, n, 42);
+            let b = run_kernel(&p4, k, n, 42);
+            assert_eq!(a, b, "{k} differs across pools");
+            let batched = p4.enter(|ctx| run_batch_in(ctx, k, n, &[41, 42, 43]));
+            assert_eq!(batched[1], a, "{k} differs when batched");
+            assert_ne!(batched[0], batched[2], "{k} seeds collide");
+        }
+    }
+
+    #[test]
+    fn sort_in_ctx_sorts_large_inputs() {
+        let p = pool();
+        let mut g = Gen(7);
+        let mut data: Vec<u64> = (0..50_000).map(|_| g.next()).collect();
+        let mut want = data.clone();
+        want.sort_unstable();
+        let mut scratch = vec![0u64; data.len()];
+        p.run(|ctx| sort_in_ctx(ctx, &mut data, &mut scratch));
+        assert_eq!(data, want);
+    }
+}

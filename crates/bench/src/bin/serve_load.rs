@@ -1,0 +1,331 @@
+//! Load generator for the `mo-serve` kernel service.
+//!
+//! ```text
+//! cargo run --release -p mo-bench --bin serve_load -- [flags]
+//!
+//!   --smoke               bounded CI run: boot, serve a mixed batch
+//!                         closed-loop, assert a clean drain, exit
+//!   --mode open|closed    open loop: fixed arrival rate regardless of
+//!                         completions (measures shedding under a set
+//!                         offered load); closed loop: each client
+//!                         submits, waits, repeats (measures capacity)
+//!   --rate R              open-loop arrivals per second   [default 200]
+//!   --clients C           closed-loop client threads      [default 4]
+//!   --duration SECS       run length in seconds           [default 5]
+//!   --queue-cap N         server queue bound              [default 256]
+//!   --deadline-ms MS      per-job queue deadline          [default 500]
+//!   --scenario FILE       workload file: `kernel size weight` lines
+//!                         (default: built-in mixed workload; see
+//!                         crates/bench/scenarios/mixed.scn)
+//! ```
+//!
+//! Both modes print the server's final [`MetricsSnapshot`] plus a
+//! client-side outcome tally, and exit non-zero if the drain left
+//! anything queued or admitted — so the smoke run doubles as an
+//! end-to-end assertion in CI.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use mo_serve::{HwHierarchy, JobSpec, Kernel, Outcome, Rejected, ServeConfig, Server, Ticket};
+
+/// One weighted line of the workload mix.
+#[derive(Debug, Clone, Copy)]
+struct Mix {
+    kernel: Kernel,
+    n: usize,
+    weight: u32,
+}
+
+fn builtin_mix() -> Vec<Mix> {
+    [
+        (Kernel::Sort, 1024, 2),
+        (Kernel::Sort, 4096, 4),
+        (Kernel::Sort, 20_000, 1),
+        (Kernel::Fft, 4096, 3),
+        (Kernel::Fft, 16_384, 1),
+        (Kernel::SpmDv, 2048, 3),
+        (Kernel::Transpose, 128, 2),
+        (Kernel::Transpose, 256, 1),
+        (Kernel::Matmul, 96, 2),
+        (Kernel::Matmul, 160, 1),
+    ]
+    .into_iter()
+    .map(|(kernel, n, weight)| Mix { kernel, n, weight })
+    .collect()
+}
+
+fn parse_scenario(path: &str) -> Result<Vec<Mix>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut mix = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let err = |what: &str| format!("{path}:{}: {what}: {line:?}", lineno + 1);
+        let kernel = it
+            .next()
+            .and_then(Kernel::parse)
+            .ok_or_else(|| err("unknown kernel"))?;
+        let n = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("bad size"))?;
+        let weight = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("bad weight"))?;
+        if it.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        mix.push(Mix { kernel, n, weight });
+    }
+    if mix.is_empty() {
+        return Err(format!("{path}: no workload lines"));
+    }
+    Ok(mix)
+}
+
+/// Deterministic weighted draw.
+struct Draw {
+    mix: Vec<Mix>,
+    total: u32,
+    state: u64,
+}
+
+impl Draw {
+    fn new(mix: Vec<Mix>, seed: u64) -> Self {
+        let total = mix.iter().map(|m| m.weight).sum::<u32>().max(1);
+        Self {
+            mix,
+            total,
+            state: seed | 1,
+        }
+    }
+
+    fn next(&mut self) -> (Kernel, usize, u64) {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut pick = ((self.state >> 33) as u32) % self.total;
+        for m in &self.mix {
+            if pick < m.weight {
+                return (m.kernel, m.n, self.state);
+            }
+            pick -= m.weight;
+        }
+        let m = self.mix[0];
+        (m.kernel, m.n, self.state)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    done: AtomicU64,
+    shed_submit: AtomicU64,
+    shed_deadline: AtomicU64,
+}
+
+impl Tally {
+    fn count(&self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Done(_) => self.done.fetch_add(1, Ordering::Relaxed),
+            Outcome::Rejected(Rejected::DeadlineExpired { .. }) => {
+                self.shed_deadline.fetch_add(1, Ordering::Relaxed)
+            }
+            Outcome::Rejected(_) => self.shed_submit.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+struct Args {
+    smoke: bool,
+    open_loop: bool,
+    rate: f64,
+    clients: usize,
+    duration: Duration,
+    queue_cap: usize,
+    deadline: Duration,
+    scenario: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        open_loop: false,
+        rate: 200.0,
+        clients: 4,
+        duration: Duration::from_secs(5),
+        queue_cap: 256,
+        deadline: Duration::from_millis(500),
+        scenario: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--mode" => {
+                args.open_loop = match val("--mode")?.as_str() {
+                    "open" => true,
+                    "closed" => false,
+                    m => return Err(format!("unknown mode {m:?}")),
+                }
+            }
+            "--rate" => args.rate = val("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--clients" => {
+                args.clients = val("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--duration" => {
+                args.duration = Duration::from_secs_f64(
+                    val("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?,
+                )
+            }
+            "--queue-cap" => {
+                args.queue_cap = val("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--deadline-ms" => {
+                args.deadline = Duration::from_millis(
+                    val("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--scenario" => args.scenario = Some(val("--scenario")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Closed loop: each client thread submits one job, waits for its
+/// outcome, and repeats until the deadline — offered load tracks
+/// service capacity, so this measures throughput and latency.
+fn closed_loop(server: &Server, draw: &mut Draw, tally: &Tally, clients: usize, until: Instant) {
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let mut draw = Draw::new(draw.mix.clone(), draw.state ^ ((c as u64 + 1) << 32));
+            s.spawn(move || {
+                while Instant::now() < until {
+                    let (kernel, n, seed) = draw.next();
+                    match server.submit(JobSpec::new(kernel, n, seed)) {
+                        Ok(ticket) => tally.count(&ticket.wait()),
+                        Err(r) => tally.count(&Outcome::Rejected(r)),
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Open loop: arrivals at a fixed rate no matter how the server is
+/// doing — the saturating regime where admission control and shedding
+/// must carry the overload. Tickets resolve on collector threads.
+fn open_loop(server: &Server, draw: &mut Draw, tally: &Tally, rate: f64, until: Instant) {
+    let interval = Duration::from_secs_f64(1.0 / rate.max(0.001));
+    let (tx, rx) = mpsc::channel::<Ticket>();
+    std::thread::scope(|s| {
+        let collector = s.spawn(move || {
+            while let Ok(ticket) = rx.recv() {
+                tally.count(&ticket.wait());
+            }
+        });
+        let mut next_at = Instant::now();
+        while Instant::now() < until {
+            let (kernel, n, seed) = draw.next();
+            match server.submit(JobSpec::new(kernel, n, seed)) {
+                Ok(ticket) => {
+                    let _ = tx.send(ticket);
+                }
+                Err(r) => tally.count(&Outcome::Rejected(r)),
+            }
+            next_at += interval;
+            if let Some(sleep) = next_at.checked_duration_since(Instant::now()) {
+                std::thread::sleep(sleep);
+            }
+        }
+        drop(tx);
+        let _ = collector.join();
+    });
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mix = match &args.scenario {
+        Some(path) => match parse_scenario(path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("serve_load: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => builtin_mix(),
+    };
+    let (duration, clients, rate) = if args.smoke {
+        (Duration::from_millis(1500), 2, 100.0)
+    } else {
+        (args.duration, args.clients, args.rate)
+    };
+    let hier = HwHierarchy::detect();
+    println!(
+        "machine: {} cores, {} cache levels (L1 {} words); mode: {}; {} mix lines; {:?} run",
+        hier.cores(),
+        hier.levels().len(),
+        hier.l1_capacity(),
+        if args.open_loop { "open" } else { "closed" },
+        mix.len(),
+        duration,
+    );
+    let server = Server::start(
+        hier,
+        ServeConfig {
+            queue_cap: args.queue_cap,
+            default_deadline: args.deadline,
+            ..ServeConfig::default()
+        },
+    );
+    let mut draw = Draw::new(mix, 0xfeed_face);
+    let tally = Tally::default();
+    let until = Instant::now() + duration;
+    if args.open_loop {
+        open_loop(&server, &mut draw, &tally, rate, until);
+    } else {
+        closed_loop(&server, &mut draw, &tally, clients, until);
+    }
+    let snapshot = server.drain();
+    println!("\n{snapshot}");
+    let done = tally.done.load(Ordering::Relaxed);
+    let shed_submit = tally.shed_submit.load(Ordering::Relaxed);
+    let shed_deadline = tally.shed_deadline.load(Ordering::Relaxed);
+    println!(
+        "client tally: {done} served, {shed_submit} refused at submit, {shed_deadline} shed by deadline ({:.1} jobs/s served)",
+        done as f64 / duration.as_secs_f64()
+    );
+    // The run doubles as an assertion: the drain must be clean and the
+    // server must have made progress. In smoke mode this gates CI.
+    let clean = snapshot.queue_depth == 0
+        && snapshot.levels.iter().all(|l| l.inflight_words == 0)
+        && snapshot.completed_total() == done
+        && done > 0;
+    if !clean {
+        eprintln!("serve_load: drain was not clean");
+        std::process::exit(1);
+    }
+    println!("drain clean");
+}

@@ -26,6 +26,8 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering};
 
+pub mod sysfs;
+
 /// One level of the real machine's hierarchy (capacity in *words*, i.e.
 /// `u64`-sized units, to match the simulator's convention).
 #[derive(Debug, Clone, Copy)]
@@ -65,9 +67,18 @@ impl HwHierarchy {
         ])
     }
 
-    /// Best-effort detection: `available_parallelism` cores, a 32 KiB L1
-    /// and an 8 MiB shared last-level cache (the common desktop shape).
+    /// Best-effort detection of the running machine.
+    ///
+    /// On Linux the full multi-level hierarchy (every data/unified cache
+    /// level with its real capacity and sharing fanout) is probed from
+    /// `/sys/devices/system/cpu/cpu*/cache/index*` — see [`sysfs::probe`].
+    /// When sysfs is absent or unreadable (non-Linux, sandboxes), falls
+    /// back to `available_parallelism` cores with a 32 KiB L1 under an
+    /// 8 MiB shared last-level cache (the common desktop shape).
     pub fn detect() -> Self {
+        if let Some(h) = sysfs::probe(std::path::Path::new("/sys/devices/system/cpu")) {
+            return h;
+        }
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -87,6 +98,34 @@ impl HwHierarchy {
     /// The levels, L1 first.
     pub fn levels(&self) -> &[HwLevel] {
         &self.levels
+    }
+
+    /// Per-instance capacity of level `level` in words, or `None` when
+    /// the level does not exist (the non-panicking capacity query).
+    pub fn level_capacity(&self, level: usize) -> Option<usize> {
+        self.levels.get(level).map(|l| l.capacity)
+    }
+
+    /// Number of physical cache instances at `level`: the product of the
+    /// fanouts *above* it (one LLC, `cores()` L1s on a flat machine).
+    pub fn instances_at(&self, level: usize) -> Option<usize> {
+        if level >= self.levels.len() {
+            return None;
+        }
+        Some(self.levels[level + 1..].iter().map(|l| l.fanout).product())
+    }
+
+    /// Machine-wide capacity of `level` in words: per-instance capacity
+    /// times the number of instances.
+    pub fn aggregate_capacity(&self, level: usize) -> Option<usize> {
+        Some(self.level_capacity(level)? * self.instances_at(level)?)
+    }
+
+    /// The smallest level whose *per-instance* capacity holds `words` —
+    /// where the SB scheduler would anchor a task of that footprint.
+    /// `None` when the footprint exceeds even the outermost cache.
+    pub fn anchor_level(&self, words: usize) -> Option<usize> {
+        self.levels.iter().position(|l| l.capacity >= words)
     }
 }
 
@@ -154,8 +193,24 @@ impl SbPool {
         self.stats.parallel_forks.store(0, Ordering::Relaxed);
         self.stats.serial_forks.store(0, Ordering::Relaxed);
         self.stats.denied_forks.store(0, Ordering::Relaxed);
+        self.enter(f)
+    }
+
+    /// Like [`run`](Self::run) but *without* resetting [`stats`](Self::stats)
+    /// (monotone counters accumulate across entries). This is the entry
+    /// point for long-lived services where several threads run tasks on
+    /// one shared pool concurrently: resetting would race, and a server
+    /// wants cumulative fork counts for its metrics deltas anyway.
+    pub fn enter<R: Send>(&self, f: impl FnOnce(&Ctx<'_>) -> R + Send) -> R {
         let ctx = Ctx { pool: self };
         f(&ctx)
+    }
+
+    /// Core permits currently available: how many additional parallel
+    /// forks the pool would grant right now. Never negative; purely
+    /// advisory under concurrency.
+    pub fn available_permits(&self) -> usize {
+        self.permits.load(Ordering::Relaxed).max(0) as usize
     }
 
     fn try_acquire(&self) -> bool {
@@ -228,13 +283,13 @@ impl<'p> Ctx<'p> {
         out
     }
 
-    /// N-way SB fork–join over homogeneous closures.
+    /// N-way SB fork–join over homogeneous closures. An empty batch is a
+    /// no-op returning an empty `Vec`.
     pub fn join_all<R: Send>(&self, space_each: usize, fs: Jobs<'_, R>) -> Vec<R> {
         match fs.len() {
-            0 => Vec::new(),
-            1 => {
+            0 | 1 => {
                 let mut fs = fs;
-                vec![fs.pop().unwrap()(self)]
+                fs.pop().map(|f| vec![f(self)]).unwrap_or_default()
             }
             _ => {
                 let mut fs = fs;
@@ -385,6 +440,52 @@ mod tests {
         // Permits restored.
         assert!(p.try_acquire());
         p.release();
+    }
+
+    #[test]
+    fn join_all_empty_returns_empty() {
+        // Regression: an empty batch used to reach a `pop().unwrap()`
+        // style path; it must be a clean no-op.
+        let p = pool();
+        let out: Vec<u32> = p.run(|ctx| ctx.join_all(1 << 14, Vec::new()));
+        assert!(out.is_empty());
+        let one: Vec<u32> = p.run(|ctx| {
+            let fs: Jobs<'_, u32> = vec![Box::new(|_: &Ctx<'_>| 7)];
+            ctx.join_all(1 << 14, fs)
+        });
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn capacity_queries_are_total() {
+        let h = HwHierarchy::flat(4, 1024, 1 << 20);
+        assert_eq!(h.level_capacity(0), Some(1024));
+        assert_eq!(h.level_capacity(1), Some(1 << 20));
+        assert_eq!(h.level_capacity(2), None);
+        assert_eq!(h.instances_at(0), Some(4));
+        assert_eq!(h.instances_at(1), Some(1));
+        assert_eq!(h.instances_at(9), None);
+        assert_eq!(h.aggregate_capacity(0), Some(4 * 1024));
+        assert_eq!(h.aggregate_capacity(1), Some(1 << 20));
+        assert_eq!(h.anchor_level(100), Some(0));
+        assert_eq!(h.anchor_level(1024), Some(0));
+        assert_eq!(h.anchor_level(1025), Some(1));
+        assert_eq!(h.anchor_level(usize::MAX), None);
+    }
+
+    #[test]
+    fn enter_accumulates_stats_and_permits_recover() {
+        let p = pool();
+        assert_eq!(p.available_permits(), 3);
+        p.run(|ctx| {
+            ctx.join(1 << 16, |_| (), 1 << 16, |_| ());
+        });
+        p.enter(|ctx| {
+            ctx.join(1 << 16, |_| (), 1 << 16, |_| ());
+        });
+        // enter() did not reset the counter from run().
+        assert_eq!(p.stats().parallel_forks, 2);
+        assert_eq!(p.available_permits(), 3);
     }
 
     #[test]

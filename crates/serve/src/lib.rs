@@ -1,0 +1,216 @@
+//! # mo-serve — a space-bound-aware kernel service
+//!
+//! The paper's contract is that algorithms declare only a space bound
+//! `s(τ)` and a machine-aware scheduler does the placement. This crate
+//! lifts that contract one layer up, from tasks inside one computation
+//! to **jobs inside a service**: clients submit kernel requests
+//! (transpose, FFT, matmul, sort, SpM-DV over the real kernels of
+//! `mo_algorithms::real`), each carrying a footprint derived from its
+//! declared size by the registry's analytic space functions, and the
+//! server decides *when* a job may run at all:
+//!
+//! * **SB admission control** — a job starts only when some cache level
+//!   of the serving [`HwHierarchy`] fits its footprint per-instance and
+//!   has that much aggregate capacity left over the jobs in flight;
+//! * **backpressure** — a bounded queue with per-job deadlines and
+//!   typed [`Rejected`] load-shedding instead of unbounded growth;
+//! * **CGC⇒SB batching** — small queued jobs of the same kernel and
+//!   size form equal-footprint batches that anchor where their total
+//!   fits and spread evenly over the cores through one `join_all`;
+//! * **observability** — per-kernel and per-level counters plus latency
+//!   quantiles behind a cheap [`MetricsSnapshot`] API;
+//! * **graceful drain** — shutdown stops intake, finishes (or sheds)
+//!   the queue, and resolves every outstanding [`Ticket`].
+//!
+//! ```
+//! use mo_serve::{JobSpec, Kernel, Server};
+//!
+//! let server = Server::detected();
+//! let ticket = server.submit(JobSpec::new(Kernel::Sort, 10_000, 42)).unwrap();
+//! assert!(ticket.wait().is_done());
+//! let snapshot = server.drain();
+//! assert_eq!(snapshot.completed_total(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod metrics;
+mod server;
+
+pub use job::{Done, JobSpec, Kernel, Outcome, Rejected, Ticket};
+pub use metrics::{KernelSnapshot, LevelSnapshot, MetricsSnapshot};
+pub use server::{ServeConfig, Server};
+
+pub use mo_core::rt::HwHierarchy;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn small_server(queue_cap: usize, batch_max: usize) -> Server {
+        Server::start(
+            HwHierarchy::flat(4, 2048, 1 << 16),
+            ServeConfig {
+                workers: 2,
+                queue_cap,
+                default_deadline: Duration::from_secs(10),
+                batch_max,
+                batch_words_max: Some(4096),
+            },
+        )
+    }
+
+    #[test]
+    fn serves_one_job_per_kernel() {
+        let server = small_server(64, 1);
+        let tickets: Vec<_> = Kernel::ALL
+            .iter()
+            .map(|&k| {
+                let n = match k {
+                    Kernel::Transpose | Kernel::Matmul => 64,
+                    // 19n + 1 words must stay inside the 64 KiW L2.
+                    Kernel::SpmDv => 2048,
+                    _ => 4096,
+                };
+                (k, server.submit(JobSpec::new(k, n, 7)).unwrap())
+            })
+            .collect();
+        for (k, t) in tickets {
+            match t.wait() {
+                Outcome::Done(d) => assert_eq!(d.batch_size, 1, "{k}"),
+                Outcome::Rejected(r) => panic!("{k} rejected: {r:?}"),
+            }
+        }
+        let snap = server.drain();
+        assert_eq!(snap.completed_total(), Kernel::ALL.len() as u64);
+        assert_eq!(snap.shed_total(), 0);
+        assert_eq!(snap.queue_depth, 0);
+        assert!(snap.levels.iter().all(|l| l.inflight_words == 0));
+    }
+
+    #[test]
+    fn results_are_deterministic_and_batch_independent() {
+        // The same spec must hash identically whether it ran solo on a
+        // fresh server or batched among strangers.
+        let solo = {
+            let server = small_server(64, 1);
+            match server
+                .submit(JobSpec::new(Kernel::Sort, 1000, 5))
+                .unwrap()
+                .wait()
+            {
+                Outcome::Done(d) => d.checksum,
+                r => panic!("rejected: {r:?}"),
+            }
+        };
+        let server = small_server(256, 8);
+        let tickets: Vec<_> = (0..40)
+            .map(|i| {
+                server
+                    .submit(JobSpec::new(Kernel::Sort, 1000, i % 10))
+                    .unwrap()
+            })
+            .collect();
+        let mut batched_seed5 = Vec::new();
+        for (i, t) in tickets.into_iter().enumerate() {
+            if let Outcome::Done(d) = t.wait() {
+                if i % 10 == 5 {
+                    batched_seed5.push(d.checksum);
+                }
+            } else {
+                panic!("job {i} rejected");
+            }
+        }
+        assert!(!batched_seed5.is_empty());
+        assert!(batched_seed5.iter().all(|&c| c == solo));
+    }
+
+    #[test]
+    fn small_same_kernel_jobs_batch() {
+        let server = Server::start(
+            HwHierarchy::flat(4, 2048, 1 << 16),
+            ServeConfig {
+                workers: 1,
+                queue_cap: 256,
+                default_deadline: Duration::from_secs(10),
+                batch_max: 8,
+                batch_words_max: Some(4096),
+            },
+        );
+        // Block the single worker behind a slow unbatchable job so the
+        // small sorts (n=1000 → 2000 words ≤ batch_words_max) pile up,
+        // then get coalesced deterministically.
+        let blocker = server.submit(JobSpec::new(Kernel::Matmul, 96, 0)).unwrap();
+        let tickets: Vec<_> = (0..32)
+            .map(|i| server.submit(JobSpec::new(Kernel::Sort, 1000, i)).unwrap())
+            .collect();
+        assert!(blocker.wait().is_done());
+        let mut max_batch = 0usize;
+        for t in tickets {
+            if let Outcome::Done(d) = t.wait() {
+                max_batch = max_batch.max(d.batch_size);
+            }
+        }
+        let snap = server.drain();
+        let sort = &snap.kernels[Kernel::Sort.index()];
+        assert_eq!(sort.completed, 32);
+        assert!(max_batch > 1, "no batch ever formed");
+        assert!(sort.batches >= 1);
+        assert!(sort.batched_jobs >= max_batch as u64);
+    }
+
+    #[test]
+    fn too_large_jobs_are_refused_with_type() {
+        let server = small_server(8, 1);
+        // Matmul n=512 → 786432 words > L2 (65536): no level fits.
+        match server.submit(JobSpec::new(Kernel::Matmul, 512, 0)) {
+            Err(Rejected::TooLarge { footprint, largest }) => {
+                assert!(footprint > largest);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        let snap = server.drain();
+        assert_eq!(snap.kernels[Kernel::Matmul.index()].shed_too_large, 1);
+    }
+
+    #[test]
+    fn draining_server_refuses_new_work() {
+        let server = small_server(8, 1);
+        server.shutdown();
+        match server.submit(JobSpec::new(Kernel::Sort, 100, 0)) {
+            Err(Rejected::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_jobs_are_shed_not_hung() {
+        let server = small_server(64, 1);
+        // Saturate both workers with real work, then submit zero-deadline
+        // jobs that must expire in the queue.
+        let busy: Vec<_> = (0..4)
+            .map(|i| server.submit(JobSpec::new(Kernel::Matmul, 96, i)).unwrap())
+            .collect();
+        let doomed = server
+            .submit(JobSpec {
+                kernel: Kernel::Sort,
+                n: 4096,
+                seed: 0,
+                deadline: Some(Duration::ZERO),
+            })
+            .unwrap();
+        match doomed.wait() {
+            Outcome::Rejected(Rejected::DeadlineExpired { .. }) => {}
+            Outcome::Done(_) => panic!("zero-deadline job must not run"),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        for t in busy {
+            assert!(t.wait().is_done());
+        }
+        let snap = server.drain();
+        assert_eq!(snap.kernels[Kernel::Sort.index()].shed_deadline, 1);
+    }
+}

@@ -1,0 +1,367 @@
+//! Lock-free service metrics and their snapshot API.
+//!
+//! Counters are plain relaxed atomics bumped on the hot paths; latency
+//! is a fixed set of log₂-microsecond buckets per kernel, so quantiles
+//! cost a 48-entry walk and recording costs one `fetch_add`. A
+//! [`MetricsSnapshot`] is a plain-data copy suitable for printing,
+//! asserting in tests, or shipping to an external collector.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use mo_core::rt::RtStats;
+
+use crate::job::Kernel;
+
+const NBUCKETS: usize = 48;
+
+/// Log₂-microsecond latency histogram.
+#[derive(Debug)]
+pub(crate) struct LatencyHist {
+    buckets: [AtomicU64; NBUCKETS],
+}
+
+impl LatencyHist {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub(crate) fn record(&self, d: Duration) {
+        let us = d.as_micros() as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(NBUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Quantile over a log₂ histogram: upper bound (in ms) of the bucket
+/// where the cumulative count crosses `q`. `None` without samples.
+fn quantile_ms(buckets: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (idx, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            // Bucket idx holds latencies in [2^(idx-1), 2^idx) µs.
+            let upper_us = if idx >= 63 { u64::MAX } else { 1u64 << idx };
+            return Some(upper_us as f64 / 1000.0);
+        }
+    }
+    None
+}
+
+#[derive(Debug)]
+pub(crate) struct KernelCells {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) shed_queue_full: AtomicU64,
+    pub(crate) shed_deadline: AtomicU64,
+    pub(crate) shed_too_large: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_jobs: AtomicU64,
+    pub(crate) latency: LatencyHist,
+}
+
+impl KernelCells {
+    fn new() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            shed_too_large: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+            latency: LatencyHist::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct LevelCells {
+    pub(crate) admitted_jobs: AtomicU64,
+    pub(crate) admitted_words: AtomicU64,
+    pub(crate) peak_inflight_words: AtomicUsize,
+}
+
+impl LevelCells {
+    fn new() -> Self {
+        Self {
+            admitted_jobs: AtomicU64::new(0),
+            admitted_words: AtomicU64::new(0),
+            peak_inflight_words: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// The server's live counters (internal; read via snapshots).
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    pub(crate) kernels: Vec<KernelCells>,
+    pub(crate) levels: Vec<LevelCells>,
+    pub(crate) queue_peak: AtomicUsize,
+}
+
+impl Metrics {
+    pub(crate) fn new(nlevels: usize) -> Self {
+        Self {
+            kernels: Kernel::ALL.iter().map(|_| KernelCells::new()).collect(),
+            levels: (0..nlevels).map(|_| LevelCells::new()).collect(),
+            queue_peak: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn kernel(&self, k: Kernel) -> &KernelCells {
+        &self.kernels[k.index()]
+    }
+
+    pub(crate) fn note_peak_inflight(&self, level: usize, inflight: usize) {
+        self.levels[level]
+            .peak_inflight_words
+            .fetch_max(inflight, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_queue_depth(&self, depth: usize) {
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// Per-kernel counters at snapshot time.
+#[derive(Debug, Clone)]
+pub struct KernelSnapshot {
+    /// Which kernel this row describes.
+    pub kernel: Kernel,
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs served to completion.
+    pub completed: u64,
+    /// Jobs shed at submission because the queue was full.
+    pub shed_queue_full: u64,
+    /// Jobs shed in the queue past their deadline.
+    pub shed_deadline: u64,
+    /// Jobs rejected because no cache level could ever hold them.
+    pub shed_too_large: u64,
+    /// Batches executed (each ≥ 2 jobs).
+    pub batches: u64,
+    /// Jobs that ran inside a multi-job batch.
+    pub batched_jobs: u64,
+    /// Median total latency (queue + service) in milliseconds.
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile total latency in milliseconds.
+    pub p99_ms: Option<f64>,
+}
+
+impl KernelSnapshot {
+    /// All sheds for this kernel.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline + self.shed_too_large
+    }
+}
+
+/// Per-cache-level admission counters at snapshot time.
+#[derive(Debug, Clone)]
+pub struct LevelSnapshot {
+    /// Level index (0 = L1).
+    pub level: usize,
+    /// Machine-wide capacity of the level in words.
+    pub capacity_words: usize,
+    /// Footprint words currently admitted against this level.
+    pub inflight_words: usize,
+    /// High-water mark of `inflight_words`.
+    pub peak_inflight_words: usize,
+    /// Jobs (or batches) admitted against this level so far.
+    pub admitted_jobs: u64,
+    /// Cumulative footprint words admitted against this level.
+    pub admitted_words: u64,
+}
+
+/// A point-in-time copy of every service metric.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// One row per kernel.
+    pub kernels: Vec<KernelSnapshot>,
+    /// One row per cache level of the serving hierarchy.
+    pub levels: Vec<LevelSnapshot>,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth.
+    pub queue_peak: usize,
+    /// Cumulative fork statistics of the underlying [`mo_core::rt::SbPool`]
+    /// since the server started (the RtStats delta of the serving run).
+    pub rt: RtStats,
+    /// Time since the server started.
+    pub uptime: Duration,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn collect(
+        m: &Metrics,
+        level_caps: &[usize],
+        inflight: &[usize],
+        queue_depth: usize,
+        rt: RtStats,
+        uptime: Duration,
+    ) -> Self {
+        let kernels = Kernel::ALL
+            .iter()
+            .map(|&k| {
+                let c = m.kernel(k);
+                let hist = c.latency.snapshot();
+                KernelSnapshot {
+                    kernel: k,
+                    submitted: c.submitted.load(Ordering::Relaxed),
+                    completed: c.completed.load(Ordering::Relaxed),
+                    shed_queue_full: c.shed_queue_full.load(Ordering::Relaxed),
+                    shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
+                    shed_too_large: c.shed_too_large.load(Ordering::Relaxed),
+                    batches: c.batches.load(Ordering::Relaxed),
+                    batched_jobs: c.batched_jobs.load(Ordering::Relaxed),
+                    p50_ms: quantile_ms(&hist, 0.50),
+                    p99_ms: quantile_ms(&hist, 0.99),
+                }
+            })
+            .collect();
+        let levels = m
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(i, lc)| LevelSnapshot {
+                level: i,
+                capacity_words: level_caps.get(i).copied().unwrap_or(0),
+                inflight_words: inflight.get(i).copied().unwrap_or(0),
+                peak_inflight_words: lc.peak_inflight_words.load(Ordering::Relaxed),
+                admitted_jobs: lc.admitted_jobs.load(Ordering::Relaxed),
+                admitted_words: lc.admitted_words.load(Ordering::Relaxed),
+            })
+            .collect();
+        Self {
+            kernels,
+            levels,
+            queue_depth,
+            queue_peak: m.queue_peak.load(Ordering::Relaxed),
+            rt,
+            uptime,
+        }
+    }
+
+    /// Total jobs served across kernels.
+    pub fn completed_total(&self) -> u64 {
+        self.kernels.iter().map(|k| k.completed).sum()
+    }
+
+    /// Total jobs shed across kernels and causes.
+    pub fn shed_total(&self) -> u64 {
+        self.kernels.iter().map(|k| k.shed_total()).sum()
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "uptime {:.2?}  queue depth {} (peak {})  rt forks: {} par / {} serial / {} denied",
+            self.uptime,
+            self.queue_depth,
+            self.queue_peak,
+            self.rt.parallel_forks,
+            self.rt.serial_forks,
+            self.rt.denied_forks
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>9} {:>9} {:>6} {:>8} {:>7} {:>7} {:>9} {:>9}",
+            "kernel",
+            "submitted",
+            "completed",
+            "shed",
+            "deadline",
+            "toobig",
+            "batches",
+            "p50 ms",
+            "p99 ms"
+        )?;
+        for k in &self.kernels {
+            if k.submitted == 0 && k.shed_total() == 0 {
+                continue;
+            }
+            let fmt_q = |q: Option<f64>| match q {
+                Some(v) => format!("{v:.2}"),
+                None => "-".to_string(),
+            };
+            writeln!(
+                f,
+                "{:<10} {:>9} {:>9} {:>6} {:>8} {:>7} {:>7} {:>9} {:>9}",
+                k.kernel.name(),
+                k.submitted,
+                k.completed,
+                k.shed_queue_full,
+                k.shed_deadline,
+                k.shed_too_large,
+                k.batches,
+                fmt_q(k.p50_ms),
+                fmt_q(k.p99_ms),
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<6} {:>14} {:>12} {:>12} {:>10} {:>14}",
+            "level", "capacity(w)", "inflight(w)", "peak(w)", "admitted", "admitted(w)"
+        )?;
+        for l in &self.levels {
+            writeln!(
+                f,
+                "L{:<5} {:>14} {:>12} {:>12} {:>10} {:>14}",
+                l.level + 1,
+                l.capacity_words,
+                l.inflight_words,
+                l.peak_inflight_words,
+                l.admitted_jobs,
+                l.admitted_words,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut buckets = vec![0u64; NBUCKETS];
+        // 99 samples in bucket 4 (≤16 µs), 1 in bucket 20 (≤ ~1 s).
+        buckets[4] = 99;
+        buckets[20] = 1;
+        let p50 = quantile_ms(&buckets, 0.50).unwrap();
+        let p99 = quantile_ms(&buckets, 0.99).unwrap();
+        let p999 = quantile_ms(&buckets, 0.999).unwrap();
+        assert!(p50 <= 0.016001, "{p50}");
+        assert!(p99 <= 0.016001, "{p99}");
+        assert!(p999 > 1.0, "{p999}");
+        assert_eq!(quantile_ms(&vec![0u64; NBUCKETS], 0.5), None);
+    }
+
+    #[test]
+    fn record_hits_expected_bucket() {
+        let h = LatencyHist::new();
+        h.record(Duration::from_micros(3)); // bucket: 64-62=2
+        h.record(Duration::from_millis(10)); // 10_000 µs → bucket 14
+        let snap = h.snapshot();
+        assert_eq!(snap[2], 1);
+        assert_eq!(snap[14], 1);
+        assert_eq!(snap.iter().sum::<u64>(), 2);
+    }
+}

@@ -1,0 +1,386 @@
+//! The space-bound kernel server.
+//!
+//! Submission → bounded queue → SB admission → (batched) execution:
+//!
+//! * **Admission control is the paper's space admission, lifted to whole
+//!   jobs.** Every job declares its analytic footprint (via the kernel
+//!   registry); it may *start* only when some cache level of the serving
+//!   hierarchy both fits it per-instance and has that much machine-wide
+//!   capacity left over the jobs already running — the level the job is
+//!   "anchored" against, exactly like the SB scheduler anchors tasks at
+//!   the smallest cache that fits `s(τ)`.
+//! * **Backpressure instead of collapse.** The queue is bounded: a full
+//!   queue rejects at submission ([`Rejected::QueueFull`]), a job that
+//!   waits past its deadline is shed ([`Rejected::DeadlineExpired`]),
+//!   and a job no cache level could ever hold is refused outright
+//!   ([`Rejected::TooLarge`]). Memory stays bounded by
+//!   `queue_cap · spec + Σ admitted footprints` by construction.
+//! * **CGC⇒SB batching.** Queued jobs with the same `(kernel, n)` — and
+//!   hence equal footprints — whose per-job footprint is small are
+//!   coalesced into one batch that anchors where its *total* footprint
+//!   fits, then expands evenly over the cores through one `join_all`
+//!   whose per-child space bound is the per-job footprint: the serving
+//!   analogue of a CGC⇒SB fork anchoring high and expanding its
+//!   equal-sized children below.
+//! * **Graceful drain.** [`Server::shutdown`] stops intake; workers
+//!   finish the queue (still shedding whatever expires) and exit;
+//!   [`Server::drain`] joins them and returns the final metrics
+//!   snapshot. Every ticket resolves exactly once.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mo_algorithms::real::registry::{footprint_words, run_batch_in};
+use mo_core::rt::{HwHierarchy, SbPool};
+
+use crate::job::{Done, JobSpec, Outcome, Rejected, Ticket};
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; `0` uses the hierarchy's core count.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_cap: usize,
+    /// Default queue deadline for jobs that do not carry their own.
+    pub default_deadline: Duration,
+    /// Maximum jobs per CGC⇒SB batch (`1` disables batching).
+    pub batch_max: usize,
+    /// Only jobs whose footprint is at most this many words are
+    /// batched; `None` uses the L1 capacity (the paper's "small task"
+    /// regime where CGC⇒SB expansion pays off).
+    pub batch_words_max: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_cap: 256,
+            default_deadline: Duration::from_secs(5),
+            batch_max: 16,
+            batch_words_max: None,
+        }
+    }
+}
+
+struct Queued {
+    spec: JobSpec,
+    footprint: usize,
+    enqueued: Instant,
+    deadline: Instant,
+    tx: mpsc::Sender<Outcome>,
+}
+
+struct QueueState {
+    queue: VecDeque<Queued>,
+    /// Footprint words currently admitted, per cache level.
+    inflight: Vec<usize>,
+    draining: bool,
+}
+
+struct Shared {
+    pool: SbPool,
+    cfg: ServeConfig,
+    batch_words_max: usize,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    metrics: Metrics,
+    started: Instant,
+}
+
+impl Shared {
+    /// Smallest level that fits `footprint` per-instance *and* still has
+    /// room for it machine-wide: the admission query.
+    fn admissible_anchor(&self, st: &QueueState, footprint: usize) -> Option<usize> {
+        let hier = self.pool.hierarchy();
+        (0..hier.levels().len()).find(|&l| {
+            hier.level_capacity(l).is_some_and(|cap| cap >= footprint)
+                && st.inflight[l] + footprint <= hier.aggregate_capacity(l).unwrap_or(0)
+        })
+    }
+}
+
+/// A running space-bound kernel service. See the module docs.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("cfg", &self.shared.cfg)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Start a server over an explicit hierarchy.
+    pub fn start(hier: HwHierarchy, cfg: ServeConfig) -> Self {
+        let nlevels = hier.levels().len();
+        let workers = if cfg.workers == 0 {
+            hier.cores().max(1)
+        } else {
+            cfg.workers
+        };
+        let batch_words_max = cfg.batch_words_max.unwrap_or_else(|| hier.l1_capacity());
+        let shared = Arc::new(Shared {
+            pool: SbPool::new(hier),
+            cfg,
+            batch_words_max,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                inflight: vec![0; nlevels],
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            metrics: Metrics::new(nlevels),
+            started: Instant::now(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Start over the detected machine with default config.
+    pub fn detected() -> Self {
+        Self::start(HwHierarchy::detect(), ServeConfig::default())
+    }
+
+    /// The hierarchy the server admits against.
+    pub fn hierarchy(&self) -> &HwHierarchy {
+        self.shared.pool.hierarchy()
+    }
+
+    /// Submit a job. `Ok` hands back a [`Ticket`] resolving to the
+    /// job's [`Outcome`]; `Err` is immediate, typed load-shedding.
+    pub fn submit(&self, spec: JobSpec) -> Result<Ticket, Rejected> {
+        let sh = &self.shared;
+        let footprint = footprint_words(spec.kernel, spec.n);
+        let cells = sh.metrics.kernel(spec.kernel);
+        let hier = sh.pool.hierarchy();
+        if hier.anchor_level(footprint).is_none() {
+            cells.shed_too_large.fetch_add(1, Ordering::Relaxed);
+            let largest = hier.levels().iter().map(|l| l.capacity).max().unwrap_or(0);
+            return Err(Rejected::TooLarge { footprint, largest });
+        }
+        let mut st = sh.state.lock().unwrap();
+        if st.draining {
+            return Err(Rejected::ShuttingDown);
+        }
+        if st.queue.len() >= sh.cfg.queue_cap {
+            cells.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::QueueFull {
+                depth: st.queue.len(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let deadline = now + spec.deadline.unwrap_or(sh.cfg.default_deadline);
+        st.queue.push_back(Queued {
+            spec,
+            footprint,
+            enqueued: now,
+            deadline,
+            tx,
+        });
+        cells.submitted.fetch_add(1, Ordering::Relaxed);
+        sh.metrics.note_queue_depth(st.queue.len());
+        drop(st);
+        sh.cv.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Stop accepting work; queued jobs still run (or expire).
+    pub fn shutdown(&self) {
+        self.shared.state.lock().unwrap().draining = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// Shut down, wait for the queue to empty and every worker to exit,
+    /// and return the final metrics snapshot.
+    pub fn drain(mut self) -> MetricsSnapshot {
+        self.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.metrics()
+    }
+
+    /// Point-in-time snapshot of every service metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let sh = &self.shared;
+        let hier = sh.pool.hierarchy();
+        let caps: Vec<usize> = (0..hier.levels().len())
+            .map(|l| hier.aggregate_capacity(l).unwrap_or(0))
+            .collect();
+        let st = sh.state.lock().unwrap();
+        MetricsSnapshot::collect(
+            &sh.metrics,
+            &caps,
+            &st.inflight,
+            st.queue.len(),
+            sh.pool.stats(),
+            sh.started.elapsed(),
+        )
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// How long an idle worker sleeps between queue scans; bounds how stale
+/// a deadline check can get when no submissions or completions arrive.
+const IDLE_TICK: Duration = Duration::from_millis(5);
+
+fn worker_loop(sh: &Shared) {
+    let mut st = sh.state.lock().unwrap();
+    loop {
+        shed_expired(sh, &mut st);
+        if let Some((idx, anchor)) = first_admissible(sh, &st) {
+            let batch = gather_batch(sh, &mut st, idx, anchor);
+            let total: usize = batch.jobs.iter().map(|q| q.footprint).sum();
+            st.inflight[batch.anchor] += total;
+            sh.metrics
+                .note_peak_inflight(batch.anchor, st.inflight[batch.anchor]);
+            let lvl = &sh.metrics.levels[batch.anchor];
+            lvl.admitted_jobs
+                .fetch_add(batch.jobs.len() as u64, Ordering::Relaxed);
+            lvl.admitted_words
+                .fetch_add(total as u64, Ordering::Relaxed);
+            drop(st);
+            execute(sh, batch);
+            st = sh.state.lock().unwrap();
+            // Admitted footprint was released inside `execute`; wake
+            // anyone waiting on that capacity.
+            sh.cv.notify_all();
+            continue;
+        }
+        if st.draining && st.queue.is_empty() {
+            return;
+        }
+        let (guard, _) = sh.cv.wait_timeout(st, IDLE_TICK).unwrap();
+        st = guard;
+    }
+}
+
+fn shed_expired(sh: &Shared, st: &mut QueueState) {
+    let now = Instant::now();
+    let mut i = 0;
+    while i < st.queue.len() {
+        if st.queue[i].deadline <= now {
+            let q = st.queue.remove(i).expect("index in bounds");
+            let waited = now.saturating_duration_since(q.enqueued);
+            sh.metrics
+                .kernel(q.spec.kernel)
+                .shed_deadline
+                .fetch_add(1, Ordering::Relaxed);
+            let _ =
+                q.tx.send(Outcome::Rejected(Rejected::DeadlineExpired { waited }));
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// First queued job (FIFO scan, so small jobs overtake a blocked large
+/// head rather than convoying behind it) that admission would accept
+/// right now, with its anchor level.
+fn first_admissible(sh: &Shared, st: &QueueState) -> Option<(usize, usize)> {
+    st.queue
+        .iter()
+        .enumerate()
+        .find_map(|(i, q)| sh.admissible_anchor(st, q.footprint).map(|a| (i, a)))
+}
+
+struct Batch {
+    jobs: Vec<Queued>,
+    anchor: usize,
+}
+
+/// Pull the job at `idx` plus, when it is small and batching is on, up
+/// to `batch_max - 1` queued jobs with the same `(kernel, n)` — equal
+/// footprints — as long as the growing total still finds an admissible
+/// anchor.
+fn gather_batch(sh: &Shared, st: &mut QueueState, idx: usize, anchor: usize) -> Batch {
+    let head = st.queue.remove(idx).expect("index in bounds");
+    let (kernel, n, fp) = (head.spec.kernel, head.spec.n, head.footprint);
+    let mut batch = Batch {
+        jobs: vec![head],
+        anchor,
+    };
+    if sh.cfg.batch_max <= 1 || fp > sh.batch_words_max {
+        return batch;
+    }
+    let mut k = 0;
+    while batch.jobs.len() < sh.cfg.batch_max && k < st.queue.len() {
+        if st.queue[k].spec.kernel == kernel && st.queue[k].spec.n == n {
+            let total = fp * (batch.jobs.len() + 1);
+            match sh.admissible_anchor(st, total) {
+                Some(a) => {
+                    batch.anchor = a;
+                    batch
+                        .jobs
+                        .push(st.queue.remove(k).expect("index in bounds"));
+                    continue;
+                }
+                None => break,
+            }
+        }
+        k += 1;
+    }
+    batch
+}
+
+fn execute(sh: &Shared, batch: Batch) {
+    let Batch { jobs, anchor } = batch;
+    let kernel = jobs[0].spec.kernel;
+    let n = jobs[0].spec.n;
+    let seeds: Vec<u64> = jobs.iter().map(|q| q.spec.seed).collect();
+    let t0 = Instant::now();
+    let sums = sh.pool.enter(|ctx| run_batch_in(ctx, kernel, n, &seeds));
+    let service = t0.elapsed();
+    let batch_size = jobs.len();
+    let cells = sh.metrics.kernel(kernel);
+    if batch_size > 1 {
+        cells.batches.fetch_add(1, Ordering::Relaxed);
+        cells
+            .batched_jobs
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+    }
+    let total: usize = jobs.iter().map(|q| q.footprint).sum();
+    for (q, checksum) in jobs.into_iter().zip(sums) {
+        let queued = t0.saturating_duration_since(q.enqueued);
+        cells.completed.fetch_add(1, Ordering::Relaxed);
+        cells.latency.record(queued + service);
+        let _ = q.tx.send(Outcome::Done(Done {
+            checksum,
+            queued,
+            service,
+            anchor_level: anchor,
+            batch_size,
+        }));
+    }
+    // Release the admitted footprint.
+    let mut st = sh.state.lock().unwrap();
+    st.inflight[anchor] -= total;
+}

@@ -1,0 +1,146 @@
+//! Saturation test: offered load far beyond capacity must engage
+//! backpressure — typed shedding, bounded queue, finite latencies, a
+//! clean drain — never a panic or unbounded growth.
+
+use std::time::Duration;
+
+use mo_serve::{HwHierarchy, JobSpec, Kernel, Outcome, Rejected, ServeConfig, Server};
+
+fn tiny_server() -> Server {
+    // 4 "cores", 2 KiW private caches, one 64 KiW shared cache, a queue
+    // of 8: a machine that saturates after a handful of medium jobs.
+    Server::start(
+        HwHierarchy::flat(4, 2048, 1 << 16),
+        ServeConfig {
+            workers: 2,
+            queue_cap: 8,
+            default_deadline: Duration::from_millis(250),
+            batch_max: 4,
+            batch_words_max: Some(1 << 14),
+        },
+    )
+}
+
+#[test]
+fn overload_sheds_instead_of_collapsing() {
+    let server = tiny_server();
+    // Offered load: 300 jobs as fast as the submit path allows. Matmul
+    // n=96 has footprint 27648 words — only two fit the shared level at
+    // once — so service throughput is far below the offered rate and the
+    // queue must overflow almost immediately.
+    let mut tickets = Vec::new();
+    let mut refused_at_submit = 0u64;
+    for i in 0..300u64 {
+        match server.submit(JobSpec::new(Kernel::Matmul, 96, i)) {
+            Ok(t) => tickets.push(t),
+            Err(Rejected::QueueFull { depth }) => {
+                assert!(depth <= 8, "queue grew past its bound: {depth}");
+                refused_at_submit += 1;
+            }
+            Err(other) => panic!("unexpected submit rejection: {other:?}"),
+        }
+    }
+    assert!(
+        refused_at_submit > 0,
+        "300 instant submissions never hit the bounded queue"
+    );
+    // Every accepted ticket resolves: served, or shed by its deadline.
+    let mut done = 0u64;
+    let mut shed_deadline = 0u64;
+    for t in tickets {
+        match t.wait() {
+            Outcome::Done(d) => {
+                assert!(d.anchor_level >= 1, "27 KiW job cannot anchor at L1");
+                done += 1;
+            }
+            Outcome::Rejected(Rejected::DeadlineExpired { .. }) => shed_deadline += 1,
+            Outcome::Rejected(other) => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert!(done > 0, "server made no progress under load");
+    let snap = server.drain();
+    // Backpressure engaged and was accounted.
+    assert!(snap.shed_total() > 0);
+    assert_eq!(
+        snap.kernels[Kernel::Matmul.index()].shed_queue_full,
+        refused_at_submit
+    );
+    assert_eq!(
+        snap.kernels[Kernel::Matmul.index()].shed_deadline,
+        shed_deadline
+    );
+    assert_eq!(snap.kernels[Kernel::Matmul.index()].completed, done);
+    // Latency quantiles exist and are finite.
+    let m = &snap.kernels[Kernel::Matmul.index()];
+    let p99 = m.p99_ms.expect("completed jobs must yield a p99");
+    assert!(p99.is_finite() && p99 > 0.0);
+    assert!(m.p50_ms.unwrap() <= p99);
+    // Clean drain: nothing queued, nothing admitted, peaks were bounded.
+    assert_eq!(snap.queue_depth, 0);
+    assert!(snap.queue_peak <= 8);
+    assert!(snap.levels.iter().all(|l| l.inflight_words == 0));
+    for l in &snap.levels {
+        assert!(
+            l.peak_inflight_words <= l.capacity_words,
+            "admission overran L{}: {} > {}",
+            l.level + 1,
+            l.peak_inflight_words,
+            l.capacity_words
+        );
+    }
+}
+
+#[test]
+fn mixed_overload_drains_cleanly() {
+    let server = tiny_server();
+    let specs = [
+        (Kernel::Sort, 1000usize),
+        (Kernel::Fft, 2048),
+        (Kernel::Transpose, 64),
+        (Kernel::SpmDv, 1024),
+        (Kernel::Matmul, 64),
+    ];
+    let mut tickets = Vec::new();
+    for round in 0..40u64 {
+        for &(k, n) in &specs {
+            if let Ok(t) = server.submit(JobSpec::new(k, n, round)) {
+                tickets.push(t);
+            }
+        }
+    }
+    // Shut down while work is still queued: drain must still resolve
+    // every ticket (served or shed) and empty the queue.
+    server.shutdown();
+    let resolved = tickets.len();
+    let mut served = 0usize;
+    for t in tickets {
+        if t.wait().is_done() {
+            served += 1;
+        }
+    }
+    assert!(served > 0);
+    let snap = server.drain();
+    assert_eq!(snap.queue_depth, 0);
+    assert!(snap.levels.iter().all(|l| l.inflight_words == 0));
+    assert_eq!(
+        snap.completed_total() + snap.kernels.iter().map(|k| k.shed_deadline).sum::<u64>(),
+        resolved as u64
+    );
+}
+
+#[test]
+fn detected_hierarchy_serves_end_to_end() {
+    // Whatever machine this runs on (sysfs-probed or the fallback), the
+    // default server must serve a small mixed burst and drain.
+    let server = Server::detected();
+    let tickets: Vec<_> = (0..10u64)
+        .filter_map(|i| server.submit(JobSpec::new(Kernel::Sort, 5000, i)).ok())
+        .collect();
+    assert!(!tickets.is_empty());
+    for t in tickets {
+        assert!(t.wait().is_done());
+    }
+    let snap = server.drain();
+    assert!(snap.completed_total() > 0);
+    assert_eq!(snap.queue_depth, 0);
+}

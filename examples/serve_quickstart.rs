@@ -1,0 +1,87 @@
+//! The serving layer in one screen: boot a space-bound kernel server on
+//! the detected machine, submit a mixed burst of jobs, watch one get
+//! load-shed on purpose, and read the metrics snapshot.
+//!
+//! ```sh
+//! cargo run --release --example serve_quickstart
+//! ```
+
+use std::time::Duration;
+
+use oblivious::serve::{HwHierarchy, JobSpec, Kernel, Outcome, Rejected, ServeConfig, Server};
+
+pub fn main() {
+    // A deliberately tiny machine (4 cores, 2 KiW private / 64 KiW
+    // shared) so admission control is visible even on a laptop run;
+    // `Server::detected()` would use the real sysfs-probed hierarchy.
+    let server = Server::start(
+        HwHierarchy::flat(4, 2048, 1 << 16),
+        ServeConfig {
+            workers: 2,
+            queue_cap: 32,
+            default_deadline: Duration::from_secs(2),
+            ..ServeConfig::default()
+        },
+    );
+    println!(
+        "serving on {} cores, levels: {:?}",
+        server.hierarchy().cores(),
+        server
+            .hierarchy()
+            .levels()
+            .iter()
+            .map(|l| l.capacity)
+            .collect::<Vec<_>>()
+    );
+
+    // A mixed burst: every kernel the registry knows, at sizes that fit.
+    let mut tickets = Vec::new();
+    for round in 0..8u64 {
+        for (kernel, n) in [
+            (Kernel::Sort, 4096),
+            (Kernel::Fft, 2048),
+            (Kernel::Transpose, 96),
+            (Kernel::Matmul, 64),
+            (Kernel::SpmDv, 1024),
+        ] {
+            match server.submit(JobSpec::new(kernel, n, round)) {
+                Ok(t) => tickets.push((kernel, t)),
+                Err(r) => println!("{kernel}: shed at submit: {r:?}"),
+            }
+        }
+    }
+
+    // A job whose footprint exceeds every cache level is refused with a
+    // typed outcome, not queued to die:
+    match server.submit(JobSpec::new(Kernel::Matmul, 2048, 0)) {
+        Err(Rejected::TooLarge { footprint, largest }) => {
+            println!("matmul n=2048 refused: needs {footprint} words, largest level {largest}");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    let mut served = 0;
+    for (kernel, t) in tickets {
+        match t.wait() {
+            Outcome::Done(d) => {
+                served += 1;
+                if served <= 3 {
+                    println!(
+                        "{kernel}: checksum {:016x}, queued {:?}, service {:?}, anchored L{}, batch of {}",
+                        d.checksum,
+                        d.queued,
+                        d.service,
+                        d.anchor_level + 1,
+                        d.batch_size
+                    );
+                }
+            }
+            Outcome::Rejected(r) => println!("{kernel}: {r:?}"),
+        }
+    }
+    println!("… {served} jobs served in total\n");
+
+    let snapshot = server.drain();
+    print!("{snapshot}");
+    assert_eq!(snapshot.queue_depth, 0, "drain must leave nothing queued");
+}

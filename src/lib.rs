@@ -18,6 +18,9 @@
 //!   NO algorithms, including N-GEP with the 𝒟\* schedule of Table I.
 //! * [`baselines`] — cache-aware/naive comparators and the
 //!   "proportionate slice" scheduler the paper argues against in §II.
+//! * [`serve`] — the serving layer: a space-bound-aware kernel service
+//!   with SB admission control, CGC⇒SB request batching, bounded-queue
+//!   backpressure and per-kernel/per-level metrics.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! the per-table/figure reproduction index.
@@ -26,4 +29,5 @@ pub use hm_model as hm;
 pub use mo_algorithms as algs;
 pub use mo_baselines as baselines;
 pub use mo_core as mo;
+pub use mo_serve as serve;
 pub use no_framework as no;

@@ -14,6 +14,8 @@ mod oblivious_everywhere;
 mod quickstart;
 #[path = "../examples/real_kernels.rs"]
 mod real_kernels;
+#[path = "../examples/serve_quickstart.rs"]
+mod serve_quickstart;
 #[path = "../examples/spectral_fft.rs"]
 mod spectral_fft;
 
@@ -45,4 +47,9 @@ fn real_kernels_runs_and_verifies() {
 #[test]
 fn spectral_fft_runs_and_verifies() {
     spectral_fft::main();
+}
+
+#[test]
+fn serve_quickstart_runs_and_drains() {
+    serve_quickstart::main();
 }
