@@ -29,7 +29,7 @@ pub fn par_transpose(pool: &SbPool, a: &[f64], out: &mut [f64], n: usize) {
 fn band_transpose(ctx: &Ctx<'_>, a: &[f64], out: &mut [f64], n: usize, j0: usize) {
     let rows = out.len() / n;
     let space = 2 * out.len();
-    if rows > 16 {
+    if rows > 32 {
         let mid = rows / 2;
         let (top, bot) = out.split_at_mut(mid * n);
         ctx.join(
@@ -40,14 +40,18 @@ fn band_transpose(ctx: &Ctx<'_>, a: &[f64], out: &mut [f64], n: usize, j0: usize
         );
         return;
     }
-    // Serial cache-friendly kernel: column-block walk over `a`.
+    // Serial blocked kernel: for each BLK-wide block of `a` rows, walk
+    // each `a` row once — a contiguous `rows`-long read — and scatter it
+    // down one column of the out band. Both the reads (one cache line
+    // after another along `arow`) and the writes (the same BLK × rows
+    // out tile, which fits in L1) stay in cache for the whole block.
     const BLK: usize = 32;
     for i0 in (0..n).step_by(BLK) {
         let ihi = (i0 + BLK).min(n);
-        for (dj, row) in out.chunks_exact_mut(n).enumerate() {
-            let j = j0 + dj;
-            for i in i0..ihi {
-                row[i] = a[i * n + j];
+        for i in i0..ihi {
+            let arow = &a[i * n + j0..i * n + j0 + rows];
+            for (dj, &v) in arow.iter().enumerate() {
+                out[dj * n + i] = v;
             }
         }
     }
@@ -81,7 +85,7 @@ fn mm_rows(ctx: &Ctx<'_>, c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
 }
 
 /// Serial recursive kernel over the `(j, k)` plane (cache-oblivious
-/// splitting of the larger dimension).
+/// splitting of the larger dimension) with a register-blocked base case.
 #[allow(clippy::too_many_arguments)] // plane coordinates, not config
 fn mm_serial(
     c: &mut [f64],
@@ -94,18 +98,9 @@ fn mm_serial(
     k0: usize,
     kw: usize,
 ) {
-    const BLK: usize = 32;
+    const BLK: usize = 64;
     if jw <= BLK && kw <= BLK {
-        for i in 0..rows {
-            for k in k0..k0 + kw {
-                let aik = a[i * n + k];
-                let crow = &mut c[i * n + j0..i * n + j0 + jw];
-                let brow = &b[k * n + j0..k * n + j0 + jw];
-                for (cv, bv) in crow.iter_mut().zip(brow) {
-                    *cv += aik * bv;
-                }
-            }
-        }
+        mm_kernel(c, a, b, n, rows, j0, jw, k0, kw);
         return;
     }
     if jw >= kw {
@@ -116,6 +111,90 @@ fn mm_serial(
         let h = kw / 2;
         mm_serial(c, a, b, n, rows, j0, jw, k0, h);
         mm_serial(c, a, b, n, rows, j0, jw, k0 + h, kw - h);
+    }
+}
+
+/// Register-blocked `C[0..rows][j0..j0+jw] += A[0..rows][k0..k0+kw] ·
+/// B[k0..k0+kw][j0..j0+jw]`: 2-row × 4-column tiles whose accumulators
+/// live in registers across the entire `k` sweep, so each `c` element
+/// is loaded and stored once per block instead of once per `k`, and
+/// each `a[i][k]` load feeds four multiplies (eight per row pair).
+///
+/// Every element still accumulates its `k` terms in ascending order —
+/// the same floating-point association as the naive i-k-j loop — so
+/// results stay bit-identical to the reference and independent of the
+/// recursion/blocking shape above.
+#[allow(clippy::too_many_arguments)] // plane coordinates, not config
+fn mm_kernel(
+    c: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    n: usize,
+    rows: usize,
+    j0: usize,
+    jw: usize,
+    k0: usize,
+    kw: usize,
+) {
+    let mut i = 0;
+    while i + 2 <= rows {
+        let arow0 = &a[i * n + k0..i * n + k0 + kw];
+        let arow1 = &a[(i + 1) * n + k0..(i + 1) * n + k0 + kw];
+        let (chead, ctail) = c.split_at_mut((i + 1) * n);
+        let crow0 = &mut chead[i * n + j0..i * n + j0 + jw];
+        let crow1 = &mut ctail[j0..j0 + jw];
+        let mut j = 0;
+        while j + 4 <= jw {
+            let mut acc0 = [crow0[j], crow0[j + 1], crow0[j + 2], crow0[j + 3]];
+            let mut acc1 = [crow1[j], crow1[j + 1], crow1[j + 2], crow1[j + 3]];
+            for (dk, (&a0k, &a1k)) in arow0.iter().zip(arow1).enumerate() {
+                let bq = &b[(k0 + dk) * n + j0 + j..(k0 + dk) * n + j0 + j + 4];
+                for t in 0..4 {
+                    acc0[t] += a0k * bq[t];
+                    acc1[t] += a1k * bq[t];
+                }
+            }
+            crow0[j..j + 4].copy_from_slice(&acc0);
+            crow1[j..j + 4].copy_from_slice(&acc1);
+            j += 4;
+        }
+        while j < jw {
+            let mut s0 = crow0[j];
+            let mut s1 = crow1[j];
+            for (dk, (&a0k, &a1k)) in arow0.iter().zip(arow1).enumerate() {
+                let bkj = b[(k0 + dk) * n + j0 + j];
+                s0 += a0k * bkj;
+                s1 += a1k * bkj;
+            }
+            crow0[j] = s0;
+            crow1[j] = s1;
+            j += 1;
+        }
+        i += 2;
+    }
+    if i < rows {
+        let arow = &a[i * n + k0..i * n + k0 + kw];
+        let crow = &mut c[i * n + j0..i * n + j0 + jw];
+        let mut j = 0;
+        while j + 4 <= jw {
+            let mut acc = [crow[j], crow[j + 1], crow[j + 2], crow[j + 3]];
+            for (dk, &aik) in arow.iter().enumerate() {
+                let bq = &b[(k0 + dk) * n + j0 + j..(k0 + dk) * n + j0 + j + 4];
+                for t in 0..4 {
+                    acc[t] += aik * bq[t];
+                }
+            }
+            crow[j..j + 4].copy_from_slice(&acc);
+            j += 4;
+        }
+        while j < jw {
+            let mut s = crow[j];
+            for (dk, &aik) in arow.iter().enumerate() {
+                s += aik * b[(k0 + dk) * n + j0 + j];
+            }
+            crow[j] = s;
+            j += 1;
+        }
     }
 }
 
@@ -281,6 +360,15 @@ fn serial_exclusive(a: &mut [u64]) {
 /// Parallel sample sort: sorted runs → pivots → per-bucket gather, with
 /// the runs and buckets both processed under `join_all`.
 pub fn par_sort(pool: &SbPool, data: &mut [u64]) {
+    let mut scratch = Vec::new();
+    par_sort_with_scratch(pool, data, &mut scratch);
+}
+
+/// [`par_sort`] with a caller-owned gather buffer, so repeated sorts of
+/// the same size reuse one allocation instead of paying a fresh
+/// `n`-element vector per call. The buffer is grown as needed and its
+/// contents on return are unspecified.
+pub fn par_sort_with_scratch(pool: &SbPool, data: &mut [u64], scratch: &mut Vec<u64>) {
     let n = data.len();
     if n <= 2048 {
         data.sort_unstable();
@@ -329,8 +417,13 @@ pub fn par_sort(pool: &SbPool, data: &mut [u64]) {
             pts
         })
         .collect();
-    // Gather buckets into a new buffer, then sort each bucket in parallel.
-    let mut out = vec![0u64; n];
+    // Gather buckets into the scratch buffer, then sort each bucket in
+    // parallel. The gather fully overwrites `scratch[..n]` before any
+    // element is read, so stale contents are fine.
+    if scratch.len() < n {
+        scratch.resize(n, 0);
+    }
+    let out: &mut [u64] = &mut scratch[..n];
     let mut bucket_ranges = Vec::with_capacity(nb);
     {
         let mut cursor = 0usize;
@@ -346,7 +439,7 @@ pub fn par_sort(pool: &SbPool, data: &mut [u64]) {
         }
     }
     pool.run(|ctx| {
-        let mut rest: &mut [u64] = &mut out;
+        let mut rest: &mut [u64] = &mut *out;
         let mut jobs: Jobs<'_, ()> = Vec::new();
         let mut consumed = 0usize;
         for &(lo, hi) in &bucket_ranges {
@@ -358,7 +451,7 @@ pub fn par_sort(pool: &SbPool, data: &mut [u64]) {
         }
         ctx.join_all(2 * run_len, jobs);
     });
-    data.copy_from_slice(&out);
+    data.copy_from_slice(out);
 }
 
 #[cfg(test)]
@@ -516,22 +609,39 @@ fn cmul(a: C64, b: C64) -> C64 {
     (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
 }
 
+/// Recursion cutoff for the parallel FFT: transforms at or below this
+/// size run through the iterative [`serial_fft`], which fits in L1 and
+/// needs no deinterleave copies or per-level twiddle work.
+pub(crate) const FFT_LEAF: usize = 1024;
+
 /// Parallel recursive FFT (`Y[i] = Σ_j X[j]·ω_n^{-ij}`, in place, `n` a
 /// power of two): even/odd split into a scratch buffer, the two halves
 /// recurse in parallel under SB space bounds, butterflies combine.
 pub fn par_fft(pool: &SbPool, x: &mut [C64]) {
+    let mut scratch = Vec::new();
+    par_fft_with_scratch(pool, x, &mut scratch);
+}
+
+/// [`par_fft`] with a caller-owned scratch buffer, so repeated
+/// transforms of the same size (a server loop, a bench harness) reuse
+/// one allocation instead of paying a fresh `n`-element vector per
+/// call. The buffer is grown as needed and its contents on return are
+/// unspecified.
+pub fn par_fft_with_scratch(pool: &SbPool, x: &mut [C64], scratch: &mut Vec<C64>) {
     let n = x.len();
     assert!(n.is_power_of_two() || n == 0);
     if n <= 1 {
         return;
     }
-    let mut scratch = vec![(0.0, 0.0); n];
-    pool.run(|ctx| fft_rec(ctx, x, &mut scratch));
+    if scratch.len() < n {
+        scratch.resize(n, (0.0, 0.0));
+    }
+    pool.run(|ctx| fft_rec(ctx, x, &mut scratch[..n]));
 }
 
 fn fft_rec(ctx: &Ctx<'_>, x: &mut [C64], scratch: &mut [C64]) {
     let n = x.len();
-    if n <= 32 {
+    if n <= FFT_LEAF {
         serial_fft(x);
         return;
     }
@@ -552,14 +662,24 @@ fn fft_rec(ctx: &Ctx<'_>, x: &mut [C64], scratch: &mut [C64]) {
             |c| fft_rec(c, so, xo),
         );
     }
-    // Combine back into x.
+    // Combine back into x. Twiddles advance by recurrence (one complex
+    // multiply per step instead of a cos/sin pair), re-seeded from trig
+    // every `RESYNC` steps to stop rounding drift from accumulating —
+    // well inside the verification tolerance of the tests.
+    const RESYNC: usize = 64;
     let ang = -2.0 * std::f64::consts::PI / n as f64;
+    let step = (ang.cos(), ang.sin());
+    let mut w = (1.0, 0.0);
     for k in 0..half {
-        let w = ((ang * k as f64).cos(), (ang * k as f64).sin());
+        if k % RESYNC == 0 {
+            let a = ang * k as f64;
+            w = (a.cos(), a.sin());
+        }
         let e = scratch[k];
         let o = cmul(w, scratch[half + k]);
         x[k] = (e.0 + o.0, e.1 + o.1);
         x[k + half] = (e.0 - o.0, e.1 - o.1);
+        w = cmul(w, step);
     }
 }
 

@@ -171,7 +171,7 @@ pub fn run_in(ctx: &Ctx<'_>, kernel: Kernel, n: usize, seed: u64) -> u64 {
         Kernel::Fft => {
             let len = n.next_power_of_two();
             let mut x: Vec<super::C64> = (0..len).map(|_| (g.f64_unit(), g.f64_unit())).collect();
-            if len <= 32 {
+            if len <= super::FFT_LEAF {
                 super::serial_fft(&mut x);
             } else {
                 let mut scratch = vec![(0.0, 0.0); len];

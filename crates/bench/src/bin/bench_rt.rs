@@ -1,0 +1,260 @@
+//! Runtime perf trajectory: every real kernel against its serial
+//! baseline, written to `BENCH_rt.json` at the repo root.
+//!
+//! Unlike the Criterion-style `wallclock` bench (interactive, shape
+//! oriented), this binary produces a small machine-readable record —
+//! median-of-k nanoseconds per kernel, serial vs pool, plus the core
+//! count — so successive PRs can track the runtime's wall-clock
+//! trajectory in version control.
+//!
+//! `--smoke` runs tiny sizes and asserts that every kernel's checksum
+//! (via the registry's deterministic seed-generated jobs) is identical
+//! on a 1-core pool and on the detected pool: a cheap CI guard that the
+//! work-stealing runtime never changes results.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use mo_algorithms::gep::floyd_warshall_reference;
+use mo_algorithms::real::registry::{run_kernel, Kernel};
+use mo_algorithms::real::{
+    par_fft_with_scratch, par_floyd_warshall, par_matmul, par_sort_with_scratch, par_spmdv,
+    par_transpose, serial_fft, C64,
+};
+use mo_baselines::matmul::naive_matmul;
+use mo_baselines::transpose::naive_transpose;
+use mo_core::rt::{HwHierarchy, SbPool};
+
+/// Median-of-`reps` wall-clock nanoseconds of `f` (one warmup call).
+fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> u64 {
+    black_box(f());
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn rand_f64(seed: u64, n: usize) -> Vec<f64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 40) as f64) / 65536.0
+        })
+        .collect()
+}
+
+fn rand_u64(seed: u64, n: usize) -> Vec<u64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x >> 20
+        })
+        .collect()
+}
+
+/// Deterministic CSR instance: `m` rows, ~`deg` nonzeros each.
+fn csr(m: usize, deg: usize, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    let mut x = seed | 1;
+    let mut row_ptr = vec![0usize];
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for _ in 0..m {
+        for _ in 0..deg {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            cols.push(((x >> 33) as usize) % m);
+            vals.push(((x >> 20) % 1000) as f64 * 0.125);
+        }
+        row_ptr.push(cols.len());
+    }
+    (row_ptr, cols, vals)
+}
+
+struct Row {
+    kernel: &'static str,
+    n: usize,
+    serial_ns: u64,
+    pool_ns: u64,
+}
+
+fn run_suite(pool: &SbPool, reps: usize, smoke: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    // Transpose.
+    let n = if smoke { 128 } else { 1024 };
+    let a = rand_f64(1, n * n);
+    let mut out = vec![0.0; n * n];
+    rows.push(Row {
+        kernel: "transpose",
+        n,
+        serial_ns: median_ns(reps, || naive_transpose(&a, &mut out, n)),
+        pool_ns: median_ns(reps, || par_transpose(pool, &a, &mut out, n)),
+    });
+
+    // Matmul.
+    let n = if smoke { 64 } else { 256 };
+    let a = rand_f64(2, n * n);
+    let b = rand_f64(3, n * n);
+    let mut c = vec![0.0; n * n];
+    rows.push(Row {
+        kernel: "matmul",
+        n,
+        serial_ns: median_ns(reps, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            naive_matmul(&mut c, &a, &b, n)
+        }),
+        pool_ns: median_ns(reps, || {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            par_matmul(pool, &mut c, &a, &b, n)
+        }),
+    });
+
+    // FFT.
+    let n = if smoke { 1 << 10 } else { 1 << 18 };
+    let input: Vec<C64> = (0..n)
+        .map(|t| ((t as f64 * 0.3).sin(), (t as f64 * 0.7).cos()))
+        .collect();
+    let mut buf = input.clone();
+    rows.push(Row {
+        kernel: "fft",
+        n,
+        serial_ns: median_ns(reps, || {
+            buf.copy_from_slice(&input);
+            serial_fft(&mut buf);
+        }),
+        pool_ns: {
+            let mut scratch = Vec::new();
+            median_ns(reps, || {
+                buf.copy_from_slice(&input);
+                par_fft_with_scratch(pool, &mut buf, &mut scratch);
+            })
+        },
+    });
+
+    // Sort.
+    let n = if smoke { 1 << 12 } else { 1 << 20 };
+    let data = rand_u64(5, n);
+    let mut buf = data.clone();
+    rows.push(Row {
+        kernel: "sort",
+        n,
+        serial_ns: median_ns(reps, || {
+            buf.copy_from_slice(&data);
+            buf.sort_unstable();
+        }),
+        pool_ns: {
+            let mut scratch = Vec::new();
+            median_ns(reps, || {
+                buf.copy_from_slice(&data);
+                par_sort_with_scratch(pool, &mut buf, &mut scratch);
+            })
+        },
+    });
+
+    // SpM-DV.
+    let m = if smoke { 2_000 } else { 200_000 };
+    let (row_ptr, cols, vals) = csr(m, 8, 7);
+    let x: Vec<f64> = (0..m).map(|i| (i as f64 * 0.1).sin()).collect();
+    let mut y = vec![0.0f64; m];
+    rows.push(Row {
+        kernel: "spmdv",
+        n: m,
+        serial_ns: median_ns(reps, || {
+            for (r, yr) in y.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for k in row_ptr[r]..row_ptr[r + 1] {
+                    acc += vals[k] * x[cols[k]];
+                }
+                *yr = acc;
+            }
+        }),
+        pool_ns: median_ns(reps, || par_spmdv(pool, &row_ptr, &cols, &vals, &x, &mut y)),
+    });
+
+    // Floyd–Warshall.
+    let n = if smoke { 64 } else { 256 };
+    let d0 = rand_f64(9, n * n);
+    rows.push(Row {
+        kernel: "floyd_warshall",
+        n,
+        serial_ns: median_ns(reps, || floyd_warshall_reference(&d0, n)),
+        pool_ns: median_ns(reps, || {
+            let mut d = d0.clone();
+            par_floyd_warshall(pool, &mut d, n);
+            d
+        }),
+    });
+
+    rows
+}
+
+/// The smoke correctness gate: registry checksums on a 1-core pool must
+/// equal the detected pool's, for every kernel at a couple of sizes.
+fn smoke_checksums(pool: &SbPool) {
+    let serial = SbPool::new(HwHierarchy::flat(1, 1 << 12, 1 << 22));
+    for k in Kernel::ALL {
+        for n in [48usize, 2000] {
+            let n = match k {
+                Kernel::Transpose | Kernel::Matmul => n.min(64),
+                _ => n,
+            };
+            let want = run_kernel(&serial, k, n, 42);
+            let got = run_kernel(pool, k, n, 42);
+            assert_eq!(
+                got, want,
+                "{k} n={n}: pool checksum {got:#x} != serial {want:#x}"
+            );
+        }
+    }
+    println!("smoke checksums: all kernels match the 1-core registry runs");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_rt.json".to_string());
+    let reps = if smoke { 3 } else { 5 };
+
+    let pool = SbPool::new(HwHierarchy::detect());
+    let cores = pool.hierarchy().cores();
+    if smoke {
+        smoke_checksums(&pool);
+    }
+    let rows = run_suite(&pool, reps, smoke);
+
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\n  \"cores\": {cores},\n  \"smoke\": {smoke},\n  \"median_of\": {reps},\n  \"kernels\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.serial_ns as f64 / r.pool_ns.max(1) as f64;
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"serial_ns\": {}, \"pool_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.n,
+            r.serial_ns,
+            r.pool_ns,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+        println!(
+            "{:>16} n={:<8} serial {:>12} ns   pool {:>12} ns   speedup {:.3}x",
+            r.kernel, r.n, r.serial_ns, r.pool_ns, speedup
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -18,14 +18,24 @@
 //! * `pfor` provides the CGC discipline: contiguous chunks of at least a
 //!   caller-supplied grain, one per available core.
 //!
-//! The implementation is deliberately `unsafe`-free: forks use
-//! [`std::thread::scope`], so borrowed data flows into children without
-//! lifetime erasure. Thread spawns are amortized by the space-bound
-//! serialization cutoff — below the cutoff no thread is ever created.
+//! Execution is a **persistent work-stealing pool** (see [`exec`]): one
+//! lazily-started resident worker per core, each with a Chase–Lev-style
+//! owner-LIFO/thief-FIFO deque, parking on a condvar when idle. A
+//! parallel fork pushes its second branch as a stealable task, runs the
+//! first inline, and — help-first — executes other ready tasks while
+//! waiting on a stolen branch instead of blocking. No OS thread is ever
+//! created on the `join`/`pfor` hot paths; workers are spawned once per
+//! pool lifetime (on the first stealable fork, or eagerly via
+//! [`SbPool::warm`]) and joined when the pool drops. Below the L1
+//! space cutoff no task is ever queued, so the model-level guarantee is
+//! unchanged: small forks stay serial and in cache.
 
 use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
+mod exec;
 pub mod sysfs;
 
 /// One level of the real machine's hierarchy (capacity in *words*, i.e.
@@ -148,71 +158,18 @@ struct StatCells {
     denied_forks: AtomicU64,
 }
 
-/// A space-bound fork–join pool over the real machine.
-#[derive(Debug)]
-pub struct SbPool {
+/// State shared between the user-facing pool handle and its resident
+/// workers.
+struct Inner {
     hier: HwHierarchy,
     /// Remaining core permits (may briefly go negative under races; only
     /// `try_acquire`'s check is gated).
     permits: AtomicIsize,
     stats: StatCells,
+    reg: exec::Registry,
 }
 
-impl SbPool {
-    /// Create a pool for `hier`.
-    pub fn new(hier: HwHierarchy) -> Self {
-        let cores = hier.cores() as isize;
-        Self {
-            hier,
-            permits: AtomicIsize::new(cores - 1),
-            stats: StatCells::default(),
-        }
-    }
-
-    /// Pool over the detected machine.
-    pub fn detected() -> Self {
-        Self::new(HwHierarchy::detect())
-    }
-
-    /// The hierarchy the pool was built for.
-    pub fn hierarchy(&self) -> &HwHierarchy {
-        &self.hier
-    }
-
-    /// Statistics of the forks taken so far.
-    pub fn stats(&self) -> RtStats {
-        RtStats {
-            parallel_forks: self.stats.parallel_forks.load(Ordering::Relaxed),
-            serial_forks: self.stats.serial_forks.load(Ordering::Relaxed),
-            denied_forks: self.stats.denied_forks.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Run a root task. The context it receives exposes `join` and `pfor`.
-    pub fn run<R: Send>(&self, f: impl FnOnce(&Ctx<'_>) -> R + Send) -> R {
-        self.stats.parallel_forks.store(0, Ordering::Relaxed);
-        self.stats.serial_forks.store(0, Ordering::Relaxed);
-        self.stats.denied_forks.store(0, Ordering::Relaxed);
-        self.enter(f)
-    }
-
-    /// Like [`run`](Self::run) but *without* resetting [`stats`](Self::stats)
-    /// (monotone counters accumulate across entries). This is the entry
-    /// point for long-lived services where several threads run tasks on
-    /// one shared pool concurrently: resetting would race, and a server
-    /// wants cumulative fork counts for its metrics deltas anyway.
-    pub fn enter<R: Send>(&self, f: impl FnOnce(&Ctx<'_>) -> R + Send) -> R {
-        let ctx = Ctx { pool: self };
-        f(&ctx)
-    }
-
-    /// Core permits currently available: how many additional parallel
-    /// forks the pool would grant right now. Never negative; purely
-    /// advisory under concurrency.
-    pub fn available_permits(&self) -> usize {
-        self.permits.load(Ordering::Relaxed).max(0) as usize
-    }
-
+impl Inner {
     fn try_acquire(&self) -> bool {
         self.permits
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| {
@@ -226,6 +183,163 @@ impl SbPool {
     }
 }
 
+/// A space-bound fork–join pool over the real machine.
+pub struct SbPool {
+    inner: Arc<Inner>,
+    /// Join handles of the resident workers. Only the user-created
+    /// handle owns them (and terminates the pool on drop); the views
+    /// the workers themselves hold keep this empty.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for SbPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SbPool")
+            .field("hier", &self.inner.hier)
+            .field("permits", &self.inner.permits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SbPool {
+    /// Create a pool for `hier`. No threads are spawned yet: the
+    /// resident workers start on the first stealable fork (or on
+    /// [`warm`](Self::warm)).
+    pub fn new(hier: HwHierarchy) -> Self {
+        let cores = hier.cores() as isize;
+        Self {
+            inner: Arc::new(Inner {
+                permits: AtomicIsize::new(cores - 1),
+                stats: StatCells::default(),
+                reg: exec::Registry::new(cores.max(1) as usize),
+                hier,
+            }),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pool over the detected machine.
+    pub fn detected() -> Self {
+        Self::new(HwHierarchy::detect())
+    }
+
+    /// A worker's handle onto an existing pool (no worker ownership).
+    fn view(inner: Arc<Inner>) -> Self {
+        Self {
+            inner,
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The hierarchy the pool was built for.
+    pub fn hierarchy(&self) -> &HwHierarchy {
+        &self.inner.hier
+    }
+
+    /// Statistics of the forks taken so far.
+    pub fn stats(&self) -> RtStats {
+        RtStats {
+            parallel_forks: self.inner.stats.parallel_forks.load(Ordering::Relaxed),
+            serial_forks: self.inner.stats.serial_forks.load(Ordering::Relaxed),
+            denied_forks: self.inner.stats.denied_forks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run a root task. The context it receives exposes `join` and `pfor`.
+    pub fn run<R: Send>(&self, f: impl FnOnce(&Ctx<'_>) -> R + Send) -> R {
+        self.inner.stats.parallel_forks.store(0, Ordering::Relaxed);
+        self.inner.stats.serial_forks.store(0, Ordering::Relaxed);
+        self.inner.stats.denied_forks.store(0, Ordering::Relaxed);
+        self.enter(f)
+    }
+
+    /// Like [`run`](Self::run) but *without* resetting [`stats`](Self::stats)
+    /// (monotone counters accumulate across entries). This is the entry
+    /// point for long-lived services where several threads run tasks on
+    /// one shared pool concurrently: resetting would race, and a server
+    /// wants cumulative fork counts for its metrics deltas anyway.
+    ///
+    /// The closure runs on the calling thread; only stealable forks it
+    /// takes move to the resident workers. A call from a resident
+    /// worker of this same pool keeps that worker's deque identity.
+    pub fn enter<R: Send>(&self, f: impl FnOnce(&Ctx<'_>) -> R + Send) -> R {
+        let ctx = Ctx {
+            pool: self,
+            worker: exec::current_worker(&self.inner),
+        };
+        f(&ctx)
+    }
+
+    /// Core permits currently available: how many additional parallel
+    /// forks the pool would grant right now. Never negative; purely
+    /// advisory under concurrency.
+    pub fn available_permits(&self) -> usize {
+        self.inner.permits.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Pre-spawn the resident workers so the first request served by a
+    /// long-lived pool does not pay thread creation. Idempotent; a
+    /// no-op on single-core hierarchies (which never queue work).
+    pub fn warm(&self) {
+        self.ensure_started();
+    }
+
+    /// Resident worker threads currently running: `0` until the first
+    /// stealable fork (or [`warm`](Self::warm)), then one per core for
+    /// the pool's lifetime. Only meaningful on the creating handle.
+    pub fn resident_workers(&self) -> usize {
+        self.handles.lock().unwrap().len()
+    }
+
+    /// Spawn the resident workers if they are not running yet.
+    fn ensure_started(&self) {
+        let cores = self.inner.hier.cores();
+        if cores <= 1 || self.inner.reg.started.load(Ordering::Acquire) {
+            return;
+        }
+        let mut handles = self.handles.lock().unwrap();
+        if self.inner.reg.started.load(Ordering::Acquire) {
+            return;
+        }
+        for idx in 0..cores {
+            let inner = Arc::clone(&self.inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sbpool-{idx}"))
+                    // Deep recursions plus help-first stealing stack
+                    // unrelated frames; reserve generously (virtual).
+                    .stack_size(16 << 20)
+                    .spawn(move || exec::worker_loop(inner, idx))
+                    .expect("spawn SbPool worker"),
+            );
+        }
+        self.inner.reg.started.store(true, Ordering::Release);
+    }
+
+    #[cfg(test)]
+    fn try_acquire(&self) -> bool {
+        self.inner.try_acquire()
+    }
+
+    #[cfg(test)]
+    fn release(&self) {
+        self.inner.release();
+    }
+}
+
+impl Drop for SbPool {
+    fn drop(&mut self) {
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        if handles.is_empty() {
+            return; // worker view, or workers never started
+        }
+        self.inner.reg.request_stop();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
 /// A batch of boxed jobs for [`Ctx::join_all`].
 pub type Jobs<'a, R> = Vec<Box<dyn FnOnce(&Ctx<'_>) -> R + Send + 'a>>;
 
@@ -233,12 +347,31 @@ pub type Jobs<'a, R> = Vec<Box<dyn FnOnce(&Ctx<'_>) -> R + Send + 'a>>;
 #[derive(Debug, Clone, Copy)]
 pub struct Ctx<'p> {
     pool: &'p SbPool,
+    /// Deque identity: `Some(i)` on resident worker `i`, `None` on an
+    /// external thread (whose forks go through the injector).
+    worker: Option<usize>,
 }
 
 impl<'p> Ctx<'p> {
+    /// Context of resident worker `idx` (used by the worker loop).
+    fn for_worker(pool: &'p SbPool, idx: usize) -> Self {
+        Self {
+            pool,
+            worker: Some(idx),
+        }
+    }
+
     /// The pool.
     pub fn pool(&self) -> &'p SbPool {
         self.pool
+    }
+
+    fn inner(&self) -> &'p Inner {
+        &self.pool.inner
+    }
+
+    fn worker_index(&self) -> Option<usize> {
+        self.worker
     }
 
     /// SB fork–join: run `fa` and `fb`, in parallel when their space
@@ -254,33 +387,100 @@ impl<'p> Ctx<'p> {
         RA: Send,
         RB: Send,
     {
-        let cutoff = self.pool.hier.l1_capacity();
+        let inner = self.inner();
+        let cutoff = inner.hier.l1_capacity();
         if space_a.max(space_b) <= cutoff {
             // Both children would anchor at one private cache: serialize.
-            self.pool.stats.serial_forks.fetch_add(1, Ordering::Relaxed);
+            inner.stats.serial_forks.fetch_add(1, Ordering::Relaxed);
             return (fa(self), fb(self));
         }
-        if !self.pool.try_acquire() {
-            self.pool.stats.denied_forks.fetch_add(1, Ordering::Relaxed);
-            return (fa(self), fb(self));
+        if inner.try_acquire() {
+            inner.stats.parallel_forks.fetch_add(1, Ordering::Relaxed);
+            return self.fork_join(fa, fb);
         }
-        self.pool
-            .stats
-            .parallel_forks
-            .fetch_add(1, Ordering::Relaxed);
-        let pool = self.pool;
-        let out = std::thread::scope(|s| {
-            let hb = s.spawn(move || {
-                let ctx = Ctx { pool };
-                let r = fb(&ctx);
-                pool.release();
-                r
-            });
-            let ra = fa(self);
-            let rb = hb.join().expect("forked task panicked");
-            (ra, rb)
+        // Denied: run the first half inline, then re-check — a permit
+        // that freed while `fa` ran still lets `fb` become a stealable
+        // fork, so a transient shortage does not serialize the rest of
+        // the subtree.
+        let ra = fa(self);
+        if inner.try_acquire() {
+            inner.stats.parallel_forks.fetch_add(1, Ordering::Relaxed);
+            return (ra, self.fork_stealable(fb));
+        }
+        inner.stats.denied_forks.fetch_add(1, Ordering::Relaxed);
+        (ra, fb(self))
+    }
+
+    /// The parallel fork: queue `fb` as a stealable task, run `fa`
+    /// inline, then either pop `fb` back (nobody stole it — run it
+    /// here, keeping the subtree's cache affinity) or help-first wait:
+    /// execute other ready tasks until the thief's latch is set.
+    ///
+    /// The caller has already acquired the core permit; it is released
+    /// when `fb` completes, whichever thread ran it.
+    #[allow(unsafe_code)] // stack-job pinning, see `exec` module docs
+    fn fork_join<RA, RB>(
+        &self,
+        fa: impl FnOnce(&Ctx<'_>) -> RA + Send,
+        fb: impl FnOnce(&Ctx<'_>) -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let inner = self.inner();
+        let job = exec::StackJob::new(move |c: &Ctx<'_>| {
+            let r = fb(c);
+            inner.release();
+            r
         });
-        out
+        self.pool.ensure_started();
+        // SAFETY: `job` stays pinned in this frame until it has run or
+        // been reclaimed below, on both the return and unwind paths.
+        let jref = unsafe { job.as_job_ref() };
+        inner.reg.push(self.worker, jref);
+        let ra = match panic::catch_unwind(AssertUnwindSafe(|| fa(self))) {
+            Ok(r) => r,
+            Err(payload) => {
+                // The queued job still points into this frame: reclaim
+                // it un-run (returning its permit) or wait the thief out.
+                if inner.reg.take_back(self.worker, jref.id()) {
+                    inner.release();
+                } else {
+                    exec::wait_until(self, job.latch());
+                }
+                panic::resume_unwind(payload);
+            }
+        };
+        let rb = if inner.reg.take_back(self.worker, jref.id()) {
+            (job.take_f())(self) // releases the permit internally
+        } else {
+            exec::wait_until(self, job.latch());
+            job.into_result()
+        };
+        (ra, rb)
+    }
+
+    /// Queue `fb` as a stealable task and help-first wait for it: the
+    /// denied-retry path, where another worker may pick `fb` up while
+    /// this thread drains other ready tasks (including, if nobody
+    /// steals it, `fb` itself).
+    #[allow(unsafe_code)] // stack-job pinning, see `exec` module docs
+    fn fork_stealable<RB>(&self, fb: impl FnOnce(&Ctx<'_>) -> RB + Send) -> RB
+    where
+        RB: Send,
+    {
+        let inner = self.inner();
+        let job = exec::StackJob::new(move |c: &Ctx<'_>| {
+            let r = fb(c);
+            inner.release();
+            r
+        });
+        self.pool.ensure_started();
+        // SAFETY: `wait_until` does not return before the job has run.
+        inner.reg.push(self.worker, unsafe { job.as_job_ref() });
+        exec::wait_until(self, job.latch());
+        job.into_result()
     }
 
     /// N-way SB fork–join over homogeneous closures. An empty batch is a
@@ -309,31 +509,50 @@ impl<'p> Ctx<'p> {
     }
 
     /// CGC parallel for: `body` is invoked on contiguous chunks of
-    /// `range`, each at least `grain` long, at most one per core.
+    /// `range`, each at least `grain` long, at most one per core. The
+    /// trailing chunks are queued as stealable tasks (never fresh
+    /// threads); the first runs inline, and the caller helps drain the
+    /// pool until every chunk has finished.
+    #[allow(unsafe_code)] // stack-job pinning, see `exec` module docs
     pub fn pfor(&self, range: Range<usize>, grain: usize, body: impl Fn(Range<usize>) + Sync) {
         let n = range.len();
         if n == 0 {
             return;
         }
         let grain = grain.max(1);
-        let cores = self.pool.hier.cores();
+        let cores = self.inner().hier.cores();
         let nseg = (n / grain).clamp(1, cores);
         if nseg == 1 {
             body(range);
             return;
         }
         let per = n.div_ceil(nseg);
-        std::thread::scope(|s| {
-            let body = &body;
-            for k in 1..nseg {
+        let body = &body;
+        let jobs: Vec<_> = (1..nseg)
+            .filter_map(|k| {
                 let lo = range.start + k * per;
                 let hi = (range.start + (k + 1) * per).min(range.end);
-                if lo < hi {
-                    s.spawn(move || body(lo..hi));
-                }
-            }
-            body(range.start..range.start + per);
-        });
+                (lo < hi).then(|| exec::StackJob::new(move |_: &Ctx<'_>| body(lo..hi)))
+            })
+            .collect();
+        self.pool.ensure_started();
+        for job in &jobs {
+            // SAFETY: every job is waited for below — also on the
+            // first chunk's unwind path — before this frame ends.
+            self.inner()
+                .reg
+                .push(self.worker, unsafe { job.as_job_ref() });
+        }
+        let first = panic::catch_unwind(AssertUnwindSafe(|| body(range.start..range.start + per)));
+        for job in &jobs {
+            exec::wait_until(self, job.latch());
+        }
+        if let Err(payload) = first {
+            panic::resume_unwind(payload);
+        }
+        for job in jobs {
+            job.into_result();
+        }
     }
 }
 

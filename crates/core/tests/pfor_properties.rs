@@ -16,7 +16,7 @@
 use std::ops::Range;
 use std::sync::Mutex;
 
-use mo_core::rt::{HwHierarchy, SbPool};
+use mo_core::rt::{Ctx, HwHierarchy, SbPool};
 
 fn chunks_of(pool: &SbPool, range: Range<usize>, grain: usize) -> Vec<Range<usize>> {
     let seen = Mutex::new(Vec::new());
@@ -92,6 +92,86 @@ fn cgc_contract_holds_on_offset_ranges() {
             check(4, start..start + len, grain);
         }
     }
+}
+
+/// Work-stealing stress: many OS threads hammer `SbPool::enter` on one
+/// shared pool with mixed `join`/`pfor` workloads. Checks, after the
+/// storm:
+///
+/// * every result is correct (the sums and every `pfor` hit count);
+/// * the core permits recover exactly to their initial value;
+/// * no fork counter is lost — every `join` above the L1 cutoff lands
+///   in exactly one of `parallel_forks`/`denied_forks` (none here can
+///   be `serial_forks`), so the three counters must sum to the exact
+///   analytic join count of the workload.
+#[test]
+fn stress_concurrent_enters_with_mixed_workloads() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 3;
+    const N: usize = 20_000;
+    const LEAF: usize = 512;
+
+    // Each element's space bound is 8 words, so with LEAF * 8 > 1024
+    // every join taken by `sum` is above the 1024-word L1 cutoff.
+    fn sum(ctx: &Ctx<'_>, data: &[u64]) -> u64 {
+        if data.len() <= LEAF {
+            return data.iter().sum();
+        }
+        let (l, r) = data.split_at(data.len() / 2);
+        let (a, b) = ctx.join(l.len() * 8, |c| sum(c, l), r.len() * 8, |c| sum(c, r));
+        a.wrapping_add(b)
+    }
+
+    /// Joins `sum` takes over a slice of length `len`.
+    fn joins(len: usize) -> u64 {
+        if len <= LEAF {
+            return 0;
+        }
+        let half = len / 2;
+        1 + joins(half) + joins(len - half)
+    }
+
+    let pool = SbPool::new(HwHierarchy::flat(4, 1 << 10, 1 << 22));
+    let initial = pool.available_permits();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            s.spawn(move || {
+                let data: Vec<u64> = (0..N as u64)
+                    .map(|v| v.wrapping_mul(t as u64 + 1))
+                    .collect();
+                let want: u64 = data.iter().fold(0, |acc, &v| acc.wrapping_add(v));
+                let hits: Vec<AtomicU64> = (0..N).map(|_| AtomicU64::new(0)).collect();
+                for _ in 0..ROUNDS {
+                    let got = pool.enter(|ctx| sum(ctx, &data));
+                    assert_eq!(got, want, "thread {t}: join sum corrupted");
+                    pool.enter(|ctx| {
+                        ctx.pfor(0..N, 64, |r| {
+                            for i in r {
+                                hits[i].fetch_add(1, Ordering::Relaxed);
+                            }
+                        });
+                    });
+                }
+                assert!(
+                    hits.iter()
+                        .all(|h| h.load(Ordering::Relaxed) == ROUNDS as u64),
+                    "thread {t}: pfor hit counts wrong"
+                );
+            });
+        }
+    });
+    assert_eq!(pool.available_permits(), initial, "permits did not recover");
+    let st = pool.stats();
+    let expected = THREADS as u64 * ROUNDS as u64 * joins(N);
+    assert_eq!(
+        st.parallel_forks + st.serial_forks + st.denied_forks,
+        expected,
+        "fork counters lost under concurrency: {st:?}"
+    );
+    assert_eq!(st.serial_forks, 0, "no join here is below the L1 cutoff");
 }
 
 #[test]

@@ -143,6 +143,10 @@ impl Server {
             metrics: Metrics::new(nlevels),
             started: Instant::now(),
         });
+        // Spawn the pool's resident stealing workers up front: every
+        // batch runs on this long-lived pool via `enter`, so first-job
+        // latency should not pay thread creation.
+        shared.pool.warm();
         let handles = (0..workers)
             .map(|_| {
                 let sh = Arc::clone(&shared);
