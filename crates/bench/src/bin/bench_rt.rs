@@ -11,6 +11,12 @@
 //! (via the registry's deterministic seed-generated jobs) is identical
 //! on a 1-core pool and on the detected pool: a cheap CI guard that the
 //! work-stealing runtime never changes results.
+//!
+//! The record is stamped with a schema version and the host topology
+//! (cores plus every cache level) so numbers from different machines or
+//! record layouts are never silently compared: when the output file
+//! already exists with a different schema, the run refuses to overwrite
+//! it unless `--force` is given.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -217,15 +223,49 @@ fn smoke_checksums(pool: &SbPool) {
     println!("smoke checksums: all kernels match the 1-core registry runs");
 }
 
+/// Record layout version. Bump when the JSON shape changes; `bench_rt`
+/// refuses to overwrite a file with a different schema without
+/// `--force`, so a layout change can never masquerade as a perf change.
+const SCHEMA: u64 = 2;
+
+/// The `"schema"` value of an existing record, if the file parses far
+/// enough to have one (the pre-versioning layout reports `None`).
+fn existing_schema(path: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let at = text.find("\"schema\"")?;
+    let rest = text[at + "\"schema\"".len()..]
+        .trim_start()
+        .strip_prefix(':')?;
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let force = args.iter().any(|a| a == "--force");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_rt.json".to_string());
     let reps = if smoke { 3 } else { 5 };
+
+    if std::path::Path::new(&out_path).exists() && !force {
+        let found = existing_schema(&out_path);
+        if found != Some(SCHEMA) {
+            eprintln!(
+                "refusing to overwrite {out_path}: its schema is {} but this binary writes schema {SCHEMA}; \
+                 rerun with --force to replace it",
+                found.map_or("absent".to_string(), |v| v.to_string()),
+            );
+            std::process::exit(2);
+        }
+    }
 
     let pool = SbPool::new(HwHierarchy::detect());
     let cores = pool.hierarchy().cores();
@@ -234,9 +274,21 @@ fn main() {
     }
     let rows = run_suite(&pool, reps, smoke);
 
+    let levels: Vec<String> = pool
+        .hierarchy()
+        .levels()
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"capacity_words\": {}, \"fanout\": {}}}",
+                l.capacity, l.fanout
+            )
+        })
+        .collect();
     let mut json = String::new();
     json.push_str(&format!(
-        "{{\n  \"cores\": {cores},\n  \"smoke\": {smoke},\n  \"median_of\": {reps},\n  \"kernels\": [\n"
+        "{{\n  \"schema\": {SCHEMA},\n  \"host\": {{\"cores\": {cores}, \"levels\": [{}]}},\n  \"cores\": {cores},\n  \"smoke\": {smoke},\n  \"median_of\": {reps},\n  \"kernels\": [\n",
+        levels.join(", ")
     ));
     for (i, r) in rows.iter().enumerate() {
         let speedup = r.serial_ns as f64 / r.pool_ns.max(1) as f64;

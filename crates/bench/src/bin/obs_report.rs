@@ -1,0 +1,285 @@
+//! Scheduler-decision report: run the real kernels under runtime
+//! tracing and print what the SB/CGC scheduler *did* next to what the
+//! paper's analysis *predicts*, flagging divergences.
+//!
+//! For every kernel the report shows:
+//!
+//! * the analytic footprint (registry space function) and the cache
+//!   level the SB scheduler should anchor the root task at, against the
+//!   observed per-fork anchor-level distribution and the largest space
+//!   bound any fork actually declared;
+//! * steal counts and the steal rate (stolen tasks per executed queued
+//!   task) — the work-stealing cost the HM analysis bounds via the
+//!   O(depth) steal argument;
+//! * the permit-denied rate: how often an above-cutoff fork could not
+//!   get a core permit, i.e. how far execution diverged from the pure
+//!   SB schedule that parallelizes every such fork;
+//! * the CGC segment-length histogram (log₂ buckets) with the
+//!   below-grain count (at most the tail chunk of each `pfor`).
+//!
+//! The merged event timeline of the whole suite is written as
+//! chrome-trace JSON (`--out`, default `obs_trace.json`), loadable in
+//! Perfetto / `chrome://tracing`.
+//!
+//! `--smoke` shrinks sizes for CI and additionally asserts that the
+//! tracing machinery itself is cheap: matmul with a sink attached must
+//! stay within 5% (plus a fixed noise floor) of the same build with no
+//! sink, so an `obs`-enabled binary that never attaches a sink pays
+//! nothing measurable.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mo_algorithms::real::registry::{footprint_words, run_kernel, Kernel};
+use mo_core::rt::{HwHierarchy, SbPool};
+use mo_obs::{chrome, summary, EventKind, TraceSink};
+
+/// Median-of-`reps` wall-clock nanoseconds of `f` (one warmup call).
+fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> u64 {
+    black_box(f());
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn level_name(level: u64) -> String {
+    if level == u64::MAX {
+        "none".to_string()
+    } else {
+        format!("L{}", level + 1)
+    }
+}
+
+fn kernel_size(k: Kernel, smoke: bool) -> usize {
+    match k {
+        Kernel::Transpose => {
+            if smoke {
+                64
+            } else {
+                512
+            }
+        }
+        Kernel::Matmul => {
+            if smoke {
+                64
+            } else {
+                256
+            }
+        }
+        Kernel::Fft => {
+            if smoke {
+                1 << 12
+            } else {
+                1 << 16
+            }
+        }
+        Kernel::Sort => {
+            if smoke {
+                1 << 12
+            } else {
+                1 << 18
+            }
+        }
+        Kernel::SpmDv => {
+            if smoke {
+                2_000
+            } else {
+                100_000
+            }
+        }
+    }
+}
+
+/// One kernel's traced run: execute, drain, summarize, and print the
+/// observed-vs-predicted report. Returns the drained events (for the
+/// merged chrome trace) and the number of divergences flagged.
+fn report_kernel(
+    pool: &SbPool,
+    sink: &TraceSink,
+    k: Kernel,
+    n: usize,
+) -> (Vec<mo_obs::Event>, usize) {
+    let hier = pool.hierarchy();
+    let checksum = run_kernel(pool, k, n, 42);
+    let events = sink.drain();
+    let s = summary::summarize(&events);
+
+    let footprint = footprint_words(k, n);
+    let predicted = hier.anchor_level(footprint).map_or(u64::MAX, |l| l as u64);
+    let observed_top = s
+        .anchor_levels
+        .keys()
+        .copied()
+        .filter(|&l| l != u64::MAX)
+        .max();
+
+    println!("== {k} n={n} (checksum {checksum:#018x}) ==");
+    println!(
+        "  analytic: footprint {footprint} words -> root anchors at {}",
+        level_name(predicted)
+    );
+    let dist: Vec<String> = s
+        .anchor_levels
+        .iter()
+        .map(|(l, c)| format!("{}:{c}", level_name(*l)))
+        .collect();
+    println!(
+        "  observed: max fork space {} words, fork anchors {{{}}}",
+        s.max_fork_space,
+        dist.join(", ")
+    );
+    println!(
+        "  forks: {} parallel / {} serial / {} denied (denied rate {:.1}%)",
+        s.count(EventKind::ForkParallel),
+        s.count(EventKind::ForkSerial),
+        s.count(EventKind::ForkDenied),
+        s.denied_rate() * 100.0
+    );
+    println!(
+        "  tasks: {} executed from queues, {} steals (steal rate {:.2}), {} injector pops, {} parks",
+        s.count(EventKind::TaskEnter),
+        s.count(EventKind::StealSuccess),
+        s.steal_rate(),
+        s.count(EventKind::InjectorPop),
+        s.count(EventKind::Park),
+    );
+    let nsegs = s.count(EventKind::CgcSegment);
+    if nsegs > 0 {
+        let hist: Vec<String> = s
+            .seg_log2
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| format!("<=2^{i}:{c}"))
+            .collect();
+        println!(
+            "  cgc segments: {nsegs}, len {}..={}, below-grain {} [{}]",
+            s.seg_min,
+            s.seg_max,
+            s.seg_below_grain,
+            hist.join(" ")
+        );
+    }
+
+    // Divergences between the observed schedule and the analysis.
+    let mut flags = Vec::new();
+    if s.max_fork_space > footprint as u64 {
+        flags.push(format!(
+            "fork declared {} words of space, above the analytic footprint {footprint}",
+            s.max_fork_space
+        ));
+    }
+    if let Some(top) = observed_top {
+        if top > predicted {
+            flags.push(format!(
+                "forks anchored at {} but the whole kernel should fit at {}",
+                level_name(top),
+                level_name(predicted)
+            ));
+        }
+    }
+    if s.denied_rate() > 0.10 {
+        flags.push(format!(
+            "{:.1}% of above-cutoff forks were permit-denied: execution diverged from the pure SB schedule",
+            s.denied_rate() * 100.0
+        ));
+    }
+    if nsegs > 0 && s.seg_below_grain > nsegs.div_ceil(4) {
+        flags.push(format!(
+            "{} of {nsegs} CGC segments are below their grain (expected: at most the tail chunk per pfor)",
+            s.seg_below_grain
+        ));
+    }
+    if flags.is_empty() {
+        println!("  divergences: none");
+    } else {
+        for f in &flags {
+            println!("  divergence: {f}");
+        }
+    }
+    println!();
+    (events, flags.len())
+}
+
+/// `--smoke` overhead gate: tracing must cost < 5% on matmul.
+fn assert_overhead_small(hier: &HwHierarchy) {
+    let reps = 5;
+    let n = 96;
+    let plain_pool = SbPool::new(hier.clone());
+    let plain = median_ns(reps, || run_kernel(&plain_pool, Kernel::Matmul, n, 7));
+    let traced_pool = SbPool::new(hier.clone());
+    traced_pool.attach_sink(Arc::new(TraceSink::new(hier.cores())));
+    let traced = median_ns(reps, || run_kernel(&traced_pool, Kernel::Matmul, n, 7));
+    // A fixed floor absorbs scheduler noise at these microsecond scales;
+    // the 5% ratio is what the acceptance gate is about.
+    let limit = plain + plain / 20 + 1_000_000;
+    println!("overhead: matmul n={n} untraced {plain} ns, traced {traced} ns (limit {limit} ns)");
+    assert!(
+        traced <= limit,
+        "tracing overhead too high: {traced} ns vs {plain} ns untraced"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "obs_trace.json".to_string());
+
+    // Tracing a 1-core machine shows no steals and no parallel forks;
+    // substitute a flat 4-core shape so the report exercises the
+    // scheduler even on small CI boxes.
+    let mut hier = HwHierarchy::detect();
+    if hier.cores() < 2 {
+        hier = HwHierarchy::flat(4, hier.l1_capacity(), 1 << 22);
+        println!("single-core machine detected; tracing a flat 4-core hierarchy instead\n");
+    }
+
+    let pool = SbPool::new(hier.clone());
+    let info = pool.warm();
+    let sink = Arc::new(TraceSink::new(info.cores));
+    assert!(pool.attach_sink(Arc::clone(&sink)));
+    println!(
+        "pool: {} cores, {} resident workers, L1 {} words, {} cache levels\n",
+        info.cores,
+        info.resident_workers,
+        info.l1_words,
+        info.levels.len()
+    );
+
+    let mut all_events = Vec::new();
+    let mut divergences = 0;
+    for k in Kernel::ALL {
+        let (events, flags) = report_kernel(&pool, &sink, k, kernel_size(k, smoke));
+        all_events.extend(events);
+        divergences += flags;
+    }
+
+    // One merged timeline: every kernel ran against the same sink, so
+    // the timestamps are already a single coherent clock.
+    all_events.sort_by_key(|e| e.ts_ns);
+    let json = chrome::to_chrome_json(&all_events);
+    chrome::validate(&json).expect("emitted chrome trace must validate");
+    std::fs::write(&out_path, &json).expect("write chrome trace");
+    println!(
+        "wrote {out_path}: {} events ({} dropped at the rings), load it in Perfetto or chrome://tracing",
+        all_events.len(),
+        sink.dropped()
+    );
+    println!("divergences flagged across the suite: {divergences}");
+
+    if smoke {
+        assert_overhead_small(&hier);
+        println!("obs_report smoke: OK");
+    }
+}

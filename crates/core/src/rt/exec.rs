@@ -54,7 +54,15 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use super::{Ctx, Inner, SbPool};
+use super::{obs_event, Ctx, Inner, SbPool};
+
+/// Where a scan found a runnable job: the scanner's own deque, the
+/// external injector, or stolen from worker `.0`'s deque.
+pub(super) enum Origin {
+    Own,
+    Injector,
+    Stolen(usize),
+}
 
 /// A type-erased pointer to a stack-allocated [`StackJob`], paired with
 /// the monomorphized function that runs it.
@@ -253,15 +261,17 @@ impl Registry {
     }
 
     /// One scan for work: own deque bottom first (depth-first), then
-    /// the injector, then the other deques' tops, round-robin.
-    fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
+    /// the injector, then the other deques' tops, round-robin. Reports
+    /// where the job came from so the caller can account steals and
+    /// injector throughput.
+    fn find_work(&self, me: Option<usize>) -> Option<(JobRef, Origin)> {
         if let Some(i) = me {
             if let Some(j) = self.deques[i].lock().unwrap().pop_back() {
-                return Some(j);
+                return Some((j, Origin::Own));
             }
         }
         if let Some(j) = self.injector.lock().unwrap().pop_front() {
-            return Some(j);
+            return Some((j, Origin::Injector));
         }
         let n = self.deques.len();
         let start = me.map_or(0, |i| i + 1);
@@ -271,11 +281,49 @@ impl Registry {
                 continue;
             }
             if let Some(j) = self.deques[v].lock().unwrap().pop_front() {
-                return Some(j);
+                return Some((j, Origin::Stolen(v)));
             }
         }
         None
     }
+}
+
+/// Account and run one job a scan produced: bump the steal / injector
+/// counters, trace the task's enter/exit (job ids are the stack-job
+/// addresses — unique while pinned, which covers the task's run), and
+/// signal the completion event.
+fn execute_found(ctx: &Ctx<'_>, job: JobRef, origin: Origin) {
+    let inner = ctx.inner();
+    let me = ctx.worker_index();
+    let (ocode, victim) = match origin {
+        Origin::Own => (0u64, 0usize),
+        Origin::Injector => {
+            inner.stats.injector_pops.fetch_add(1, Ordering::Relaxed);
+            obs_event!(inner, me, InjectorPop, job.id() as usize, 0, 0);
+            (1, 0)
+        }
+        Origin::Stolen(v) => {
+            inner.stats.steals.fetch_add(1, Ordering::Relaxed);
+            obs_event!(inner, me, StealSuccess, v, job.id() as usize, 0);
+            (2, v)
+        }
+    };
+    // The macro ignores unused bindings when tracing is compiled out.
+    let _ = (ocode, victim);
+    obs_event!(inner, me, TaskEnter, job.id() as usize, ocode, victim);
+    // SAFETY: popped from a queue, so this thread owns the right to run
+    // the job and its frame is still pinned (module docs).
+    unsafe { job.execute(ctx) };
+    obs_event!(inner, me, TaskExit, job.id() as usize, 0, 0);
+    inner.note_task(me);
+    inner.reg.signal();
+}
+
+/// Account one completely empty scan (a failed steal attempt).
+fn note_empty_scan(ctx: &Ctx<'_>) {
+    let inner = ctx.inner();
+    inner.stats.failed_steals.fetch_add(1, Ordering::Relaxed);
+    obs_event!(inner, ctx.worker_index(), StealAttempt, 0, 0, 0);
 }
 
 thread_local! {
@@ -304,13 +352,11 @@ pub(super) fn worker_loop(inner: Arc<Inner>, idx: usize) {
     let reg = &inner.reg;
     loop {
         let seen = reg.events();
-        if let Some(job) = reg.find_work(Some(idx)) {
-            // SAFETY: popped from a queue, so we own the right to run
-            // it and its frame is still pinned.
-            unsafe { job.execute(&ctx) };
-            reg.signal();
+        if let Some((job, origin)) = reg.find_work(Some(idx)) {
+            execute_found(&ctx, job, origin);
             continue;
         }
+        note_empty_scan(&ctx);
         if reg.stop.load(Ordering::Acquire) {
             return;
         }
@@ -321,7 +367,10 @@ pub(super) fn worker_loop(inner: Arc<Inner>, idx: usize) {
         if reg.stop.load(Ordering::Acquire) {
             return;
         }
+        inner.stats.parks.fetch_add(1, Ordering::Relaxed);
+        obs_event!(inner, Some(idx), Park, 0, 0, 0);
         drop(reg.wake.wait(g).unwrap());
+        obs_event!(inner, Some(idx), Unpark, 0, 0, 0);
     }
 }
 
@@ -330,18 +379,18 @@ pub(super) fn worker_loop(inner: Arc<Inner>, idx: usize) {
 /// the event counter after setting, so the counter re-check under the
 /// lock makes the final probe race-free.
 pub(super) fn wait_until(ctx: &Ctx<'_>, latch: &Latch) {
-    let reg = &ctx.inner().reg;
+    let inner = ctx.inner();
+    let reg = &inner.reg;
     loop {
         if latch.probe() {
             return;
         }
         let seen = reg.events();
-        if let Some(job) = reg.find_work(ctx.worker_index()) {
-            // SAFETY: as in `worker_loop`.
-            unsafe { job.execute(ctx) };
-            reg.signal();
+        if let Some((job, origin)) = reg.find_work(ctx.worker_index()) {
+            execute_found(ctx, job, origin);
             continue;
         }
+        note_empty_scan(ctx);
         if latch.probe() {
             return;
         }
@@ -349,6 +398,9 @@ pub(super) fn wait_until(ctx: &Ctx<'_>, latch: &Latch) {
         if *g != seen {
             continue;
         }
+        inner.stats.parks.fetch_add(1, Ordering::Relaxed);
+        obs_event!(inner, ctx.worker_index(), Park, 0, 0, 0);
         drop(reg.wake.wait(g).unwrap());
+        obs_event!(inner, ctx.worker_index(), Unpark, 0, 0, 0);
     }
 }

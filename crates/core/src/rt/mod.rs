@@ -35,8 +35,38 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicIsize, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+#[cfg(feature = "obs")]
+use std::sync::OnceLock;
+
 mod exec;
 pub mod sysfs;
+
+/// Record one trace event against the pool's attached sink, if any.
+///
+/// With the `obs` feature off this expands to nothing at all — the
+/// payload expressions are not evaluated — so an untraced build carries
+/// zero cost. With the feature on but no sink attached, the cost is one
+/// `OnceLock` load (a single atomic read) per call site.
+///
+/// Payload expressions must be pure: they disappear from untraced
+/// builds.
+macro_rules! obs_event {
+    ($inner:expr, $worker:expr, $kind:ident, $a:expr, $b:expr, $c:expr) => {
+        #[cfg(feature = "obs")]
+        {
+            if let Some(sink) = $inner.sink.get() {
+                sink.emit(
+                    $worker,
+                    mo_obs::EventKind::$kind,
+                    $a as u64,
+                    $b as u64,
+                    $c as u64,
+                );
+            }
+        }
+    };
+}
+pub(crate) use obs_event;
 
 /// One level of the real machine's hierarchy (capacity in *words*, i.e.
 /// `u64`-sized units, to match the simulator's convention).
@@ -142,20 +172,102 @@ impl HwHierarchy {
 /// Statistics of a pool run (monotone counters, reset per [`SbPool::run`]).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct RtStats {
-    /// Forks executed in parallel (a thread was spawned).
+    /// Forks executed in parallel (the second branch became stealable).
     pub parallel_forks: u64,
     /// Forks serialized by the space-bound cutoff.
     pub serial_forks: u64,
     /// Forks serialized because no core permit was available.
     pub denied_forks: u64,
+    /// Tasks executed from another worker's deque.
+    pub steals: u64,
+    /// Full work-finding scans that found nothing anywhere.
+    pub failed_steals: u64,
+    /// Times a thread went to sleep on the idle condvar.
+    pub parks: u64,
+    /// Tasks popped from the external-submission injector queue.
+    pub injector_pops: u64,
 }
 
-/// Lock-free fork counters backing [`RtStats`].
+impl RtStats {
+    /// Total forks taken (serial + parallel + denied).
+    pub fn total_forks(&self) -> u64 {
+        self.parallel_forks + self.serial_forks + self.denied_forks
+    }
+}
+
+/// Lock-free counters backing [`RtStats`], snapshotted under a
+/// generation seqlock.
+///
+/// # Snapshot/reset protocol
+///
+/// The counters themselves are independent relaxed atomics — cheap to
+/// bump from any thread — so a multi-cell snapshot is only meaningful
+/// if it cannot interleave with [`reset`](Self::reset) (which would mix
+/// pre- and post-reset values across cells: the race this generation
+/// word exists to close). `reset` bumps `generation` to an odd value,
+/// zeroes every cell, then bumps it back to even; `snapshot` retries
+/// until it reads the same even generation on both sides of its loads.
+/// Concurrent *increments* during a snapshot remain visible or not per
+/// cell — that is inherent to monotone relaxed counters and harmless;
+/// what can no longer happen is a snapshot that saw `serial_forks`
+/// after a reset but `parallel_forks` from before it.
 #[derive(Debug, Default)]
 struct StatCells {
+    generation: AtomicU64,
     parallel_forks: AtomicU64,
     serial_forks: AtomicU64,
     denied_forks: AtomicU64,
+    steals: AtomicU64,
+    failed_steals: AtomicU64,
+    parks: AtomicU64,
+    injector_pops: AtomicU64,
+}
+
+impl StatCells {
+    fn cells(&self) -> [&AtomicU64; 7] {
+        [
+            &self.parallel_forks,
+            &self.serial_forks,
+            &self.denied_forks,
+            &self.steals,
+            &self.failed_steals,
+            &self.parks,
+            &self.injector_pops,
+        ]
+    }
+
+    /// Zero every counter, atomically with respect to [`snapshot`](Self::snapshot).
+    fn reset(&self) {
+        // Odd generation = reset in progress; snapshots spin past it.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        for c in self.cells() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// A consistent multi-cell copy (see the protocol above).
+    fn snapshot(&self) -> RtStats {
+        loop {
+            let before = self.generation.load(Ordering::Acquire);
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let s = RtStats {
+                parallel_forks: self.parallel_forks.load(Ordering::Relaxed),
+                serial_forks: self.serial_forks.load(Ordering::Relaxed),
+                denied_forks: self.denied_forks.load(Ordering::Relaxed),
+                steals: self.steals.load(Ordering::Relaxed),
+                failed_steals: self.failed_steals.load(Ordering::Relaxed),
+                parks: self.parks.load(Ordering::Relaxed),
+                injector_pops: self.injector_pops.load(Ordering::Relaxed),
+            };
+            if self.generation.load(Ordering::Acquire) == before {
+                return s;
+            }
+        }
+    }
 }
 
 /// State shared between the user-facing pool handle and its resident
@@ -166,7 +278,13 @@ struct Inner {
     /// `try_acquire`'s check is gated).
     permits: AtomicIsize,
     stats: StatCells,
+    /// Tasks executed per resident worker, plus one trailing slot for
+    /// external (non-resident) threads that help-execute while waiting.
+    tasks: Box<[AtomicU64]>,
     reg: exec::Registry,
+    /// The attached trace sink, set at most once per pool lifetime.
+    #[cfg(feature = "obs")]
+    sink: OnceLock<Arc<mo_obs::TraceSink>>,
 }
 
 impl Inner {
@@ -181,6 +299,33 @@ impl Inner {
     fn release(&self) {
         self.permits.fetch_add(1, Ordering::AcqRel);
     }
+
+    /// Count one executed queued task against `worker` (the trailing
+    /// slot aggregates all external threads).
+    fn note_task(&self, worker: Option<usize>) {
+        let idx = worker.unwrap_or(self.tasks.len() - 1);
+        self.tasks[idx].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The pool's resolved execution shape, reported by [`SbPool::info`]
+/// and [`SbPool::warm`] so downstream layers (`mo-serve`, `obs_report`)
+/// do not re-derive worker counts and topology themselves.
+#[derive(Debug, Clone)]
+pub struct PoolInfo {
+    /// Total cores of the hierarchy (the parallelism the SB scheduler
+    /// admits against).
+    pub cores: usize,
+    /// Resident worker threads the pool runs once started: `cores` on
+    /// multi-core hierarchies, `0` on single-core ones (which never
+    /// queue work, so no workers are ever spawned).
+    pub resident_workers: usize,
+    /// Whether the resident workers are currently running.
+    pub started: bool,
+    /// Private (L1) capacity in words: the fork-serialization cutoff.
+    pub l1_words: usize,
+    /// The cache levels, L1 first (capacity in words, sharing fanout).
+    pub levels: Vec<HwLevel>,
 }
 
 /// A space-bound fork–join pool over the real machine.
@@ -211,8 +356,13 @@ impl SbPool {
             inner: Arc::new(Inner {
                 permits: AtomicIsize::new(cores - 1),
                 stats: StatCells::default(),
+                tasks: (0..cores.max(1) as usize + 1)
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
                 reg: exec::Registry::new(cores.max(1) as usize),
                 hier,
+                #[cfg(feature = "obs")]
+                sink: OnceLock::new(),
             }),
             handles: Mutex::new(Vec::new()),
         }
@@ -236,20 +386,27 @@ impl SbPool {
         &self.inner.hier
     }
 
-    /// Statistics of the forks taken so far.
+    /// Statistics of the runtime activity so far: a consistent snapshot
+    /// with respect to [`run`](Self::run)'s reset (see [`StatCells`]'s
+    /// protocol note).
     pub fn stats(&self) -> RtStats {
-        RtStats {
-            parallel_forks: self.inner.stats.parallel_forks.load(Ordering::Relaxed),
-            serial_forks: self.inner.stats.serial_forks.load(Ordering::Relaxed),
-            denied_forks: self.inner.stats.denied_forks.load(Ordering::Relaxed),
-        }
+        self.inner.stats.snapshot()
+    }
+
+    /// Queued tasks executed per resident worker since the pool was
+    /// created; the trailing slot aggregates every external thread that
+    /// help-executed inside `enter`/`run`. Never reset.
+    pub fn per_worker_tasks(&self) -> Vec<u64> {
+        self.inner
+            .tasks
+            .iter()
+            .map(|t| t.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Run a root task. The context it receives exposes `join` and `pfor`.
     pub fn run<R: Send>(&self, f: impl FnOnce(&Ctx<'_>) -> R + Send) -> R {
-        self.inner.stats.parallel_forks.store(0, Ordering::Relaxed);
-        self.inner.stats.serial_forks.store(0, Ordering::Relaxed);
-        self.inner.stats.denied_forks.store(0, Ordering::Relaxed);
+        self.inner.stats.reset();
         self.enter(f)
     }
 
@@ -280,8 +437,41 @@ impl SbPool {
     /// Pre-spawn the resident workers so the first request served by a
     /// long-lived pool does not pay thread creation. Idempotent; a
     /// no-op on single-core hierarchies (which never queue work).
-    pub fn warm(&self) {
+    /// Returns the pool's resolved shape so callers (a server sizing
+    /// its own worker count, `obs_report` labelling its output) need
+    /// not re-derive worker counts or topology.
+    pub fn warm(&self) -> PoolInfo {
         self.ensure_started();
+        self.info()
+    }
+
+    /// The pool's resolved execution shape. See [`PoolInfo`].
+    pub fn info(&self) -> PoolInfo {
+        let cores = self.inner.hier.cores();
+        PoolInfo {
+            cores,
+            resident_workers: if cores > 1 { cores } else { 0 },
+            started: self.inner.reg.started.load(Ordering::Acquire),
+            l1_words: self.inner.hier.l1_capacity(),
+            levels: self.inner.hier.levels().to_vec(),
+        }
+    }
+
+    /// Attach a trace sink; every scheduler decision taken from now on
+    /// is recorded into it. At most one sink per pool lifetime: returns
+    /// `false` (and leaves the existing sink) if one is already
+    /// attached. The sink should have [`mo_obs::TraceSink::workers`]
+    /// rings ≥ the pool's core count, or events from the extra workers
+    /// are routed to its external ring.
+    #[cfg(feature = "obs")]
+    pub fn attach_sink(&self, sink: Arc<mo_obs::TraceSink>) -> bool {
+        self.inner.sink.set(sink).is_ok()
+    }
+
+    /// The attached trace sink, if any.
+    #[cfg(feature = "obs")]
+    pub fn sink(&self) -> Option<&Arc<mo_obs::TraceSink>> {
+        self.inner.sink.get()
     }
 
     /// Resident worker threads currently running: `0` until the first
@@ -340,6 +530,13 @@ impl Drop for SbPool {
     }
 }
 
+/// SB anchor level of `words` against `hier`, encoded for event
+/// payloads (`u64::MAX` = fits no level).
+#[cfg(feature = "obs")]
+fn anchor_of(hier: &HwHierarchy, words: usize) -> u64 {
+    hier.anchor_level(words).map_or(u64::MAX, |l| l as u64)
+}
+
 /// A batch of boxed jobs for [`Ctx::join_all`].
 pub type Jobs<'a, R> = Vec<Box<dyn FnOnce(&Ctx<'_>) -> R + Send + 'a>>;
 
@@ -389,13 +586,30 @@ impl<'p> Ctx<'p> {
     {
         let inner = self.inner();
         let cutoff = inner.hier.l1_capacity();
-        if space_a.max(space_b) <= cutoff {
+        let space = space_a.max(space_b);
+        if space <= cutoff {
             // Both children would anchor at one private cache: serialize.
             inner.stats.serial_forks.fetch_add(1, Ordering::Relaxed);
+            obs_event!(
+                inner,
+                self.worker,
+                ForkSerial,
+                space,
+                anchor_of(&inner.hier, space),
+                cutoff
+            );
             return (fa(self), fb(self));
         }
         if inner.try_acquire() {
             inner.stats.parallel_forks.fetch_add(1, Ordering::Relaxed);
+            obs_event!(
+                inner,
+                self.worker,
+                ForkParallel,
+                space,
+                anchor_of(&inner.hier, space),
+                0
+            );
             return self.fork_join(fa, fb);
         }
         // Denied: run the first half inline, then re-check — a permit
@@ -405,9 +619,25 @@ impl<'p> Ctx<'p> {
         let ra = fa(self);
         if inner.try_acquire() {
             inner.stats.parallel_forks.fetch_add(1, Ordering::Relaxed);
+            obs_event!(
+                inner,
+                self.worker,
+                ForkParallel,
+                space,
+                anchor_of(&inner.hier, space),
+                0
+            );
             return (ra, self.fork_stealable(fb));
         }
         inner.stats.denied_forks.fetch_add(1, Ordering::Relaxed);
+        obs_event!(
+            inner,
+            self.worker,
+            ForkDenied,
+            space,
+            anchor_of(&inner.hier, space),
+            0
+        );
         (ra, fb(self))
     }
 
@@ -523,6 +753,14 @@ impl<'p> Ctx<'p> {
         let cores = self.inner().hier.cores();
         let nseg = (n / grain).clamp(1, cores);
         if nseg == 1 {
+            obs_event!(
+                self.inner(),
+                self.worker,
+                CgcSegment,
+                range.start,
+                range.end,
+                grain
+            );
             body(range);
             return;
         }
@@ -532,7 +770,10 @@ impl<'p> Ctx<'p> {
             .filter_map(|k| {
                 let lo = range.start + k * per;
                 let hi = (range.start + (k + 1) * per).min(range.end);
-                (lo < hi).then(|| exec::StackJob::new(move |_: &Ctx<'_>| body(lo..hi)))
+                (lo < hi).then(|| {
+                    obs_event!(self.inner(), self.worker, CgcSegment, lo, hi, grain);
+                    exec::StackJob::new(move |_: &Ctx<'_>| body(lo..hi))
+                })
             })
             .collect();
         self.pool.ensure_started();
@@ -543,6 +784,14 @@ impl<'p> Ctx<'p> {
                 .reg
                 .push(self.worker, unsafe { job.as_job_ref() });
         }
+        obs_event!(
+            self.inner(),
+            self.worker,
+            CgcSegment,
+            range.start,
+            range.start + per,
+            grain
+        );
         let first = panic::catch_unwind(AssertUnwindSafe(|| body(range.start..range.start + per)));
         for job in &jobs {
             exec::wait_until(self, job.latch());
@@ -705,6 +954,134 @@ mod tests {
         // enter() did not reset the counter from run().
         assert_eq!(p.stats().parallel_forks, 2);
         assert_eq!(p.available_permits(), 3);
+    }
+
+    #[test]
+    fn stats_snapshot_is_consistent_across_reset() {
+        // Hammer reset() from one thread while another snapshots: the
+        // seqlock must never let a snapshot mix pre- and post-reset
+        // cells. We detect mixing with a pair of counters that are only
+        // ever incremented together, so any consistent snapshot (reset
+        // or not) sees them within one increment of each other.
+        let cells = Arc::new(StatCells::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let cells = Arc::clone(&cells);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    cells.serial_forks.fetch_add(1, Ordering::Relaxed);
+                    cells.parallel_forks.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                    if i.is_multiple_of(64) {
+                        cells.reset();
+                    }
+                }
+            })
+        };
+        for _ in 0..10_000 {
+            let s = cells.snapshot();
+            let lo = s.serial_forks.min(s.parallel_forks);
+            let hi = s.serial_forks.max(s.parallel_forks);
+            // Without the generation word, a snapshot racing reset sees
+            // e.g. serial=63, parallel=0 — a gap of dozens.
+            assert!(
+                hi - lo <= 1,
+                "torn snapshot across reset: serial={} parallel={}",
+                s.serial_forks,
+                s.parallel_forks
+            );
+        }
+        stop.store(true, Ordering::Release);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn warm_reports_pool_info() {
+        let p = pool();
+        let info = p.warm();
+        assert_eq!(info.cores, 4);
+        assert_eq!(info.resident_workers, 4);
+        assert!(info.started);
+        assert_eq!(info.l1_words, 1024);
+        assert_eq!(info.levels.len(), 2);
+        assert_eq!(info.levels[1].fanout, 4);
+        // Single-core pools never spawn workers and say so.
+        let uni = SbPool::new(HwHierarchy::flat(1, 1024, 1 << 20));
+        let info = uni.warm();
+        assert_eq!(info.cores, 1);
+        assert_eq!(info.resident_workers, 0);
+        assert!(!info.started);
+    }
+
+    #[test]
+    fn scheduler_activity_reaches_extended_stats() {
+        // Enough coarse forks on a warmed 4-core pool must surface in
+        // the new counters: every executed queued task lands in some
+        // per-worker slot, and steals + injector pops account for every
+        // task that moved between threads.
+        fn spin(ctx: &Ctx<'_>, depth: usize) {
+            if depth == 0 {
+                std::hint::black_box(0u64);
+                return;
+            }
+            ctx.join(
+                1 << 20,
+                |c| spin(c, depth - 1),
+                1 << 20,
+                |c| spin(c, depth - 1),
+            );
+        }
+        let p = pool();
+        p.warm();
+        p.run(|ctx| spin(ctx, 8));
+        let st = p.stats();
+        assert!(st.parallel_forks >= 1);
+        let moved = st.steals + st.injector_pops;
+        let executed: u64 = p.per_worker_tasks().iter().sum();
+        // A queued task is executed exactly once; take_back'd jobs run
+        // inline and are counted in neither.
+        assert!(
+            executed >= moved,
+            "executed {executed} < moved {moved} (steals {} + injector {})",
+            st.steals,
+            st.injector_pops
+        );
+        assert_eq!(p.per_worker_tasks().len(), 5); // 4 workers + external
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn attached_sink_records_fork_decisions() {
+        let p = pool();
+        let sink = Arc::new(mo_obs::TraceSink::with_capacity(
+            p.hierarchy().cores(),
+            1 << 12,
+        ));
+        assert!(p.attach_sink(Arc::clone(&sink)));
+        assert!(!p.attach_sink(Arc::clone(&sink))); // once per pool
+        p.run(|ctx| {
+            ctx.join(10, |_| (), 10, |_| ());
+            ctx.join(1 << 16, |_| (), 1 << 16, |_| ());
+            ctx.pfor(0..4096, 64, |_r| {});
+        });
+        let events = sink.drain();
+        let st = p.stats();
+        let count = |k: mo_obs::EventKind| events.iter().filter(|e| e.kind == k).count() as u64;
+        assert_eq!(count(mo_obs::EventKind::ForkSerial), st.serial_forks);
+        assert_eq!(count(mo_obs::EventKind::ForkParallel), st.parallel_forks);
+        assert_eq!(count(mo_obs::EventKind::ForkDenied), st.denied_forks);
+        assert!(count(mo_obs::EventKind::CgcSegment) >= 1);
+        // The serial fork carried its space bound and the L1 cutoff.
+        let serial = events
+            .iter()
+            .find(|e| e.kind == mo_obs::EventKind::ForkSerial)
+            .unwrap();
+        assert_eq!(serial.a, 10);
+        assert_eq!(serial.b, 0); // anchors at L1
+        assert_eq!(serial.c, 1024);
+        assert_eq!(sink.dropped(), 0);
     }
 
     #[test]

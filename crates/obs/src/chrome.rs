@@ -1,0 +1,303 @@
+//! Chrome-trace (Perfetto / `chrome://tracing`) JSON export.
+//!
+//! Produces the JSON-object flavour of the trace-event format: a
+//! `{"traceEvents": [...]}` document that both `chrome://tracing` and
+//! `ui.perfetto.dev` open directly. Mapping:
+//!
+//! * task enter/exit pairs and park/unpark pairs become `"B"`/`"E"`
+//!   duration slices on the emitting worker's track (`tid` = worker
+//!   index; external threads share one `"ext"` track);
+//! * every scheduler decision (fork serial/parallel/denied, CGC
+//!   segment, steal success/attempt, injector pop) becomes a `"i"`
+//!   instant event carrying its payload in `args`, so clicking a mark
+//!   in Perfetto shows the space bound, anchor level, or `[lo, hi)`.
+//!
+//! Timestamps are microseconds (the format's unit) with nanosecond
+//! fraction preserved.
+
+use crate::event::{Event, EventKind, WORKER_EXTERNAL};
+
+/// Track id used for external (non-resident) threads. Chosen high so
+/// worker tracks sort first.
+const EXT_TID: u64 = 9999;
+
+fn tid(worker: u32) -> u64 {
+    if worker == WORKER_EXTERNAL {
+        EXT_TID
+    } else {
+        worker as u64
+    }
+}
+
+fn push_common(out: &mut String, name: &str, ph: char, e: &Event) {
+    let us = e.ts_ns / 1000;
+    let frac = e.ts_ns % 1000;
+    out.push_str(&format!(
+        "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{},\"ts\":{us}.{frac:03}",
+        tid(e.worker)
+    ));
+}
+
+/// The slice-track name a begin/end event pair renders under.
+fn slice_name(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::TaskEnter | EventKind::TaskExit => "task",
+        _ => "parked",
+    }
+}
+
+/// Render a drained, time-ordered event stream as a chrome-trace JSON
+/// document.
+///
+/// The stream may be structurally unbalanced: a drain races task
+/// completion (a join returns the moment the latch is set, before the
+/// worker records its `TaskExit`), parked workers have an open `Park`,
+/// and a full ring can drop a begin while keeping its end. The exporter
+/// therefore balances slices the way Perfetto renders incomplete
+/// traces: an end with no open begin on its track is skipped, and every
+/// still-open begin is closed at the last timestamp in the stream — so
+/// the emitted document always passes [`validate`].
+pub fn to_chrome_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut open: std::collections::BTreeMap<(u64, &'static str), u64> =
+        std::collections::BTreeMap::new();
+    let mut last_ts = 0u64;
+    let mut first = true;
+    for e in events {
+        last_ts = last_ts.max(e.ts_ns);
+        match e.kind {
+            EventKind::TaskEnter | EventKind::Park => {
+                *open.entry((tid(e.worker), slice_name(e.kind))).or_insert(0) += 1;
+            }
+            EventKind::TaskExit | EventKind::Unpark => {
+                let depth = open.entry((tid(e.worker), slice_name(e.kind))).or_insert(0);
+                if *depth == 0 {
+                    continue; // orphan end: its begin was dropped at the ring
+                }
+                *depth -= 1;
+            }
+            _ => {}
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match e.kind {
+            EventKind::TaskEnter => {
+                push_common(&mut out, "task", 'B', e);
+                let origin = match e.b {
+                    1 => "injector",
+                    2 => "steal",
+                    _ => "own",
+                };
+                out.push_str(&format!(
+                    ",\"args\":{{\"job\":{},\"origin\":\"{origin}\",\"victim\":{}}}}}",
+                    e.a, e.c
+                ));
+            }
+            EventKind::TaskExit => {
+                push_common(&mut out, "task", 'E', e);
+                out.push('}');
+            }
+            EventKind::Park => {
+                push_common(&mut out, "parked", 'B', e);
+                out.push('}');
+            }
+            EventKind::Unpark => {
+                push_common(&mut out, "parked", 'E', e);
+                out.push('}');
+            }
+            EventKind::ForkSerial | EventKind::ForkParallel | EventKind::ForkDenied => {
+                push_common(&mut out, e.kind.name(), 'i', e);
+                out.push_str(&format!(
+                    ",\"s\":\"t\",\"args\":{{\"space_words\":{},\"anchor_level\":{}}}}}",
+                    e.a,
+                    level_str(e.b)
+                ));
+            }
+            EventKind::CgcSegment => {
+                push_common(&mut out, "cgc_segment", 'i', e);
+                out.push_str(&format!(
+                    ",\"s\":\"t\",\"args\":{{\"lo\":{},\"hi\":{},\"grain\":{}}}}}",
+                    e.a, e.b, e.c
+                ));
+            }
+            EventKind::StealSuccess => {
+                push_common(&mut out, "steal", 'i', e);
+                out.push_str(&format!(
+                    ",\"s\":\"t\",\"args\":{{\"victim\":{},\"job\":{}}}}}",
+                    e.a, e.b
+                ));
+            }
+            EventKind::StealAttempt | EventKind::InjectorPop => {
+                push_common(&mut out, e.kind.name(), 'i', e);
+                out.push_str(",\"s\":\"t\"}");
+            }
+        }
+    }
+    // Close the slices the drain caught mid-flight.
+    for (&(track, name), &depth) in &open {
+        for _ in 0..depth {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let us = last_ts / 1000;
+            let frac = last_ts % 1000;
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"ph\":\"E\",\"pid\":1,\"tid\":{track},\"ts\":{us}.{frac:03}}}"
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// `u64::MAX` encodes "no level fits"; render it as a JSON null.
+fn level_str(level: u64) -> String {
+    if level == u64::MAX {
+        "null".to_string()
+    } else {
+        level.to_string()
+    }
+}
+
+/// Structural sanity check used by tests and `obs_report --smoke`:
+/// the document has the expected envelope, every `B` has a matching
+/// `E` on the same track, and braces/brackets balance outside strings.
+pub fn validate(json: &str) -> Result<(), String> {
+    if !json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[") || !json.ends_with("]}") {
+        return Err("missing traceEvents envelope".into());
+    }
+    let mut depth_brace = 0i64;
+    let mut depth_bracket = 0i64;
+    let mut in_str = false;
+    for ch in json.chars() {
+        if in_str {
+            // No escapes are ever emitted inside strings.
+            if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_str = true,
+            '{' => depth_brace += 1,
+            '}' => depth_brace -= 1,
+            '[' => depth_bracket += 1,
+            ']' => depth_bracket -= 1,
+            _ => {}
+        }
+        if depth_brace < 0 || depth_bracket < 0 {
+            return Err("unbalanced nesting".into());
+        }
+    }
+    if depth_brace != 0 || depth_bracket != 0 || in_str {
+        return Err("unterminated document".into());
+    }
+    // Per-track B/E balance.
+    let mut opens: std::collections::HashMap<(String, String), i64> =
+        std::collections::HashMap::new();
+    for obj in json.split("{\"name\":").skip(1) {
+        let name = obj.split('"').nth(1).unwrap_or("").to_string();
+        let ph = obj
+            .split("\"ph\":\"")
+            .nth(1)
+            .and_then(|s| s.chars().next())
+            .unwrap_or('?');
+        let tid = obj
+            .split("\"tid\":")
+            .nth(1)
+            .map(|s| s.chars().take_while(|c| c.is_ascii_digit()).collect())
+            .unwrap_or_default();
+        let slot = opens.entry((name, tid)).or_insert(0);
+        match ph {
+            'B' => *slot += 1,
+            'E' => {
+                *slot -= 1;
+                if *slot < 0 {
+                    return Err("E without matching B on a track".into());
+                }
+            }
+            _ => {}
+        }
+    }
+    if opens.values().any(|&v| v != 0) {
+        return Err("unclosed B slice on a track".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, kind: EventKind, worker: u32, a: u64, b: u64, c: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            kind,
+            worker,
+            a,
+            b,
+            c,
+        }
+    }
+
+    #[test]
+    fn export_validates_and_carries_payloads() {
+        let evs = vec![
+            ev(1000, EventKind::TaskEnter, 0, 7, 2, 1),
+            ev(1500, EventKind::ForkParallel, 0, 4096, 1, 0),
+            ev(1600, EventKind::CgcSegment, 0, 0, 512, 64),
+            ev(1700, EventKind::StealSuccess, 1, 0, 7, 0),
+            ev(2000, EventKind::TaskExit, 0, 7, 0, 0),
+            ev(2100, EventKind::Park, 1, 0, 0, 0),
+            ev(2200, EventKind::Unpark, 1, 0, 0, 0),
+            ev(
+                2300,
+                EventKind::ForkDenied,
+                WORKER_EXTERNAL,
+                9000,
+                u64::MAX,
+                0,
+            ),
+        ];
+        let json = to_chrome_json(&evs);
+        validate(&json).unwrap();
+        assert!(json.contains("\"space_words\":4096"));
+        assert!(json.contains("\"anchor_level\":null"));
+        assert!(json.contains("\"grain\":64"));
+        assert!(json.contains("\"ts\":1.500"));
+    }
+
+    #[test]
+    fn exporter_balances_raced_drains() {
+        // A drain races task completion: an end whose begin was dropped
+        // at a full ring, a begin whose end has not been recorded yet,
+        // and a worker still parked when the drain happened.
+        let evs = vec![
+            ev(10, EventKind::TaskExit, 2, 0, 0, 0),
+            ev(20, EventKind::TaskEnter, 0, 1, 0, 0),
+            ev(30, EventKind::Park, 1, 0, 0, 0),
+        ];
+        let json = to_chrome_json(&evs);
+        validate(&json).unwrap();
+        // The orphan end is skipped entirely; the two open slices are
+        // closed at the last timestamp in the stream.
+        assert!(!json.contains("\"tid\":2"));
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+        assert_eq!(json.matches("\"ts\":0.030").count(), 3);
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_slices() {
+        let bad = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\
+                   {\"name\":\"task\",\"ph\":\"B\",\"pid\":1,\"tid\":0,\"ts\":0.000}]}";
+        assert_eq!(
+            validate(bad).unwrap_err(),
+            "unclosed B slice on a track".to_string()
+        );
+        assert!(validate("{\"traceEvents\":[]}").is_err());
+    }
+}

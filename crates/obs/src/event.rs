@@ -1,0 +1,173 @@
+//! The fixed-size binary event schema.
+//!
+//! Every event is five 64-bit words: a nanosecond timestamp (relative
+//! to the sink's epoch), a kind + worker id word, and three payload
+//! words whose meaning depends on the kind (see [`EventKind`]). The
+//! fixed shape is what lets the rings store events in place with plain
+//! atomic stores — no allocation, no serialization on the hot path.
+
+/// Worker id recorded for events emitted by threads that are not
+/// resident pool workers (server threads, test threads inside `run`).
+pub const WORKER_EXTERNAL: u32 = u32::MAX;
+
+/// What happened. The payload convention per kind (`a`/`b`/`c` are the
+/// event's three payload words):
+///
+/// | kind | `a` | `b` | `c` |
+/// |---|---|---|---|
+/// | [`TaskEnter`](Self::TaskEnter) | job id | origin (0 own, 1 injector, 2 stolen) | victim worker when stolen |
+/// | [`TaskExit`](Self::TaskExit) | job id | — | — |
+/// | [`ForkSerial`](Self::ForkSerial) | space bound (words) | SB anchor level | L1 cutoff (words) |
+/// | [`ForkParallel`](Self::ForkParallel) | space bound (words) | SB anchor level | — |
+/// | [`ForkDenied`](Self::ForkDenied) | space bound (words) | SB anchor level | — |
+/// | [`StealAttempt`](Self::StealAttempt) | — | — | — |
+/// | [`StealSuccess`](Self::StealSuccess) | victim worker | job id | — |
+/// | [`InjectorPop`](Self::InjectorPop) | job id | — | — |
+/// | [`Park`](Self::Park) / [`Unpark`](Self::Unpark) | — | — | — |
+/// | [`CgcSegment`](Self::CgcSegment) | segment `lo` | segment `hi` | grain |
+///
+/// The three fork kinds *are* the SB anchor decisions: the kind records
+/// the decision taken, `a` the declared space bound and `b` the level
+/// the space bound anchors at (`u64::MAX` when it exceeds every cache).
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A queued task started executing on some thread.
+    TaskEnter = 0,
+    /// That task finished.
+    TaskExit = 1,
+    /// A fork was serialized by the space-bound cutoff.
+    ForkSerial = 2,
+    /// A fork ran in parallel (its second branch became stealable).
+    ForkParallel = 3,
+    /// A fork above the cutoff was serialized for lack of a core permit.
+    ForkDenied = 4,
+    /// A full work-finding scan (own deque, injector, every other
+    /// deque) came up empty.
+    StealAttempt = 5,
+    /// A task was stolen from another worker's deque.
+    StealSuccess = 6,
+    /// A task was popped from the external-submission injector queue.
+    InjectorPop = 7,
+    /// A worker went to sleep on the idle condvar.
+    Park = 8,
+    /// A parked worker woke up.
+    Unpark = 9,
+    /// `pfor` issued one contiguous CGC segment.
+    CgcSegment = 10,
+}
+
+/// Number of distinct [`EventKind`]s (array-index bound for summaries).
+pub const NKINDS: usize = 11;
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; NKINDS] = [
+        EventKind::TaskEnter,
+        EventKind::TaskExit,
+        EventKind::ForkSerial,
+        EventKind::ForkParallel,
+        EventKind::ForkDenied,
+        EventKind::StealAttempt,
+        EventKind::StealSuccess,
+        EventKind::InjectorPop,
+        EventKind::Park,
+        EventKind::Unpark,
+        EventKind::CgcSegment,
+    ];
+
+    /// Stable lower-case name (report rows, chrome-trace event names).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TaskEnter => "task_enter",
+            EventKind::TaskExit => "task_exit",
+            EventKind::ForkSerial => "fork_serial",
+            EventKind::ForkParallel => "fork_parallel",
+            EventKind::ForkDenied => "fork_denied",
+            EventKind::StealAttempt => "steal_attempt",
+            EventKind::StealSuccess => "steal_success",
+            EventKind::InjectorPop => "injector_pop",
+            EventKind::Park => "park",
+            EventKind::Unpark => "unpark",
+            EventKind::CgcSegment => "cgc_segment",
+        }
+    }
+
+    /// Decode a discriminant stored in a ring slot.
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        EventKind::ALL.get(v as usize).copied()
+    }
+
+    /// `true` for the three fork-decision kinds (the SB anchor events).
+    pub fn is_fork(self) -> bool {
+        matches!(
+            self,
+            EventKind::ForkSerial | EventKind::ForkParallel | EventKind::ForkDenied
+        )
+    }
+}
+
+/// One traced runtime event. 40 bytes, `Copy`, fully plain data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the owning sink's epoch.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Resident worker that emitted it, or [`WORKER_EXTERNAL`].
+    pub worker: u32,
+    /// First payload word (see [`EventKind`] for the per-kind meaning).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+}
+
+impl Event {
+    /// Pack kind + worker into the single word a ring slot stores.
+    pub(crate) fn kw(&self) -> u64 {
+        (self.kind as u64) | ((self.worker as u64) << 8)
+    }
+
+    /// Inverse of [`kw`](Self::kw); `None` on a corrupt discriminant
+    /// (cannot happen through the sink API).
+    pub(crate) fn unpack(ts_ns: u64, kw: u64, a: u64, b: u64, c: u64) -> Option<Event> {
+        Some(Event {
+            ts_ns,
+            kind: EventKind::from_u8((kw & 0xff) as u8)?,
+            worker: (kw >> 8) as u32,
+            a,
+            b,
+            c,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i);
+            assert_eq!(EventKind::from_u8(*k as u8), Some(*k));
+        }
+        assert_eq!(EventKind::from_u8(NKINDS as u8), None);
+    }
+
+    #[test]
+    fn kw_round_trips() {
+        let e = Event {
+            ts_ns: 123,
+            kind: EventKind::StealSuccess,
+            worker: WORKER_EXTERNAL,
+            a: 1,
+            b: 2,
+            c: 3,
+        };
+        let back = Event::unpack(e.ts_ns, e.kw(), e.a, e.b, e.c).unwrap();
+        assert_eq!(back, e);
+    }
+}

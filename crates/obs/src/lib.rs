@@ -1,0 +1,45 @@
+//! # mo-obs — observability for the space-bound runtime
+//!
+//! The paper's claim is behavioural: an *oblivious* algorithm plus
+//! scheduler hints reproduces the cache/steal behaviour of a tuned
+//! program. Verifying that claim needs a measurement surface — this
+//! crate is it. It provides:
+//!
+//! * a **fixed-size binary [`Event`] schema** covering every scheduler
+//!   decision the runtime takes (fork serialized / parallelized /
+//!   denied with the SB anchor level and space bound, CGC segment
+//!   issued with `[lo, hi)` and grain, steal attempt/success, injector
+//!   pop, park/unpark, task enter/exit);
+//! * a **lock-free per-worker [`Ring`]** of those events with an
+//!   overflow-drop counter (tracing never blocks or allocates on the
+//!   hot path) and a [`TraceSink`] that owns one ring per worker plus a
+//!   mutex-guarded ring for external (non-resident) threads, with a
+//!   [`TraceSink::drain`] that merges all streams into one global
+//!   timeline;
+//! * a **chrome-trace / Perfetto JSON exporter** ([`chrome`]) so a
+//!   whole pool run can be inspected per worker in `ui.perfetto.dev`;
+//! * a **Prometheus text-exposition writer and a tiny parser**
+//!   ([`prom`]) used by `mo-serve`'s `/metrics` endpoint and its tests;
+//! * **trace summaries** ([`summary`]) — steal rates, anchor-level
+//!   distributions, segment-size histograms — consumed by the
+//!   `obs_report` bench binary to compare measured scheduler behaviour
+//!   against the analytic predictions.
+//!
+//! The crate is dependency-free and contains no `unsafe`; `mo-core`
+//! depends on it *optionally* behind its `obs` feature, so with the
+//! feature off the runtime carries zero tracing cost (the emission
+//! macro compiles to nothing — not even its arguments are evaluated).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+mod event;
+pub mod prom;
+mod ring;
+mod sink;
+pub mod summary;
+
+pub use event::{Event, EventKind, WORKER_EXTERNAL};
+pub use ring::Ring;
+pub use sink::TraceSink;

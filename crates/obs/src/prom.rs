@@ -1,0 +1,284 @@
+//! Prometheus text exposition: a small writer and a small parser.
+//!
+//! The writer produces the text format version 0.0.4 (`# HELP` /
+//! `# TYPE` headers, `name{label="value"} 1234` samples) that any
+//! Prometheus-compatible scraper ingests; `mo-serve`'s `/metrics`
+//! endpoint renders its snapshot through it. The parser implements just
+//! enough of the same grammar to validate an exposition end-to-end in
+//! tests — names, label sets, float values, histogram-bucket
+//! monotonicity — without pulling a dependency into the tree.
+
+use std::fmt::Write as _;
+
+/// Incremental builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit the `# HELP` / `# TYPE` header for a metric family.
+    /// `kind` is `counter`, `gauge`, or `histogram`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.buf, "# HELP {name} {help}");
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+    }
+
+    /// Emit one sample line with integer value.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.write_name_labels(name, labels);
+        let _ = writeln!(self.buf, " {value}");
+    }
+
+    /// Emit one sample line with float value.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.write_name_labels(name, labels);
+        let _ = writeln!(self.buf, " {value}");
+    }
+
+    fn write_name_labels(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.buf.push_str(name);
+        if !labels.is_empty() {
+            self.buf.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.buf.push(',');
+                }
+                // Values we emit never contain `"`, `\` or newlines, so
+                // no escaping is required (the parser rejects them too).
+                let _ = write!(self.buf, "{k}=\"{v}\"");
+            }
+            self.buf.push('}');
+        }
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs in document order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parse a text exposition. Returns every sample, or the first
+/// offending line. Comment lines must be well-formed `# HELP` or
+/// `# TYPE` lines; label values must be unescaped quoted strings.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            let ok = ["HELP", "TYPE"].iter().any(|kw| {
+                rest.strip_prefix(kw)
+                    .and_then(|r| r.strip_prefix(' '))
+                    .is_some_and(|r| valid_name(r.split_whitespace().next().unwrap_or("")))
+            });
+            if !ok {
+                return Err(format!("line {}: malformed comment: {line}", lineno + 1));
+            }
+            continue;
+        }
+        out.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value_str) = match line.find('{') {
+        Some(_) => {
+            let close = line.rfind('}').ok_or("unterminated label set")?;
+            (line[..close + 1].to_string(), line[close + 1..].trim())
+        }
+        None => {
+            let mut it = line.split_whitespace();
+            let name = it.next().ok_or("empty line")?;
+            let value = it.next().ok_or("missing value")?;
+            (name.to_string(), value)
+        }
+    };
+    let (name, labels) = match name_labels.find('{') {
+        Some(open) => {
+            let name = &name_labels[..open];
+            let body = &name_labels[open + 1..name_labels.len() - 1];
+            let mut labels = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').ok_or("label without '='")?;
+                if !valid_name(k) {
+                    return Err(format!("bad label name {k:?}"));
+                }
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or("unquoted label value")?;
+                if v.contains('"') || v.contains('\\') {
+                    return Err("escaped label values unsupported".into());
+                }
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (name.to_string(), labels)
+        }
+        None => (name_labels, Vec::new()),
+    };
+    if !valid_name(&name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    // The value may be followed by an optional integer timestamp.
+    let value: f64 = value_str
+        .split_whitespace()
+        .next()
+        .ok_or("missing value")?
+        .parse()
+        .map_err(|e| format!("bad value {value_str:?}: {e}"))?;
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Check that the `le`-labelled buckets of every histogram in `samples`
+/// are cumulative (non-decreasing as `le` increases, `+Inf` last and
+/// equal to `_count`). Returns the number of histogram series checked.
+pub fn check_histograms(samples: &[Sample]) -> Result<usize, String> {
+    use std::collections::BTreeMap;
+    // Group bucket samples by (family, non-le labels).
+    let mut series: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    for s in samples {
+        if let Some(family) = s.name.strip_suffix("_bucket") {
+            let le = s
+                .label("le")
+                .ok_or_else(|| "bucket without le".to_string())?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().map_err(|e| format!("bad le {le:?}: {e}"))?
+            };
+            let key_rest: Vec<String> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            series
+                .entry((family.to_string(), key_rest.join(",")))
+                .or_default()
+                .push((le, s.value));
+        }
+    }
+    for ((family, rest), buckets) in &series {
+        let mut buckets = buckets.clone();
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut prev = 0.0;
+        for (le, v) in &buckets {
+            if *v < prev {
+                return Err(format!("{family}{{{rest}}}: bucket le={le} decreases"));
+            }
+            prev = *v;
+        }
+        let last = buckets.last().ok_or("empty histogram")?;
+        if !last.0.is_infinite() {
+            return Err(format!("{family}{{{rest}}}: missing +Inf bucket"));
+        }
+        // +Inf must equal _count when the count sample is present.
+        let count = samples.iter().find(|s| {
+            s.name == format!("{family}_count")
+                && s.labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+                    == *rest
+        });
+        if let Some(c) = count {
+            if (c.value - last.1).abs() > f64::EPSILON {
+                return Err(format!("{family}{{{rest}}}: +Inf != _count"));
+            }
+        }
+    }
+    Ok(series.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_output_parses_back() {
+        let mut w = PromText::new();
+        w.header("jobs_total", "Jobs by kernel.", "counter");
+        w.sample_u64("jobs_total", &[("kernel", "sort")], 41);
+        w.sample_u64("jobs_total", &[("kernel", "fft"), ("ok", "yes")], 1);
+        w.header("queue_depth", "Current depth.", "gauge");
+        w.sample_f64("queue_depth", &[], 3.5);
+        let text = w.finish();
+        let samples = parse(&text).unwrap();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "jobs_total");
+        assert_eq!(samples[0].label("kernel"), Some("sort"));
+        assert_eq!(samples[0].value, 41.0);
+        assert_eq!(samples[2].value, 3.5);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse("ok_metric 1\nbad metric name 2").is_err());
+        assert!(parse("m{x=1} 2").is_err()); // unquoted label value
+        assert!(parse("m{x=\"a\"}").is_err()); // missing value
+        assert!(parse("# BOGUS header").is_err());
+        assert!(parse("# HELP m fine\n# TYPE m counter\nm 7").is_ok());
+    }
+
+    #[test]
+    fn histogram_checker_enforces_cumulative_buckets() {
+        let ok = "\
+h_bucket{le=\"0.1\"} 1\n\
+h_bucket{le=\"1\"} 3\n\
+h_bucket{le=\"+Inf\"} 4\n\
+h_count 4\n";
+        assert_eq!(check_histograms(&parse(ok).unwrap()).unwrap(), 1);
+        let dec = "h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 4\n";
+        assert!(check_histograms(&parse(dec).unwrap()).is_err());
+        let noinf = "h_bucket{le=\"1\"} 5\n";
+        assert!(check_histograms(&parse(noinf).unwrap()).is_err());
+        let badcount = "h_bucket{le=\"+Inf\"} 4\nh_count 5\n";
+        assert!(check_histograms(&parse(badcount).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! The `/metrics` exposition endpoint: a minimal HTTP server over
+//! `std::net` that renders [`crate::MetricsSnapshot::to_prometheus_text`]
+//! per scrape.
+//!
+//! Scrapes are rare (seconds apart) and the response is one contiguous
+//! string, so one accept thread handling connections serially is
+//! deliberate: no connection pool, no request pipelining, no external
+//! dependency. The listener runs non-blocking and the thread polls a
+//! stop flag between accepts, so dropping the handle shuts it down
+//! promptly.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::server::Shared;
+
+/// How often the accept loop re-checks the stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// A running metrics endpoint. Serves `GET /metrics` (and `GET /`) as
+/// `text/plain; version=0.0.4`; any other path is a 404. Dropping the
+/// handle stops the endpoint.
+pub struct MetricsExposition {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsExposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsExposition")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsExposition {
+    pub(crate) fn bind(shared: Arc<Shared>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("mo-serve-metrics".into())
+            .spawn(move || accept_loop(&listener, &shared, &flag))?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsExposition {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One slow or broken scraper must not wedge the loop.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                let _ = serve_one(stream, shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    // Read until the end of the request head. Bodies are ignored — a
+    // scrape is a bare GET.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > 16 * 1024 {
+            break; // oversized head: answer whatever we parsed
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, ctype, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", String::new())
+    } else if path == "/metrics" || path == "/" {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.snapshot().to_prometheus_text(),
+        )
+    } else {
+        ("404 Not Found", "text/plain", String::new())
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}

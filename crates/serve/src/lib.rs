@@ -18,7 +18,9 @@
 //!   size form equal-footprint batches that anchor where their total
 //!   fits and spread evenly over the cores through one `join_all`;
 //! * **observability** — per-kernel and per-level counters plus latency
-//!   quantiles behind a cheap [`MetricsSnapshot`] API;
+//!   quantiles behind a cheap [`MetricsSnapshot`] API, with interval
+//!   deltas ([`MetricsSnapshot::delta_since`]) and a Prometheus text
+//!   `/metrics` endpoint ([`Server::serve_metrics`]);
 //! * **graceful drain** — shutdown stops intake, finishes (or sheds)
 //!   the queue, and resolves every outstanding [`Ticket`].
 //!
@@ -35,10 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod expose;
 mod job;
 mod metrics;
 mod server;
 
+pub use expose::MetricsExposition;
 pub use job::{Done, JobSpec, Kernel, Outcome, Rejected, Ticket};
 pub use metrics::{KernelSnapshot, LevelSnapshot, MetricsSnapshot};
 pub use server::{ServeConfig, Server};
@@ -160,6 +164,174 @@ mod tests {
         assert!(max_batch > 1, "no batch ever formed");
         assert!(sort.batches >= 1);
         assert!(sort.batched_jobs >= max_batch as u64);
+    }
+
+    #[test]
+    fn counters_conserve_jobs_under_concurrent_load() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        // Several submitter threads race the worker pool while a
+        // snapshot loop continuously checks conservation: every
+        // accepted job is exactly one of completed, deadline-shed, or
+        // still in flight — never double-counted, never lost — in
+        // *every* snapshot, not only at quiescence.
+        let server = Arc::new(small_server(512, 4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let submitters: Vec<_> = (0..3)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let mut accepted = 0u64;
+                    let mut tickets = Vec::new();
+                    for i in 0..200u64 {
+                        let spec = JobSpec {
+                            kernel: Kernel::Sort,
+                            n: 1000,
+                            seed: t * 1000 + i,
+                            // A sprinkle of instant deadlines exercises
+                            // the shed_deadline leg of the invariant.
+                            deadline: (i % 7 == 0).then_some(Duration::ZERO),
+                        };
+                        if let Ok(ticket) = server.submit(spec) {
+                            accepted += 1;
+                            tickets.push(ticket);
+                        }
+                    }
+                    for t in tickets {
+                        t.wait();
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        let checker = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut checks = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let snap = server.metrics();
+                    for k in &snap.kernels {
+                        assert!(
+                            k.submitted >= k.completed + k.shed_deadline,
+                            "{}: submitted {} < completed {} + deadline-shed {}",
+                            k.kernel.name(),
+                            k.submitted,
+                            k.completed,
+                            k.shed_deadline
+                        );
+                        // in_flight() is the same inequality rearranged;
+                        // calling it proves it does not underflow-panic.
+                        let _ = k.in_flight();
+                    }
+                    checks += 1;
+                }
+                checks
+            })
+        };
+        let accepted: u64 = submitters.into_iter().map(|h| h.join().unwrap()).sum();
+        stop.store(true, Ordering::Release);
+        assert!(checker.join().unwrap() > 0);
+        // Every ticket resolved, so nothing is in flight: accepted jobs
+        // now split exactly into completed + deadline-shed.
+        let snap = server.metrics();
+        let sort = &snap.kernels[Kernel::Sort.index()];
+        assert_eq!(sort.submitted, accepted);
+        assert_eq!(sort.completed + sort.shed_deadline, accepted);
+        assert_eq!(snap.in_flight_total(), 0);
+        assert!(sort.completed > 0, "no job ever completed");
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_parseable_prometheus_text() {
+        use std::io::{Read, Write};
+        // Scrape /metrics over real TCP while jobs are running, parse
+        // the body with the mo-obs Prometheus parser, and validate the
+        // latency histograms are cumulative with +Inf == _count.
+        let server = small_server(256, 4);
+        let endpoint = server.serve_metrics("127.0.0.1:0").unwrap();
+        let tickets: Vec<_> = (0..60)
+            .map(|i| server.submit(JobSpec::new(Kernel::Sort, 1000, i)).unwrap())
+            .collect();
+        let scrape = |path: &str| {
+            let mut conn = std::net::TcpStream::connect(endpoint.addr()).unwrap();
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response
+        };
+        // One scrape mid-load, one at quiescence.
+        let early = scrape("/metrics");
+        assert!(early.starts_with("HTTP/1.1 200 OK"), "{early}");
+        for t in tickets {
+            assert!(t.wait().is_done());
+        }
+        let full = scrape("/metrics");
+        assert!(full.contains("text/plain; version=0.0.4"));
+        assert!(scrape("/nope").starts_with("HTTP/1.1 404"));
+        for response in [early, full] {
+            let body = response.split("\r\n\r\n").nth(1).unwrap();
+            let samples = mo_obs::prom::parse(body).unwrap();
+            assert!(mo_obs::prom::check_histograms(&samples).unwrap() >= 1);
+            assert!(samples
+                .iter()
+                .any(|s| s.name == "moserve_jobs_submitted_total"
+                    && s.label("kernel") == Some("sort")));
+        }
+        // The quiescent scrape must show all 60 sorts completed.
+        let body = scrape("/metrics");
+        let samples = mo_obs::prom::parse(body.split("\r\n\r\n").nth(1).unwrap()).unwrap();
+        let completed = samples
+            .iter()
+            .find(|s| s.name == "moserve_jobs_completed_total" && s.label("kernel") == Some("sort"))
+            .unwrap();
+        assert_eq!(completed.value, 60.0);
+        let count = samples
+            .iter()
+            .find(|s| {
+                s.name == "moserve_latency_seconds_count" && s.label("kernel") == Some("sort")
+            })
+            .unwrap();
+        assert_eq!(count.value, 60.0);
+        drop(endpoint); // stops the accept thread
+        drop(server);
+    }
+
+    #[test]
+    fn snapshot_deltas_isolate_interval_activity() {
+        let server = small_server(64, 1);
+        for i in 0..5 {
+            assert!(server
+                .submit(JobSpec::new(Kernel::Sort, 1000, i))
+                .unwrap()
+                .wait()
+                .is_done());
+        }
+        let mid = server.metrics();
+        for i in 0..3 {
+            assert!(server
+                .submit(JobSpec::new(Kernel::Fft, 4096, i))
+                .unwrap()
+                .wait()
+                .is_done());
+        }
+        let delta = server.metrics().delta_since(&mid);
+        assert_eq!(delta.kernels[Kernel::Sort.index()].completed, 0);
+        assert_eq!(delta.kernels[Kernel::Fft.index()].completed, 3);
+        assert_eq!(delta.kernels[Kernel::Fft.index()].latency_count(), 3);
+        assert_eq!(delta.completed_total(), 3);
+        // Full-lifetime counters are untouched by taking a delta.
+        assert_eq!(server.metrics().completed_total(), 8);
+    }
+
+    #[test]
+    fn pool_info_reports_serving_shape() {
+        let server = small_server(8, 1);
+        let info = server.pool_info();
+        assert_eq!(info.cores, 4);
+        assert_eq!(info.resident_workers, 4);
+        assert!(info.started);
+        assert_eq!(info.l1_words, 2048);
     }
 
     #[test]

@@ -15,16 +15,19 @@ use crate::job::Kernel;
 
 const NBUCKETS: usize = 48;
 
-/// Log₂-microsecond latency histogram.
+/// Log₂-microsecond latency histogram, plus the running sum needed for
+/// a Prometheus histogram's `_sum` series.
 #[derive(Debug)]
 pub(crate) struct LatencyHist {
     buckets: [AtomicU64; NBUCKETS],
+    sum_us: AtomicU64,
 }
 
 impl LatencyHist {
     fn new() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
         }
     }
 
@@ -32,6 +35,7 @@ impl LatencyHist {
         let us = d.as_micros() as u64;
         let idx = (64 - us.leading_zeros() as usize).min(NBUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> Vec<u64> {
@@ -40,6 +44,12 @@ impl LatencyHist {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+}
+
+/// Upper bound of log₂-µs bucket `idx` in microseconds (the last bucket
+/// is open-ended).
+pub(crate) fn bucket_upper_us(idx: usize) -> Option<u64> {
+    (idx + 1 < NBUCKETS).then(|| 1u64 << idx)
 }
 
 /// Quantile over a log₂ histogram: upper bound (in ms) of the bucket
@@ -161,12 +171,36 @@ pub struct KernelSnapshot {
     pub p50_ms: Option<f64>,
     /// 99th-percentile total latency in milliseconds.
     pub p99_ms: Option<f64>,
+    /// Raw log₂-µs latency buckets (bucket `i` holds latencies in
+    /// `(2^(i-1), 2^i]` µs; the last bucket is open-ended). Counts are
+    /// *not* cumulative here; the Prometheus renderer accumulates them.
+    pub latency_buckets: Vec<u64>,
+    /// Sum of recorded latencies in microseconds.
+    pub latency_sum_us: u64,
 }
 
 impl KernelSnapshot {
     /// All sheds for this kernel.
     pub fn shed_total(&self) -> u64 {
         self.shed_queue_full + self.shed_deadline + self.shed_too_large
+    }
+
+    /// Recorded latency samples.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_buckets.iter().sum()
+    }
+
+    /// Jobs accepted but not yet resolved at snapshot time.
+    ///
+    /// Only `completed` and `shed_deadline` resolve *accepted* jobs
+    /// (`queue_full` / `too_large` rejections never count as
+    /// submitted), so `submitted - completed - shed_deadline` is the
+    /// number still queued or running. [`MetricsSnapshot::collect`]
+    /// loads the resolution counters *before* `submitted` with SeqCst
+    /// ordering, so this never underflows even against a racing
+    /// snapshot — see the conservation note there.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted - (self.completed + self.shed_deadline)
     }
 }
 
@@ -219,17 +253,28 @@ impl MetricsSnapshot {
             .map(|&k| {
                 let c = m.kernel(k);
                 let hist = c.latency.snapshot();
+                // Conservation ordering: a job is *resolved*
+                // (completed / deadline-shed) only after it was counted
+                // submitted, and both sides use SeqCst, so loading the
+                // resolution counters first guarantees
+                // `submitted ≥ completed + shed_deadline` in every
+                // snapshot — the invariant `in_flight()` relies on.
+                let completed = c.completed.load(Ordering::SeqCst);
+                let shed_deadline = c.shed_deadline.load(Ordering::SeqCst);
+                let submitted = c.submitted.load(Ordering::SeqCst);
                 KernelSnapshot {
                     kernel: k,
-                    submitted: c.submitted.load(Ordering::Relaxed),
-                    completed: c.completed.load(Ordering::Relaxed),
+                    submitted,
+                    completed,
                     shed_queue_full: c.shed_queue_full.load(Ordering::Relaxed),
-                    shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
+                    shed_deadline,
                     shed_too_large: c.shed_too_large.load(Ordering::Relaxed),
                     batches: c.batches.load(Ordering::Relaxed),
                     batched_jobs: c.batched_jobs.load(Ordering::Relaxed),
                     p50_ms: quantile_ms(&hist, 0.50),
                     p99_ms: quantile_ms(&hist, 0.99),
+                    latency_sum_us: c.latency.sum_us.load(Ordering::Relaxed),
+                    latency_buckets: hist,
                 }
             })
             .collect();
@@ -265,6 +310,261 @@ impl MetricsSnapshot {
     pub fn shed_total(&self) -> u64 {
         self.kernels.iter().map(|k| k.shed_total()).sum()
     }
+
+    /// Total jobs accepted but not yet resolved at snapshot time (see
+    /// [`KernelSnapshot::in_flight`] for why this cannot underflow).
+    pub fn in_flight_total(&self) -> u64 {
+        self.kernels.iter().map(|k| k.in_flight()).sum()
+    }
+
+    /// The activity between `prev` and `self`: every monotone counter
+    /// (submissions, completions, sheds, batches, latency buckets, rt
+    /// forks/steals/parks) becomes its increment over the interval,
+    /// while point-in-time gauges (queue depth, in-flight words) keep
+    /// their current values. Quantiles are recomputed over the interval
+    /// buckets, so `p50_ms` is the interval's median, not the lifetime
+    /// one. Both snapshots must come from the same server; counters
+    /// never decrease, but `saturating_sub` keeps a mismatched pair
+    /// from panicking.
+    pub fn delta_since(&self, prev: &Self) -> Self {
+        let kernels = self
+            .kernels
+            .iter()
+            .zip(&prev.kernels)
+            .map(|(now, old)| {
+                let buckets: Vec<u64> = now
+                    .latency_buckets
+                    .iter()
+                    .zip(&old.latency_buckets)
+                    .map(|(n, o)| n.saturating_sub(*o))
+                    .collect();
+                KernelSnapshot {
+                    kernel: now.kernel,
+                    submitted: now.submitted.saturating_sub(old.submitted),
+                    completed: now.completed.saturating_sub(old.completed),
+                    shed_queue_full: now.shed_queue_full.saturating_sub(old.shed_queue_full),
+                    shed_deadline: now.shed_deadline.saturating_sub(old.shed_deadline),
+                    shed_too_large: now.shed_too_large.saturating_sub(old.shed_too_large),
+                    batches: now.batches.saturating_sub(old.batches),
+                    batched_jobs: now.batched_jobs.saturating_sub(old.batched_jobs),
+                    p50_ms: quantile_ms(&buckets, 0.50),
+                    p99_ms: quantile_ms(&buckets, 0.99),
+                    latency_sum_us: now.latency_sum_us.saturating_sub(old.latency_sum_us),
+                    latency_buckets: buckets,
+                }
+            })
+            .collect();
+        let levels = self
+            .levels
+            .iter()
+            .zip(&prev.levels)
+            .map(|(now, old)| LevelSnapshot {
+                admitted_jobs: now.admitted_jobs.saturating_sub(old.admitted_jobs),
+                admitted_words: now.admitted_words.saturating_sub(old.admitted_words),
+                ..now.clone()
+            })
+            .collect();
+        Self {
+            kernels,
+            levels,
+            queue_depth: self.queue_depth,
+            queue_peak: self.queue_peak,
+            rt: RtStats {
+                parallel_forks: self
+                    .rt
+                    .parallel_forks
+                    .saturating_sub(prev.rt.parallel_forks),
+                serial_forks: self.rt.serial_forks.saturating_sub(prev.rt.serial_forks),
+                denied_forks: self.rt.denied_forks.saturating_sub(prev.rt.denied_forks),
+                steals: self.rt.steals.saturating_sub(prev.rt.steals),
+                failed_steals: self.rt.failed_steals.saturating_sub(prev.rt.failed_steals),
+                parks: self.rt.parks.saturating_sub(prev.rt.parks),
+                injector_pops: self.rt.injector_pops.saturating_sub(prev.rt.injector_pops),
+            },
+            uptime: self.uptime.saturating_sub(prev.uptime),
+        }
+    }
+
+    /// Render as a Prometheus text exposition (format 0.0.4): per-kernel
+    /// job counters, the in-flight gauge, cumulative latency histograms
+    /// in seconds, per-level admission gauges, and the runtime's
+    /// scheduler counters. This is what `/metrics` serves.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut w = mo_obs::prom::PromText::new();
+        w.header(
+            "moserve_jobs_submitted_total",
+            "Jobs accepted into the queue.",
+            "counter",
+        );
+        for k in &self.kernels {
+            w.sample_u64(
+                "moserve_jobs_submitted_total",
+                &[("kernel", k.kernel.name())],
+                k.submitted,
+            );
+        }
+        w.header(
+            "moserve_jobs_completed_total",
+            "Jobs served to completion.",
+            "counter",
+        );
+        for k in &self.kernels {
+            w.sample_u64(
+                "moserve_jobs_completed_total",
+                &[("kernel", k.kernel.name())],
+                k.completed,
+            );
+        }
+        w.header(
+            "moserve_jobs_shed_total",
+            "Jobs shed, by kernel and reason.",
+            "counter",
+        );
+        for k in &self.kernels {
+            let name = k.kernel.name();
+            for (reason, v) in [
+                ("queue_full", k.shed_queue_full),
+                ("deadline", k.shed_deadline),
+                ("too_large", k.shed_too_large),
+            ] {
+                w.sample_u64(
+                    "moserve_jobs_shed_total",
+                    &[("kernel", name), ("reason", reason)],
+                    v,
+                );
+            }
+        }
+        w.header(
+            "moserve_batches_total",
+            "CGC=>SB batches executed (each >= 2 jobs).",
+            "counter",
+        );
+        for k in &self.kernels {
+            w.sample_u64(
+                "moserve_batches_total",
+                &[("kernel", k.kernel.name())],
+                k.batches,
+            );
+        }
+        w.header(
+            "moserve_jobs_in_flight",
+            "Accepted jobs not yet resolved.",
+            "gauge",
+        );
+        for k in &self.kernels {
+            w.sample_u64(
+                "moserve_jobs_in_flight",
+                &[("kernel", k.kernel.name())],
+                k.in_flight(),
+            );
+        }
+        w.header(
+            "moserve_latency_seconds",
+            "Total (queue + service) latency.",
+            "histogram",
+        );
+        for k in &self.kernels {
+            let name = k.kernel.name();
+            let mut cum = 0u64;
+            for (i, c) in k.latency_buckets.iter().enumerate() {
+                cum += c;
+                let le = match bucket_upper_us(i) {
+                    Some(us) => format!("{}", us as f64 / 1e6),
+                    None => "+Inf".to_string(),
+                };
+                w.sample_u64(
+                    "moserve_latency_seconds_bucket",
+                    &[("kernel", name), ("le", &le)],
+                    cum,
+                );
+            }
+            w.sample_f64(
+                "moserve_latency_seconds_sum",
+                &[("kernel", name)],
+                k.latency_sum_us as f64 / 1e6,
+            );
+            w.sample_u64(
+                "moserve_latency_seconds_count",
+                &[("kernel", name)],
+                k.latency_count(),
+            );
+        }
+        w.header("moserve_queue_depth", "Jobs waiting in the queue.", "gauge");
+        w.sample_u64("moserve_queue_depth", &[], self.queue_depth as u64);
+        w.header(
+            "moserve_queue_peak",
+            "High-water mark of the queue depth.",
+            "gauge",
+        );
+        w.sample_u64("moserve_queue_peak", &[], self.queue_peak as u64);
+        w.header(
+            "moserve_level_inflight_words",
+            "Footprint words admitted against each cache level.",
+            "gauge",
+        );
+        for l in &self.levels {
+            w.sample_u64(
+                "moserve_level_inflight_words",
+                &[("level", &l.level.to_string())],
+                l.inflight_words as u64,
+            );
+        }
+        w.header(
+            "moserve_level_admitted_jobs_total",
+            "Jobs or batches admitted against each cache level.",
+            "counter",
+        );
+        for l in &self.levels {
+            w.sample_u64(
+                "moserve_level_admitted_jobs_total",
+                &[("level", &l.level.to_string())],
+                l.admitted_jobs,
+            );
+        }
+        w.header(
+            "moserve_rt_forks_total",
+            "SB scheduler fork decisions, by kind.",
+            "counter",
+        );
+        for (kind, v) in [
+            ("parallel", self.rt.parallel_forks),
+            ("serial", self.rt.serial_forks),
+            ("denied", self.rt.denied_forks),
+        ] {
+            w.sample_u64("moserve_rt_forks_total", &[("kind", kind)], v);
+        }
+        w.header(
+            "moserve_rt_steals_total",
+            "Tasks executed from another worker's deque.",
+            "counter",
+        );
+        w.sample_u64("moserve_rt_steals_total", &[], self.rt.steals);
+        w.header(
+            "moserve_rt_failed_steals_total",
+            "Work-finding scans that found nothing.",
+            "counter",
+        );
+        w.sample_u64("moserve_rt_failed_steals_total", &[], self.rt.failed_steals);
+        w.header(
+            "moserve_rt_parks_total",
+            "Times a runtime thread slept on the idle condvar.",
+            "counter",
+        );
+        w.sample_u64("moserve_rt_parks_total", &[], self.rt.parks);
+        w.header(
+            "moserve_rt_injector_pops_total",
+            "Tasks popped from the external-submission injector.",
+            "counter",
+        );
+        w.sample_u64("moserve_rt_injector_pops_total", &[], self.rt.injector_pops);
+        w.header(
+            "moserve_uptime_seconds",
+            "Time since the server started.",
+            "gauge",
+        );
+        w.sample_f64("moserve_uptime_seconds", &[], self.uptime.as_secs_f64());
+        w.finish()
+    }
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -278,6 +578,11 @@ impl std::fmt::Display for MetricsSnapshot {
             self.rt.parallel_forks,
             self.rt.serial_forks,
             self.rt.denied_forks
+        )?;
+        writeln!(
+            f,
+            "rt activity: {} steals ({} empty scans), {} injector pops, {} parks",
+            self.rt.steals, self.rt.failed_steals, self.rt.injector_pops, self.rt.parks
         )?;
         writeln!(
             f,

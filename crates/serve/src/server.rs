@@ -34,7 +34,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use mo_algorithms::real::registry::{footprint_words, run_batch_in};
-use mo_core::rt::{HwHierarchy, SbPool};
+use mo_core::rt::{HwHierarchy, PoolInfo, SbPool};
 
 use crate::job::{Done, JobSpec, Outcome, Rejected, Ticket};
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -83,10 +83,16 @@ struct QueueState {
     draining: bool,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     pool: SbPool,
     cfg: ServeConfig,
     batch_words_max: usize,
+    /// Machine-wide capacity per cache level, cached at startup so
+    /// snapshots and admission paths stop re-deriving it.
+    level_caps: Vec<usize>,
+    /// The pool's resolved shape, reported by [`SbPool::warm`] at
+    /// startup.
+    pool_info: PoolInfo,
     state: Mutex<QueueState>,
     cv: Condvar,
     metrics: Metrics,
@@ -94,6 +100,20 @@ struct Shared {
 }
 
 impl Shared {
+    /// Point-in-time copy of every metric (shared by [`Server::metrics`]
+    /// and the `/metrics` exposition thread).
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let st = self.state.lock().unwrap();
+        MetricsSnapshot::collect(
+            &self.metrics,
+            &self.level_caps,
+            &st.inflight,
+            st.queue.len(),
+            self.pool.stats(),
+            self.started.elapsed(),
+        )
+    }
+
     /// Smallest level that fits `footprint` per-instance *and* still has
     /// room for it machine-wide: the admission query.
     fn admissible_anchor(&self, st: &QueueState, footprint: usize) -> Option<usize> {
@@ -124,16 +144,28 @@ impl Server {
     /// Start a server over an explicit hierarchy.
     pub fn start(hier: HwHierarchy, cfg: ServeConfig) -> Self {
         let nlevels = hier.levels().len();
+        let level_caps: Vec<usize> = (0..nlevels)
+            .map(|l| hier.aggregate_capacity(l).unwrap_or(0))
+            .collect();
+        let batch_words_max = cfg.batch_words_max.unwrap_or_else(|| hier.l1_capacity());
+        let pool = SbPool::new(hier);
+        // Spawn the pool's resident stealing workers up front: every
+        // batch runs on this long-lived pool via `enter`, so first-job
+        // latency should not pay thread creation. `warm` reports the
+        // resolved shape, which sizes the service workers and is kept
+        // for snapshots.
+        let pool_info = pool.warm();
         let workers = if cfg.workers == 0 {
-            hier.cores().max(1)
+            pool_info.cores.max(1)
         } else {
             cfg.workers
         };
-        let batch_words_max = cfg.batch_words_max.unwrap_or_else(|| hier.l1_capacity());
         let shared = Arc::new(Shared {
-            pool: SbPool::new(hier),
+            pool,
             cfg,
             batch_words_max,
+            level_caps,
+            pool_info,
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 inflight: vec![0; nlevels],
@@ -143,10 +175,6 @@ impl Server {
             metrics: Metrics::new(nlevels),
             started: Instant::now(),
         });
-        // Spawn the pool's resident stealing workers up front: every
-        // batch runs on this long-lived pool via `enter`, so first-job
-        // latency should not pay thread creation.
-        shared.pool.warm();
         let handles = (0..workers)
             .map(|_| {
                 let sh = Arc::clone(&shared);
@@ -201,7 +229,9 @@ impl Server {
             deadline,
             tx,
         });
-        cells.submitted.fetch_add(1, Ordering::Relaxed);
+        // SeqCst: part of the submitted >= completed + shed_deadline
+        // conservation protocol (see `MetricsSnapshot::collect`).
+        cells.submitted.fetch_add(1, Ordering::SeqCst);
         sh.metrics.note_queue_depth(st.queue.len());
         drop(st);
         sh.cv.notify_one();
@@ -226,20 +256,23 @@ impl Server {
 
     /// Point-in-time snapshot of every service metric.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let sh = &self.shared;
-        let hier = sh.pool.hierarchy();
-        let caps: Vec<usize> = (0..hier.levels().len())
-            .map(|l| hier.aggregate_capacity(l).unwrap_or(0))
-            .collect();
-        let st = sh.state.lock().unwrap();
-        MetricsSnapshot::collect(
-            &sh.metrics,
-            &caps,
-            &st.inflight,
-            st.queue.len(),
-            sh.pool.stats(),
-            sh.started.elapsed(),
-        )
+        self.shared.snapshot()
+    }
+
+    /// The underlying pool's resolved shape, as reported by
+    /// [`SbPool::warm`] at startup.
+    pub fn pool_info(&self) -> &PoolInfo {
+        &self.shared.pool_info
+    }
+
+    /// Serve a Prometheus text exposition of [`metrics`](Self::metrics)
+    /// over HTTP on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port). See [`crate::MetricsExposition`].
+    pub fn serve_metrics(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<crate::expose::MetricsExposition> {
+        crate::expose::MetricsExposition::bind(Arc::clone(&self.shared), addr)
     }
 }
 
@@ -297,7 +330,7 @@ fn shed_expired(sh: &Shared, st: &mut QueueState) {
             sh.metrics
                 .kernel(q.spec.kernel)
                 .shed_deadline
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::SeqCst); // conservation protocol
             let _ =
                 q.tx.send(Outcome::Rejected(Rejected::DeadlineExpired { waited }));
         } else {
@@ -374,7 +407,7 @@ fn execute(sh: &Shared, batch: Batch) {
     let total: usize = jobs.iter().map(|q| q.footprint).sum();
     for (q, checksum) in jobs.into_iter().zip(sums) {
         let queued = t0.saturating_duration_since(q.enqueued);
-        cells.completed.fetch_add(1, Ordering::Relaxed);
+        cells.completed.fetch_add(1, Ordering::SeqCst); // conservation protocol
         cells.latency.record(queued + service);
         let _ = q.tx.send(Outcome::Done(Done {
             checksum,

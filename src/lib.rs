@@ -18,6 +18,9 @@
 //!   NO algorithms, including N-GEP with the 𝒟\* schedule of Table I.
 //! * [`baselines`] — cache-aware/naive comparators and the
 //!   "proportionate slice" scheduler the paper argues against in §II.
+//! * [`obs`] — runtime observability: lock-free per-worker event
+//!   rings, the merged scheduler-decision timeline, chrome-trace/Perfetto
+//!   export, and the Prometheus text writer/parser.
 //! * [`serve`] — the serving layer: a space-bound-aware kernel service
 //!   with SB admission control, CGC⇒SB request batching, bounded-queue
 //!   backpressure and per-kernel/per-level metrics.
@@ -29,5 +32,6 @@ pub use hm_model as hm;
 pub use mo_algorithms as algs;
 pub use mo_baselines as baselines;
 pub use mo_core as mo;
+pub use mo_obs as obs;
 pub use mo_serve as serve;
 pub use no_framework as no;
