@@ -226,7 +226,9 @@ fn smoke_checksums(pool: &SbPool) {
 /// Record layout version. Bump when the JSON shape changes; `bench_rt`
 /// refuses to overwrite a file with a different schema without
 /// `--force`, so a layout change can never masquerade as a perf change.
-const SCHEMA: u64 = 2;
+/// Schema 3 added the `"regressions"` array: kernels whose pool run is
+/// slower than their serial baseline (speedup < 1.0).
+const SCHEMA: u64 = 3;
 
 /// The `"schema"` value of an existing record, if the file parses far
 /// enough to have one (the pre-versioning layout reports `None`).
@@ -290,6 +292,7 @@ fn main() {
         "{{\n  \"schema\": {SCHEMA},\n  \"host\": {{\"cores\": {cores}, \"levels\": [{}]}},\n  \"cores\": {cores},\n  \"smoke\": {smoke},\n  \"median_of\": {reps},\n  \"kernels\": [\n",
         levels.join(", ")
     ));
+    let mut regressions = Vec::new();
     for (i, r) in rows.iter().enumerate() {
         let speedup = r.serial_ns as f64 / r.pool_ns.max(1) as f64;
         json.push_str(&format!(
@@ -301,12 +304,28 @@ fn main() {
             speedup,
             if i + 1 < rows.len() { "," } else { "" }
         ));
+        let marker = if speedup < 1.0 { "  REGRESSION" } else { "" };
         println!(
-            "{:>16} n={:<8} serial {:>12} ns   pool {:>12} ns   speedup {:.3}x",
+            "{:>16} n={:<8} serial {:>12} ns   pool {:>12} ns   speedup {:.3}x{marker}",
             r.kernel, r.n, r.serial_ns, r.pool_ns, speedup
         );
+        if speedup < 1.0 {
+            regressions.push(r.kernel);
+        }
     }
-    json.push_str("  ]\n}\n");
+    let regs: Vec<String> = regressions.iter().map(|k| format!("\"{k}\"")).collect();
+    json.push_str(&format!(
+        "  ],\n  \"regressions\": [{}]\n}}\n",
+        regs.join(", ")
+    ));
     std::fs::write(&out_path, &json).expect("write bench json");
-    println!("wrote {out_path}");
+    if regressions.is_empty() {
+        println!("wrote {out_path}");
+    } else {
+        println!(
+            "wrote {out_path} — {} kernel(s) slower under the pool than serial: {}",
+            regressions.len(),
+            regressions.join(", ")
+        );
+    }
 }

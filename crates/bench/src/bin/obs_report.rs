@@ -1,6 +1,6 @@
-//! Scheduler-decision report: run the real kernels under runtime
-//! tracing and print what the SB/CGC scheduler *did* next to what the
-//! paper's analysis *predicts*, flagging divergences.
+//! Scheduler-decision and cache-witness report: run the real kernels
+//! under runtime tracing and print what the SB/CGC scheduler *did* next
+//! to what the paper's analysis *predicts*, flagging divergences.
 //!
 //! For every kernel the report shows:
 //!
@@ -17,9 +17,29 @@
 //! * the CGC segment-length histogram (log₂ buckets) with the
 //!   below-grain count (at most the tail chunk of each `pfor`).
 //!
-//! The merged event timeline of the whole suite is written as
-//! chrome-trace JSON (`--out`, default `obs_trace.json`), loadable in
-//! Perfetto / `chrome://tracing`.
+//! **Cache witness** (`== cache witness ==` section): measured
+//! per-level block transfers for every registry kernel, from up to two
+//! backends, against the analytic `Q_i` bounds of the paper:
+//!
+//! * the **sim backend** records each kernel as an access trace and
+//!   replays it through the `hm` LRU simulator on a [`spec_from_host`]
+//!   map of the detected hierarchy — portable, deterministic, and the
+//!   backend the CI gate runs on;
+//! * the **perf backend** reads hardware L1D/LLC miss counters scoped
+//!   around every task the pool executes (attached via
+//!   `SbPool::attach_witness`); when `perf_event_open` is unavailable
+//!   (containers, `perf_event_paranoid`), the report says so and
+//!   continues on the sim backend alone.
+//!
+//! `--gate <factor>` turns the comparison into an acceptance check:
+//! exit nonzero if any kernel's *sim-measured* transfers exceed the
+//! analytic bound times `factor` at any level.
+//!
+//! The merged event timeline of the whole suite — including the
+//! witness counter tracks — is written as chrome-trace JSON (`--out`,
+//! default `obs_trace.json`), loadable in Perfetto /
+//! `chrome://tracing`; `--validate <file>` re-runs the structural
+//! validator on a previously exported file and exits.
 //!
 //! `--smoke` shrinks sizes for CI and additionally asserts that the
 //! tracing machinery itself is cheap: matmul with a sink attached must
@@ -31,8 +51,13 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
+use hm_model::{spec_from_host, MachineSpec};
 use mo_algorithms::real::registry::{footprint_words, run_kernel, Kernel};
 use mo_core::rt::{HwHierarchy, SbPool};
+use mo_core::sched::{simulate, Policy};
+use mo_obs::witness::{
+    CacheWitness, LevelTransfers, PerfWitness, ReplayWitness, TracedRunWitness, WitnessMeasurement,
+};
 use mo_obs::{chrome, summary, EventKind, TraceSink};
 
 /// Median-of-`reps` wall-clock nanoseconds of `f` (one warmup call).
@@ -99,7 +124,8 @@ fn kernel_size(k: Kernel, smoke: bool) -> usize {
 
 /// One kernel's traced run: execute, drain, summarize, and print the
 /// observed-vs-predicted report. Returns the drained events (for the
-/// merged chrome trace) and the number of divergences flagged.
+/// merged chrome trace and the perf-witness rollup) and the number of
+/// divergences flagged.
 fn report_kernel(
     pool: &SbPool,
     sink: &TraceSink,
@@ -227,14 +253,331 @@ fn assert_overhead_small(hier: &HwHierarchy) {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Cache witness: measured per-level Q_i vs the analytic bounds.
+// ---------------------------------------------------------------------------
+
+/// Which witness backends the report should run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Sim,
+    Perf,
+    Both,
+}
+
+impl Backend {
+    fn wants_sim(self) -> bool {
+        self != Backend::Perf
+    }
+    fn wants_perf(self) -> bool {
+        self != Backend::Sim
+    }
+}
+
+/// Problem size for the *simulated* witness run: the LRU replay
+/// interprets every memory operation, so these stay small. For SpmDv
+/// the size is the mesh side (`n = side²`).
+fn sim_size(k: Kernel, smoke: bool) -> usize {
+    match k {
+        Kernel::Transpose => {
+            if smoke {
+                32
+            } else {
+                64
+            }
+        }
+        Kernel::Matmul => {
+            if smoke {
+                32
+            } else {
+                64
+            }
+        }
+        Kernel::Fft => {
+            if smoke {
+                1 << 10
+            } else {
+                1 << 12
+            }
+        }
+        Kernel::Sort => {
+            if smoke {
+                1 << 10
+            } else {
+                1 << 12
+            }
+        }
+        Kernel::SpmDv => {
+            if smoke {
+                16
+            } else {
+                32
+            }
+        }
+    }
+}
+
+/// A recorded kernel instance ready for replay: the program plus the
+/// effective problem dimension the analytic bound is parameterized on.
+struct SimProgram {
+    program: mo_core::Program,
+    /// The `n` of the analytic bound (elements; `side²` for SpmDv).
+    n: usize,
+    /// Nonzero count, for the SpmDv bound.
+    nnz: usize,
+}
+
+fn build_program(k: Kernel, size: usize) -> SimProgram {
+    match k {
+        Kernel::Transpose => {
+            let data: Vec<u64> = (0..size * size).map(|i| i as u64).collect();
+            SimProgram {
+                program: mo_algorithms::transpose::transpose_program(&data, size).program,
+                n: size * size,
+                nnz: 0,
+            }
+        }
+        Kernel::Matmul => {
+            let a: Vec<f64> = (0..size * size).map(|i| (i % 13) as f64 * 0.5).collect();
+            let b: Vec<f64> = (0..size * size).map(|i| (i % 7) as f64 * 0.25).collect();
+            SimProgram {
+                program: mo_algorithms::gep::matmul_program(&a, &b, size).program,
+                n: size,
+                nnz: 0,
+            }
+        }
+        Kernel::Fft => {
+            let input: Vec<(f64, f64)> = (0..size)
+                .map(|i| ((i % 17) as f64, (i % 5) as f64 * 0.1))
+                .collect();
+            SimProgram {
+                program: mo_algorithms::fft::fft_program(&input).program,
+                n: size,
+                nnz: 0,
+            }
+        }
+        Kernel::Sort => {
+            let data: Vec<u64> = (0..size as u64)
+                .map(|i| i.wrapping_mul(0x9e37) % 8191)
+                .collect();
+            SimProgram {
+                program: mo_algorithms::sort::sort_program(&data).program,
+                n: size,
+                nnz: 0,
+            }
+        }
+        Kernel::SpmDv => {
+            let m = mo_algorithms::separator::mesh_matrix(size);
+            let x: Vec<f64> = (0..m.n).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+            let nnz = m.nnz();
+            SimProgram {
+                program: mo_algorithms::spmdv::spmdv_program(&m, &x).program,
+                n: m.n,
+                nnz,
+            }
+        }
+    }
+}
+
+/// Number of level-`level` cache instances on `spec` (the paper's
+/// `q_i`): cores divided by how many cores share one such cache.
+fn caches_at(spec: &MachineSpec, level: usize) -> usize {
+    let sharing: usize = (1..=level).map(|i| spec.level(i).fanout).product();
+    (spec.cores() / sharing.max(1)).max(1)
+}
+
+/// Analytic per-level transfer bound: the paper's cache complexity
+/// `Q(n; C_i, B_i)` for the kernel, distributed over the `q_i` caches
+/// of the level (Theorems 1–4 bound the per-cache maximum by the
+/// sequential complexity divided by `q_i`, up to constants), plus the
+/// compulsory footprint term that every cache pays at least once.
+///
+/// The constants are calibrated against the LRU replay so measured
+/// ratios sit below 1 with headroom on the `--gate` factor; they are
+/// deliberately generous — the point is the *shape* `Q_i(n, C_i, B_i)`
+/// and catching order-of-magnitude regressions, not tight-constant
+/// bounds.
+///
+/// `n` is the kernel's analytic dimension (elements for transpose /
+/// FFT / sort / SpmDv, matrix side for matmul); `nnz` only matters for
+/// SpmDv.
+fn analytic_q(k: Kernel, n: usize, nnz: usize, spec: &MachineSpec, level: usize) -> f64 {
+    let l = spec.level(level);
+    let b = l.block as f64;
+    let c = l.capacity as f64;
+    let q = caches_at(spec, level) as f64;
+    let n = n as f64;
+    match k {
+        // Q(n²; C, B) = O(n²/B): scan-bound (tall caches).
+        Kernel::Transpose => 8.0 * (n / (b * q) + n / b + b + 1.0),
+        // Q = O(n³ / (B·√C)) + the n²/B compulsory reads of A, B, X.
+        Kernel::Matmul => {
+            let n3 = n * n * n;
+            16.0 * (n3 / (b * c.sqrt() * q) + 3.0 * n * n / b + b + 1.0)
+        }
+        // Q = O((n/B)·log_C n) with at least one pass.
+        Kernel::Fft => {
+            let passes = (n.log2() / c.log2()).max(1.0);
+            16.0 * ((n / b) * passes / q + n / b + b + 1.0)
+        }
+        // Same recurrence shape as FFT; sample sort's constant is larger.
+        Kernel::Sort => {
+            let passes = (n.log2() / c.log2()).max(1.0);
+            48.0 * ((n / b) * passes / q + n / b + b + 1.0)
+        }
+        // Q = O(nnz/B + n/√C) for n^(1/2)-edge-separator matrices.
+        Kernel::SpmDv => {
+            let nnz = nnz as f64;
+            16.0 * ((nnz / b + n / c.sqrt()) / q + nnz / b + b + 1.0)
+        }
+    }
+}
+
+/// One (kernel, level) comparison row of the witness table.
+struct WitnessRow {
+    kernel: Kernel,
+    level: usize,
+    measured: u64,
+    analytic: f64,
+}
+
+impl WitnessRow {
+    fn ratio(&self) -> f64 {
+        self.measured as f64 / self.analytic.max(1.0)
+    }
+}
+
+/// Map the detected hardware hierarchy onto an HM [`MachineSpec`] for
+/// the replay backend.
+fn host_spec(hier: &HwHierarchy) -> Result<MachineSpec, String> {
+    let levels: Vec<(usize, usize)> = hier
+        .levels()
+        .iter()
+        .map(|l| (l.capacity, l.fanout))
+        .collect();
+    spec_from_host(&levels).map_err(|e| format!("host hierarchy rejected: {e:?}"))
+}
+
+fn describe_spec(spec: &MachineSpec) -> String {
+    (1..=spec.cache_levels())
+        .map(|i| {
+            let l = spec.level(i);
+            format!(
+                "L{i} {} w (B={}, q={})",
+                l.capacity,
+                l.block,
+                caches_at(spec, i)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// Run the sim-backend witness for one kernel: record, replay through
+/// the LRU simulator on the host map, and print measured-vs-analytic
+/// per level. Returns the comparison rows for the gate.
+fn sim_witness_kernel(k: Kernel, size: usize, spec: &MachineSpec) -> Vec<WitnessRow> {
+    let sp = build_program(k, size);
+    let report = simulate(&sp.program, spec, Policy::Mo);
+    let mut witness = ReplayWitness::new(|| {
+        let levels: Vec<LevelTransfers> = (1..=report.metrics.cache_levels())
+            .map(|i| LevelTransfers {
+                level: i,
+                transfers: report.metrics.level(i).max_transfers,
+            })
+            .collect();
+        Ok((
+            levels,
+            format!(
+                "{} mem-ops replayed, makespan {} steps",
+                report.work, report.makespan
+            ),
+        ))
+    });
+    let m = witness.measure().expect("LRU replay cannot fail");
+    print_witness_kernel(k, sp.n, sp.nnz, &m, spec)
+}
+
+/// Print one kernel's witness measurement against the analytic bounds;
+/// returns the rows (empty for levels the backend did not measure).
+fn print_witness_kernel(
+    k: Kernel,
+    n: usize,
+    nnz: usize,
+    m: &WitnessMeasurement,
+    spec: &MachineSpec,
+) -> Vec<WitnessRow> {
+    println!("{k} n={n} [{}]: {}", m.backend.name(), m.detail);
+    let mut rows = Vec::new();
+    for lt in &m.levels {
+        if lt.level > spec.cache_levels() {
+            continue;
+        }
+        let bound = analytic_q(k, n, nnz, spec, lt.level);
+        let row = WitnessRow {
+            kernel: k,
+            level: lt.level,
+            measured: lt.transfers,
+            analytic: bound,
+        };
+        println!(
+            "  Q_{}: measured {:>10} transfers, analytic {:>12.0}, ratio {:.3}",
+            lt.level,
+            row.measured,
+            row.analytic,
+            row.ratio()
+        );
+        rows.push(row);
+    }
+    if let Some(instr) = m.instructions {
+        println!("  instructions: {instr}");
+    }
+    rows
+}
+
+/// Standalone `--validate <file>` mode: structural chrome-trace check.
+fn validate_file(path: &str) -> ! {
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("validate: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match chrome::validate(&json) {
+        Ok(()) => {
+            println!("validate: {path} is a well-formed chrome trace");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("validate: {path} FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "obs_trace.json".to_string());
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    if let Some(path) = flag_value("--validate") {
+        validate_file(&path);
+    }
+    let out_path = flag_value("--out").unwrap_or_else(|| "obs_trace.json".to_string());
+    let gate: Option<f64> = flag_value("--gate").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--gate takes a positive factor, got {v:?}"))
+    });
+    let backend = match flag_value("--backend").as_deref() {
+        None | Some("both") => Backend::Both,
+        Some("sim") => Backend::Sim,
+        Some("perf") => Backend::Perf,
+        Some(other) => panic!("--backend takes sim|perf|both, got {other:?}"),
+    };
 
     // Tracing a 1-core machine shows no steals and no parallel forks;
     // substitute a flat 4-core shape so the report exercises the
@@ -249,6 +592,20 @@ fn main() {
     let info = pool.warm();
     let sink = Arc::new(TraceSink::new(info.cores));
     assert!(pool.attach_sink(Arc::clone(&sink)));
+    let perf_attached = if backend.wants_perf() {
+        match PerfWitness::try_new() {
+            Ok(w) => {
+                assert!(pool.attach_witness(Arc::new(w)));
+                true
+            }
+            Err(e) => {
+                println!("perf witness unavailable ({e}); continuing without hardware counters");
+                false
+            }
+        }
+    } else {
+        false
+    };
     println!(
         "pool: {} cores, {} resident workers, L1 {} words, {} cache levels\n",
         info.cores,
@@ -257,12 +614,64 @@ fn main() {
         info.levels.len()
     );
 
+    let last_level = hier.levels().len();
+    let spec = host_spec(&hier);
     let mut all_events = Vec::new();
     let mut divergences = 0;
     for k in Kernel::ALL {
-        let (events, flags) = report_kernel(&pool, &sink, k, kernel_size(k, smoke));
+        let n = kernel_size(k, smoke);
+        let (events, flags) = report_kernel(&pool, &sink, k, n);
+        if perf_attached {
+            // Per-task hardware deltas are already in the drain; roll
+            // them up to a kernel-level measurement. The registry sizes
+            // kernels by side (transpose/matmul), length (fft/sort) or
+            // rows (spmdv, ~8 nonzeros per row) — map to the analytic
+            // dimension the bound is parameterized on.
+            let (n_eff, nnz) = match k {
+                Kernel::Transpose => (n * n, 0),
+                Kernel::SpmDv => (n, 8 * n),
+                _ => (n, 0),
+            };
+            let run_events = events.clone();
+            let mut w = TracedRunWitness::new(last_level, move || Ok(run_events.clone()));
+            match (w.measure(), &spec) {
+                (Ok(m), Ok(spec)) => {
+                    print_witness_kernel(k, n_eff, nnz, &m, spec);
+                    println!();
+                }
+                (Ok(m), Err(_)) => {
+                    println!("{k} n={n} [perf]: {}", m.detail);
+                }
+                (Err(e), _) => println!("{k} n={n} [perf]: no measurement ({e})"),
+            }
+        }
         all_events.extend(events);
         divergences += flags;
+    }
+
+    let mut gate_breaches = Vec::new();
+    if backend.wants_sim() {
+        println!("== cache witness: measured per-level transfers vs analytic Q_i ==");
+        match &spec {
+            Ok(spec) => {
+                println!("host map: {}\n", describe_spec(spec));
+                for k in Kernel::ALL {
+                    let rows = sim_witness_kernel(k, sim_size(k, smoke), spec);
+                    for r in rows {
+                        if let Some(factor) = gate {
+                            if r.ratio() > factor {
+                                gate_breaches.push(format!(
+                                    "{} Q_{}: measured {} > analytic {:.0} x factor {}",
+                                    r.kernel, r.level, r.measured, r.analytic, factor
+                                ));
+                            }
+                        }
+                    }
+                }
+                println!();
+            }
+            Err(e) => println!("sim backend skipped: {e}\n"),
+        }
     }
 
     // One merged timeline: every kernel ran against the same sink, so
@@ -276,7 +685,31 @@ fn main() {
         all_events.len(),
         sink.dropped()
     );
+    let drops = sink.dropped_per_worker();
+    let per: Vec<String> = drops
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            if i + 1 == drops.len() {
+                format!("external:{d}")
+            } else {
+                format!("w{i}:{d}")
+            }
+        })
+        .collect();
+    println!("ring drops per worker: {}", per.join(" "));
     println!("divergences flagged across the suite: {divergences}");
+
+    if let Some(factor) = gate {
+        if gate_breaches.is_empty() {
+            println!("gate: all sim-measured transfers within analytic bounds x {factor}");
+        } else {
+            for b in &gate_breaches {
+                eprintln!("gate BREACH: {b}");
+            }
+            std::process::exit(1);
+        }
+    }
 
     if smoke {
         assert_overhead_small(&hier);

@@ -311,9 +311,23 @@ fn execute_found(ctx: &Ctx<'_>, job: JobRef, origin: Origin) {
     // The macro ignores unused bindings when tracing is compiled out.
     let _ = (ocode, victim);
     obs_event!(inner, me, TaskEnter, job.id() as usize, ocode, victim);
+    #[cfg(feature = "obs")]
+    let wscope = inner.witness.get().map(|w| {
+        mo_obs::witness::scope(
+            w.as_ref(),
+            inner.sink.get().map(|s| s.as_ref()),
+            me,
+            job.id() as u64,
+        )
+    });
     // SAFETY: popped from a queue, so this thread owns the right to run
     // the job and its frame is still pinned (module docs).
     unsafe { job.execute(ctx) };
+    // Close the witness scope before TaskExit so the delta lands inside
+    // the task's slice (`execute` never unwinds: the stack job catches
+    // panics internally).
+    #[cfg(feature = "obs")]
+    drop(wscope);
     obs_event!(inner, me, TaskExit, job.id() as usize, 0, 0);
     inner.note_task(me);
     inner.reg.signal();

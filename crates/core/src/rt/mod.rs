@@ -285,6 +285,12 @@ struct Inner {
     /// The attached trace sink, set at most once per pool lifetime.
     #[cfg(feature = "obs")]
     sink: OnceLock<Arc<mo_obs::TraceSink>>,
+    /// The attached cache witness, set at most once per pool lifetime.
+    /// Scoped around every queued task (and the root of each `enter`)
+    /// so measured cache traffic attributes to the task that incurred
+    /// it; deltas are recorded against `sink` as `CacheWitness` events.
+    #[cfg(feature = "obs")]
+    witness: OnceLock<Arc<dyn mo_obs::witness::TaskWitness>>,
 }
 
 impl Inner {
@@ -363,6 +369,8 @@ impl SbPool {
                 hier,
                 #[cfg(feature = "obs")]
                 sink: OnceLock::new(),
+                #[cfg(feature = "obs")]
+                witness: OnceLock::new(),
             }),
             handles: Mutex::new(Vec::new()),
         }
@@ -424,6 +432,17 @@ impl SbPool {
             pool: self,
             worker: exec::current_worker(&self.inner),
         };
+        // Witness root scope (job id 0): traffic the calling thread
+        // incurs inline — outside any queued task — still attributes.
+        #[cfg(feature = "obs")]
+        let _wscope = self.inner.witness.get().map(|w| {
+            mo_obs::witness::scope(
+                w.as_ref(),
+                self.inner.sink.get().map(|s| s.as_ref()),
+                ctx.worker,
+                0,
+            )
+        });
         f(&ctx)
     }
 
@@ -472,6 +491,24 @@ impl SbPool {
     #[cfg(feature = "obs")]
     pub fn sink(&self) -> Option<&Arc<mo_obs::TraceSink>> {
         self.inner.sink.get()
+    }
+
+    /// Attach a cache witness; from now on every queued task (and the
+    /// root scope of each [`enter`](Self::enter)) is bracketed with
+    /// witness enter/exit so measured cache traffic attributes to the
+    /// task that incurred it. Deltas reach the attached sink as
+    /// `CacheWitness` events, so for a useful trace attach the sink
+    /// first. At most one witness per pool lifetime: returns `false`
+    /// (and keeps the existing witness) on a second attach.
+    #[cfg(feature = "obs")]
+    pub fn attach_witness(&self, witness: Arc<dyn mo_obs::witness::TaskWitness>) -> bool {
+        self.inner.witness.set(witness).is_ok()
+    }
+
+    /// The attached cache witness, if any.
+    #[cfg(feature = "obs")]
+    pub fn witness(&self) -> Option<&Arc<dyn mo_obs::witness::TaskWitness>> {
+        self.inner.witness.get()
     }
 
     /// Resident worker threads currently running: `0` until the first
@@ -995,6 +1032,87 @@ mod tests {
         }
         stop.store(true, Ordering::Release);
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn seqlock_generation_protocol() {
+        // The generation word advances by exactly 2 per reset (odd =
+        // reset in progress, even = quiescent) ...
+        let cells = StatCells::default();
+        assert_eq!(cells.generation.load(Ordering::Relaxed), 0);
+        cells.reset();
+        assert_eq!(cells.generation.load(Ordering::Relaxed), 2);
+        cells.reset();
+        assert_eq!(cells.generation.load(Ordering::Relaxed), 4);
+        // ... and a snapshot caught under an odd generation must spin
+        // until the reset completes rather than return a torn copy.
+        let cells = Arc::new(StatCells::default());
+        cells.generation.fetch_add(1, Ordering::Release);
+        let snap = {
+            let cells = Arc::clone(&cells);
+            std::thread::spawn(move || cells.snapshot())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            !snap.is_finished(),
+            "snapshot returned while a reset was in progress"
+        );
+        cells.serial_forks.store(9, Ordering::Relaxed);
+        cells.generation.fetch_add(1, Ordering::Release);
+        assert_eq!(snap.join().unwrap().serial_forks, 9);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn attached_witness_brackets_every_task() {
+        use std::sync::atomic::AtomicI64;
+
+        #[derive(Default)]
+        struct Mock {
+            open: AtomicI64,
+            scopes: AtomicU64,
+        }
+        impl mo_obs::witness::TaskWitness for Mock {
+            fn task_enter(&self) {
+                self.open.fetch_add(1, Ordering::SeqCst);
+                self.scopes.fetch_add(1, Ordering::SeqCst);
+            }
+            fn task_exit(&self, sink: Option<&mo_obs::TraceSink>, worker: Option<usize>, job: u64) {
+                if let Some(s) = sink {
+                    s.emit(worker, mo_obs::EventKind::CacheWitness, 0, 1, job);
+                }
+                self.open.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        let p = pool();
+        let sink = Arc::new(mo_obs::TraceSink::new(p.hierarchy().cores()));
+        let mock = Arc::new(Mock::default());
+        assert!(p.attach_sink(Arc::clone(&sink)));
+        assert!(p.attach_witness(Arc::clone(&mock) as _));
+        assert!(!p.attach_witness(Arc::clone(&mock) as _)); // once per pool
+        p.run(|ctx| {
+            ctx.join(1 << 16, |_| (), 1 << 16, |_| ());
+            ctx.join(1 << 16, |_| (), 1 << 16, |_| ());
+        });
+        // A worker closes its scope just after setting the join latch,
+        // so give in-flight exits a moment before asserting balance.
+        for _ in 0..1000 {
+            if mock.open.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(mock.open.load(Ordering::SeqCst), 0, "unbalanced scopes");
+        let scopes = mock.scopes.load(Ordering::SeqCst);
+        assert!(scopes >= 1, "at least the root scope of run()");
+        let evs = sink.drain();
+        let wit: Vec<_> = evs
+            .iter()
+            .filter(|e| e.kind == mo_obs::EventKind::CacheWitness)
+            .collect();
+        assert_eq!(wit.len() as u64, scopes);
+        assert!(wit.iter().any(|e| e.c == 0), "root scope recorded job 0");
     }
 
     #[test]

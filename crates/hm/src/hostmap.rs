@@ -1,0 +1,103 @@
+//! Coerce a *detected* host cache topology into a valid [`MachineSpec`].
+//!
+//! The cache-witness simulator backend replays a kernel's recorded
+//! access trace against the machine it actually ran on, but real
+//! topologies (as probed from sysfs) routinely violate the HM model's
+//! validation rules: capacities are not multiples of the model's word
+//! blocks, an L2 shared by 2 cores may be smaller than `2·C_1`, and
+//! hybrid parts report L1s with odd sharing. This adapter rounds a raw
+//! `(capacity_words, fanout)` list into the nearest *valid* spec:
+//!
+//! * every level gets the model's canonical 8-word block (64 bytes —
+//!   the line size of every mainstream host);
+//! * capacities round **down** to a block multiple (never credit the
+//!   simulated cache with words the real one lacks), floored at one
+//!   block;
+//! * the L1 fanout is forced to 1 (the model's private-L1 axiom) and
+//!   zero fanouts to 1;
+//! * the inclusion constraint `C_i ≥ p_i · C_{i-1}` is repaired by
+//!   **raising** `C_i` — the model requires room to hold every child's
+//!   working set, and raising the outer capacity errs toward *fewer*
+//!   simulated transfers at the levels whose bounds we gate on inner
+//!   caches, keeping the witness conservative where it is compared.
+//!
+//! Only [`SpecError::NoLevels`] escapes: any non-empty detection maps
+//! to some valid machine.
+
+use crate::spec::{LevelSpec, MachineSpec, SpecError};
+
+/// The canonical block size used for host-mapped specs, in words.
+pub const HOST_BLOCK_WORDS: usize = 8;
+
+/// Map a detected hierarchy — `(capacity_words, fanout)` per level, L1
+/// first — to a valid [`MachineSpec`]. See the module docs for the
+/// coercion rules.
+pub fn spec_from_host(levels: &[(usize, usize)]) -> Result<MachineSpec, SpecError> {
+    if levels.is_empty() {
+        return Err(SpecError::NoLevels);
+    }
+    let mut out: Vec<LevelSpec> = Vec::with_capacity(levels.len());
+    for (idx, &(capacity, fanout)) in levels.iter().enumerate() {
+        let fanout = if idx == 0 { 1 } else { fanout.max(1) };
+        let mut cap = (capacity / HOST_BLOCK_WORDS).max(1) * HOST_BLOCK_WORDS;
+        if let Some(prev) = out.last() {
+            cap = cap.max(fanout * prev.capacity);
+        }
+        out.push(LevelSpec::new(cap, HOST_BLOCK_WORDS, fanout));
+    }
+    MachineSpec::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_topology_maps_directly() {
+        // A common desktop: 32 KiB L1 per core, 1 MiB L2 per core,
+        // 32 MiB L3 over 8 cores (capacities in words).
+        let spec = spec_from_host(&[(4096, 1), (131_072, 1), (4_194_304, 8)]).unwrap();
+        assert_eq!(spec.cache_levels(), 3);
+        assert_eq!(spec.cores(), 8);
+        assert_eq!(spec.level(1).capacity, 4096);
+        assert_eq!(spec.level(1).block, HOST_BLOCK_WORDS);
+        assert_eq!(spec.level(3).capacity, 4_194_304);
+        assert_eq!(spec.level(3).fanout, 8);
+    }
+
+    #[test]
+    fn odd_capacities_round_down_to_blocks() {
+        let spec = spec_from_host(&[(4099, 1), (131_075, 4)]).unwrap();
+        assert_eq!(spec.level(1).capacity, 4096);
+        assert_eq!(spec.level(2).capacity, 131_072);
+    }
+
+    #[test]
+    fn tiny_capacity_floors_at_one_block() {
+        let spec = spec_from_host(&[(3, 1)]).unwrap();
+        assert_eq!(spec.level(1).capacity, HOST_BLOCK_WORDS);
+    }
+
+    #[test]
+    fn l1_fanout_and_zero_fanouts_are_forced() {
+        // Detected L1 "shared by 2" (SMT) and a zero fanout both repair.
+        let spec = spec_from_host(&[(4096, 2), (65_536, 0)]).unwrap();
+        assert_eq!(spec.level(1).fanout, 1);
+        assert_eq!(spec.level(2).fanout, 1);
+        assert_eq!(spec.cores(), 1);
+    }
+
+    #[test]
+    fn inclusion_violation_raises_outer_capacity() {
+        // An L2 shared by 8 cores but only 4x the L1 size: C_2 must be
+        // raised to 8 * C_1.
+        let spec = spec_from_host(&[(4096, 1), (16_384, 8)]).unwrap();
+        assert_eq!(spec.level(2).capacity, 8 * 4096);
+        assert_eq!(spec.cores(), 8);
+    }
+
+    #[test]
+    fn empty_detection_is_the_only_error() {
+        assert_eq!(spec_from_host(&[]), Err(SpecError::NoLevels));
+    }
+}

@@ -50,12 +50,14 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+mod hostmap;
 mod lru;
 mod metrics;
 mod spec;
 mod system;
 mod topology;
 
+pub use hostmap::{spec_from_host, HOST_BLOCK_WORDS};
 pub use lru::{LruCache, Probe};
 pub use metrics::{CacheCounters, LevelSummary, Metrics};
 pub use spec::{LevelSpec, MachineSpec, SpecError};

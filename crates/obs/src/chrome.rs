@@ -10,7 +10,11 @@
 //! * every scheduler decision (fork serial/parallel/denied, CGC
 //!   segment, steal success/attempt, injector pop) becomes a `"i"`
 //!   instant event carrying its payload in `args`, so clicking a mark
-//!   in Perfetto shows the space bound, anchor level, or `[lo, hi)`.
+//!   in Perfetto shows the space bound, anchor level, or `[lo, hi)`;
+//! * cache-witness deltas become `"C"` counter events named after
+//!   their hardware counter (`l1d_miss`, `llc_miss`, `instructions`),
+//!   so measured cache traffic renders as counter tracks aligned with
+//!   the task slices that incurred it.
 //!
 //! Timestamps are microseconds (the format's unit) with nanosecond
 //! fraction preserved.
@@ -134,6 +138,10 @@ pub fn to_chrome_json(events: &[Event]) -> String {
                 push_common(&mut out, e.kind.name(), 'i', e);
                 out.push_str(",\"s\":\"t\"}");
             }
+            EventKind::CacheWitness => {
+                push_common(&mut out, crate::witness::counter_name(e.a), 'C', e);
+                out.push_str(&format!(",\"args\":{{\"value\":{}}}}}", e.b));
+            }
         }
     }
     // Close the slices the drain caught mid-flight.
@@ -251,6 +259,14 @@ mod tests {
             ev(1500, EventKind::ForkParallel, 0, 4096, 1, 0),
             ev(1600, EventKind::CgcSegment, 0, 0, 512, 64),
             ev(1700, EventKind::StealSuccess, 1, 0, 7, 0),
+            ev(
+                1800,
+                EventKind::CacheWitness,
+                0,
+                crate::witness::CTR_L1D_MISS,
+                512,
+                7,
+            ),
             ev(2000, EventKind::TaskExit, 0, 7, 0, 0),
             ev(2100, EventKind::Park, 1, 0, 0, 0),
             ev(2200, EventKind::Unpark, 1, 0, 0, 0),
@@ -269,6 +285,8 @@ mod tests {
         assert!(json.contains("\"anchor_level\":null"));
         assert!(json.contains("\"grain\":64"));
         assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("{\"name\":\"l1d_miss\",\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":512}"));
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub const WORKER_EXTERNAL: u32 = u32::MAX;
 /// | [`InjectorPop`](Self::InjectorPop) | job id | — | — |
 /// | [`Park`](Self::Park) / [`Unpark`](Self::Unpark) | — | — | — |
 /// | [`CgcSegment`](Self::CgcSegment) | segment `lo` | segment `hi` | grain |
+/// | [`CacheWitness`](Self::CacheWitness) | counter id (see [`crate::witness`]) | measured delta | job id (`0` = root scope) |
 ///
 /// The three fork kinds *are* the SB anchor decisions: the kind records
 /// the decision taken, `a` the declared space bound and `b` the level
@@ -55,10 +56,17 @@ pub enum EventKind {
     Unpark = 9,
     /// `pfor` issued one contiguous CGC segment.
     CgcSegment = 10,
+    /// A cache-witness backend attributed measured cache traffic to the
+    /// task that just finished: `a` is the hardware counter id
+    /// ([`crate::witness::CTR_L1D_MISS`] / [`crate::witness::CTR_LLC_MISS`] /
+    /// [`crate::witness::CTR_INSTRUCTIONS`]), `b` the counter delta over
+    /// the task's execution (exclusive of nested tasks it help-executed),
+    /// `c` the job id (`0` for the root scope of an `enter`).
+    CacheWitness = 11,
 }
 
 /// Number of distinct [`EventKind`]s (array-index bound for summaries).
-pub const NKINDS: usize = 11;
+pub const NKINDS: usize = 12;
 
 impl EventKind {
     /// Every kind, in discriminant order.
@@ -74,6 +82,7 @@ impl EventKind {
         EventKind::Park,
         EventKind::Unpark,
         EventKind::CgcSegment,
+        EventKind::CacheWitness,
     ];
 
     /// Stable lower-case name (report rows, chrome-trace event names).
@@ -90,6 +99,7 @@ impl EventKind {
             EventKind::Park => "park",
             EventKind::Unpark => "unpark",
             EventKind::CgcSegment => "cgc_segment",
+            EventKind::CacheWitness => "cache_witness",
         }
     }
 

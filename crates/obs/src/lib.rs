@@ -23,14 +23,23 @@
 //! * **trace summaries** ([`summary`]) — steal rates, anchor-level
 //!   distributions, segment-size histograms — consumed by the
 //!   `obs_report` bench binary to compare measured scheduler behaviour
-//!   against the analytic predictions.
+//!   against the analytic predictions;
+//! * a **cache witness** ([`witness`]) attaching *measured* per-level
+//!   cache traffic to traced runs: a Linux `perf_event_open` backend
+//!   scoped around task enter/exit, and a portable simulator-replay
+//!   backend, both reporting through one trait so `obs_report` can
+//!   compare measured transfers against the paper's analytic `Q_i`
+//!   bounds on any host.
 //!
-//! The crate is dependency-free and contains no `unsafe`; `mo-core`
-//! depends on it *optionally* behind its `obs` feature, so with the
-//! feature off the runtime carries zero tracing cost (the emission
-//! macro compiles to nothing — not even its arguments are evaluated).
+//! The crate is dependency-free, and the only `unsafe` is the raw
+//! `perf_event_open` syscall shim confined to [`witness::perf`] (which
+//! degrades to a graceful "unavailable" everywhere the kernel refuses
+//! it); `mo-core` depends on it *optionally* behind its `obs` feature,
+//! so with the feature off the runtime carries zero tracing cost (the
+//! emission macro compiles to nothing — not even its arguments are
+//! evaluated).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chrome;
@@ -39,6 +48,7 @@ pub mod prom;
 mod ring;
 mod sink;
 pub mod summary;
+pub mod witness;
 
 pub use event::{Event, EventKind, WORKER_EXTERNAL};
 pub use ring::Ring;

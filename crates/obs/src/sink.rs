@@ -112,6 +112,16 @@ impl TraceSink {
         self.rings.iter().map(Ring::dropped).sum::<u64>() + self.external.dropped()
     }
 
+    /// Events dropped per ring: one entry per worker in index order,
+    /// plus a trailing entry for the external ring — the breakdown
+    /// behind [`dropped`](Self::dropped), so silent event loss can be
+    /// pinned to the worker whose ring overflowed.
+    pub fn dropped_per_worker(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.rings.iter().map(Ring::dropped).collect();
+        out.push(self.external.dropped());
+        out
+    }
+
     /// Empty every ring and merge the streams into one globally
     /// time-ordered timeline. Safe to call while producers are still
     /// emitting (their new events land in the next drain); for a
@@ -155,5 +165,20 @@ mod tests {
         assert_eq!(s.emitted(), 4);
         assert_eq!(s.dropped(), 0);
         assert!(s.drain().is_empty());
+    }
+
+    #[test]
+    fn dropped_per_worker_pins_overflow() {
+        let s = TraceSink::with_capacity(2, 2);
+        for _ in 0..10 {
+            s.emit(Some(0), EventKind::Park, 0, 0, 0);
+        }
+        s.emit(Some(1), EventKind::Unpark, 0, 0, 0);
+        let per = s.dropped_per_worker();
+        assert_eq!(per.len(), 3); // 2 workers + external
+        assert!(per[0] >= 1, "overflow not pinned to worker 0: {per:?}");
+        assert_eq!(per[1], 0);
+        assert_eq!(per[2], 0);
+        assert_eq!(per.iter().sum::<u64>(), s.dropped());
     }
 }

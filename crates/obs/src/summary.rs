@@ -25,6 +25,10 @@ pub struct TraceSummary {
     /// Segments strictly shorter than their pfor's grain (at most one
     /// tail chunk per `pfor` call is expected here).
     pub seg_below_grain: u64,
+    /// Cache-witness counter totals, indexed by witness counter id
+    /// ([`crate::witness::CTR_L1D_MISS`] etc.): the sum of the measured
+    /// per-task deltas over the stream.
+    pub witness: [u64; crate::witness::NCOUNTERS],
 }
 
 impl Default for TraceSummary {
@@ -37,6 +41,7 @@ impl Default for TraceSummary {
             seg_min: 0,
             seg_max: 0,
             seg_below_grain: 0,
+            witness: [0; crate::witness::NCOUNTERS],
         }
     }
 }
@@ -99,6 +104,11 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
                 s.seg_below_grain += 1;
             }
         }
+        if e.kind == EventKind::CacheWitness {
+            if let Some(slot) = s.witness.get_mut(e.a as usize) {
+                *slot += e.b;
+            }
+        }
     }
     s
 }
@@ -129,6 +139,9 @@ mod tests {
             ev(EventKind::CgcSegment, 512, 544, 64), // 32 < grain
             ev(EventKind::TaskEnter, 1, 2, 0),
             ev(EventKind::StealSuccess, 0, 1, 0),
+            ev(EventKind::CacheWitness, crate::witness::CTR_L1D_MISS, 40, 1),
+            ev(EventKind::CacheWitness, crate::witness::CTR_L1D_MISS, 2, 1),
+            ev(EventKind::CacheWitness, crate::witness::CTR_LLC_MISS, 7, 1),
             ev(EventKind::TaskExit, 1, 0, 0),
         ];
         let s = summarize(&evs);
@@ -141,5 +154,8 @@ mod tests {
         assert_eq!(s.seg_below_grain, 1);
         assert_eq!(s.steal_rate(), 1.0);
         assert!((s.denied_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.witness[crate::witness::CTR_L1D_MISS as usize], 42);
+        assert_eq!(s.witness[crate::witness::CTR_LLC_MISS as usize], 7);
+        assert_eq!(s.witness[crate::witness::CTR_INSTRUCTIONS as usize], 0);
     }
 }

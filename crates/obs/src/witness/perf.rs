@@ -1,0 +1,422 @@
+//! Hardware counters via Linux `perf_event_open`.
+//!
+//! The workspace is dependency-free, so the one syscall this backend
+//! needs is issued directly (the only `unsafe` in the crate, confined
+//! to [`sys`]). Counters are opened per thread (`pid = 0`, `cpu = -1`)
+//! lazily on first use, already enabled, with `exclude_kernel` and
+//! `exclude_hv` set; attribution works by reading the free-running
+//! absolute values and taking deltas, so no `ioctl` is ever needed.
+//!
+//! Per-task attribution is *exclusive*: each thread keeps a stack of
+//! open scopes, and a scope's delta subtracts the totals of the nested
+//! scopes that closed inside it — under help-first joins a worker
+//! executes other tasks while waiting, and their traffic must not
+//! double-count against the waiting task.
+//!
+//! Availability is graceful: `perf_event_open` is commonly refused in
+//! containers (`perf_event_paranoid`, seccomp) and absent off Linux;
+//! [`PerfWitness::try_new`] probes and reports, and every later call on
+//! a thread whose counters failed to open is a silent no-op.
+#![allow(unsafe_code)]
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::Read;
+
+use super::{TaskWitness, NCOUNTERS};
+use crate::event::EventKind;
+use crate::sink::TraceSink;
+
+const PERF_TYPE_HARDWARE: u32 = 0;
+const PERF_TYPE_HW_CACHE: u32 = 3;
+const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+const PERF_COUNT_HW_CACHE_MISSES: u64 = 3;
+
+/// `(type, config)` candidates per witness counter id, tried in order.
+const CONFIGS: [&[(u32, u64)]; NCOUNTERS] = [
+    // L1D read misses: cache id L1D (0) | op READ (0) << 8 | MISS (1) << 16.
+    &[(PERF_TYPE_HW_CACHE, 0x1_0000)],
+    // LLC read misses, falling back to the generic cache-miss counter.
+    &[
+        (PERF_TYPE_HW_CACHE, 0x1_0002),
+        (PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES),
+    ],
+    // Retired instructions.
+    &[(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS)],
+];
+
+/// The `perf_event_open` task witness. See the module docs.
+pub struct PerfWitness {
+    _priv: (),
+}
+
+impl PerfWitness {
+    /// Probe the calling thread's counters; `Err` with a diagnostic
+    /// when the kernel refuses them or the platform has no perf
+    /// support. Success means *this* thread could open at least one
+    /// counter — worker threads of the same process will too.
+    pub fn try_new() -> Result<PerfWitness, String> {
+        ThreadCounters::open()?;
+        Ok(PerfWitness { _priv: () })
+    }
+
+    /// Which witness counters are open on the calling thread
+    /// (`[l1d_miss, llc_miss, instructions]`).
+    pub fn available(&self) -> [bool; NCOUNTERS] {
+        with_counters(|c| {
+            let mut out = [false; NCOUNTERS];
+            for (o, f) in out.iter_mut().zip(&c.files) {
+                *o = f.is_some();
+            }
+            out
+        })
+        .unwrap_or([false; NCOUNTERS])
+    }
+
+    /// Begin a flat measurement span on the calling thread (no nesting
+    /// bookkeeping — independent of the task scopes). `None` when the
+    /// thread's counters are unavailable.
+    pub fn span(&self) -> Option<PerfSpan> {
+        with_counters(|c| PerfSpan { base: c.read_now() })
+    }
+
+    /// Counter deltas since [`span`](Self::span), indexed by witness
+    /// counter id. Counts only this thread's traffic: work stolen by
+    /// other threads inside the span is not included.
+    pub fn span_delta(&self, span: &PerfSpan) -> [u64; NCOUNTERS] {
+        with_counters(|c| {
+            let now = c.read_now();
+            let mut d = [0u64; NCOUNTERS];
+            for i in 0..NCOUNTERS {
+                d[i] = now[i].saturating_sub(span.base[i]);
+            }
+            d
+        })
+        .unwrap_or([0; NCOUNTERS])
+    }
+}
+
+/// A flat per-thread measurement started by [`PerfWitness::span`].
+pub struct PerfSpan {
+    base: [u64; NCOUNTERS],
+}
+
+impl TaskWitness for PerfWitness {
+    fn task_enter(&self) {
+        with_counters(|c| {
+            let base = c.read_now();
+            c.stack.push(Frame {
+                base,
+                child: [0; NCOUNTERS],
+            });
+        });
+    }
+
+    fn task_exit(&self, sink: Option<&TraceSink>, worker: Option<usize>, job: u64) {
+        with_counters(|c| {
+            let Some(frame) = c.stack.pop() else {
+                return; // unmatched exit: never happens through `scope`
+            };
+            let now = c.read_now();
+            let mut total = [0u64; NCOUNTERS];
+            let mut exclusive = [0u64; NCOUNTERS];
+            for i in 0..NCOUNTERS {
+                total[i] = now[i].saturating_sub(frame.base[i]);
+                exclusive[i] = total[i].saturating_sub(frame.child[i]);
+            }
+            if let Some(parent) = c.stack.last_mut() {
+                for (acc, t) in parent.child.iter_mut().zip(total) {
+                    *acc += t;
+                }
+            }
+            if let Some(sink) = sink {
+                for (i, ex) in exclusive.iter().enumerate() {
+                    if c.files[i].is_some() && *ex > 0 {
+                        sink.emit(worker, EventKind::CacheWitness, i as u64, *ex, job);
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// One open task scope on a thread: counter values at entry plus the
+/// accumulated totals of nested scopes that closed inside it.
+struct Frame {
+    base: [u64; NCOUNTERS],
+    child: [u64; NCOUNTERS],
+}
+
+/// A thread's open counter fds and scope stack.
+struct ThreadCounters {
+    files: [Option<File>; NCOUNTERS],
+    stack: Vec<Frame>,
+}
+
+impl ThreadCounters {
+    fn open() -> Result<Self, String> {
+        let mut files: [Option<File>; NCOUNTERS] = [None, None, None];
+        let mut last_err = 0i64;
+        for (slot, cands) in files.iter_mut().zip(CONFIGS) {
+            for &(ty, cfg) in cands {
+                match sys::perf_event_open(ty, cfg) {
+                    Ok(f) => {
+                        *slot = Some(f);
+                        break;
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+        }
+        if files.iter().all(Option::is_none) {
+            return Err(format!(
+                "perf_event_open refused every counter ({})",
+                errno_str(last_err)
+            ));
+        }
+        Ok(Self {
+            files,
+            stack: Vec::new(),
+        })
+    }
+
+    /// Absolute counter values right now (0 for unopened counters).
+    fn read_now(&self) -> [u64; NCOUNTERS] {
+        let mut out = [0u64; NCOUNTERS];
+        for (v, f) in out.iter_mut().zip(&self.files) {
+            if let Some(f) = f {
+                let mut buf = [0u8; 8];
+                let mut r: &File = f;
+                if matches!(r.read(&mut buf), Ok(8)) {
+                    *v = u64::from_ne_bytes(buf);
+                }
+            }
+        }
+        out
+    }
+}
+
+enum TlsState {
+    Untried,
+    Unavailable,
+    Open(ThreadCounters),
+}
+
+thread_local! {
+    static TLS: RefCell<TlsState> = const { RefCell::new(TlsState::Untried) };
+}
+
+/// Run `f` against the calling thread's counters, opening them on
+/// first use; `None` (forever, on this thread) when opening failed.
+fn with_counters<R>(f: impl FnOnce(&mut ThreadCounters) -> R) -> Option<R> {
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if matches!(*t, TlsState::Untried) {
+            *t = match ThreadCounters::open() {
+                Ok(c) => TlsState::Open(c),
+                Err(_) => TlsState::Unavailable,
+            };
+        }
+        match &mut *t {
+            TlsState::Open(c) => Some(f(c)),
+            _ => None,
+        }
+    })
+}
+
+fn errno_str(errno: i64) -> String {
+    let name = match errno {
+        1 => "EPERM — lower kernel.perf_event_paranoid or grant CAP_PERFMON",
+        2 => "ENOENT — event not supported by this CPU/PMU",
+        13 => "EACCES — lower kernel.perf_event_paranoid or grant CAP_PERFMON",
+        19 => "ENODEV — no PMU available (common in VMs)",
+        22 => "EINVAL — attr rejected",
+        38 => "ENOSYS — kernel built without perf events",
+        95 => "EOPNOTSUPP — platform without perf support",
+        _ => return format!("errno {errno}"),
+    };
+    format!("errno {errno}: {name}")
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use std::fs::File;
+    use std::os::fd::FromRawFd;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_PERF_EVENT_OPEN: i64 = 298;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_PERF_EVENT_OPEN: i64 = 241;
+
+    /// `PERF_FLAG_FD_CLOEXEC`.
+    const FLAG_FD_CLOEXEC: i64 = 8;
+
+    /// Open one counter on the calling thread (`pid = 0`, `cpu = -1`),
+    /// enabled, user-space only. Returns the raw negated errno on
+    /// failure.
+    pub fn perf_event_open(type_: u32, config: u64) -> Result<File, i64> {
+        // struct perf_event_attr, zeroed: type @0, size @4, config @8,
+        // bitfield word @40 (exclude_kernel bit 5 | exclude_hv bit 6;
+        // disabled stays 0, so the counter free-runs from open).
+        let mut attr = [0u8; 128];
+        attr[0..4].copy_from_slice(&type_.to_ne_bytes());
+        attr[4..8].copy_from_slice(&128u32.to_ne_bytes());
+        attr[8..16].copy_from_slice(&config.to_ne_bytes());
+        attr[40..48].copy_from_slice(&0x60u64.to_ne_bytes());
+        let ret = unsafe {
+            syscall5(
+                SYS_PERF_EVENT_OPEN,
+                attr.as_ptr() as i64,
+                0,  // pid: calling thread
+                -1, // cpu: any
+                -1, // group fd: none
+                FLAG_FD_CLOEXEC,
+            )
+        };
+        if ret < 0 {
+            Err(-ret)
+        } else {
+            // SAFETY: `ret` is a freshly opened fd we exclusively own.
+            Ok(unsafe { File::from_raw_fd(ret as i32) })
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall5(n: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
+        let ret: i64;
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") n => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                in("r10") a4,
+                in("r8") a5,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall5(n: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
+        let ret: i64;
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") n,
+                inlateout("x0") a1 => ret,
+                in("x1") a2,
+                in("x2") a3,
+                in("x3") a4,
+                in("x4") a5,
+                options(nostack),
+            );
+        }
+        ret
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    use std::fs::File;
+
+    /// Platforms without the raw-syscall shim report `EOPNOTSUPP`.
+    pub fn perf_event_open(_type: u32, _config: u64) -> Result<File, i64> {
+        Err(95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{scope, totals, CTR_INSTRUCTIONS};
+    use super::*;
+
+    /// Every test must cope with perf being unavailable (containers,
+    /// CI): `try_new` failing with a diagnostic IS the passing path
+    /// there.
+    fn witness() -> Option<PerfWitness> {
+        match PerfWitness::try_new() {
+            Ok(w) => Some(w),
+            Err(msg) => {
+                assert!(msg.contains("perf_event_open"), "bad diagnostic: {msg}");
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn spans_count_this_threads_work() {
+        let Some(w) = witness() else { return };
+        let span = w.span().expect("probe succeeded on this same thread");
+        // Enough instructions to register regardless of counter skid.
+        let mut acc = 0u64;
+        for i in 0..200_000u64 {
+            acc = acc.wrapping_mul(31).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let d = w.span_delta(&span);
+        if w.available()[CTR_INSTRUCTIONS as usize] {
+            assert!(
+                d[CTR_INSTRUCTIONS as usize] > 100_000,
+                "instructions delta {} too small",
+                d[CTR_INSTRUCTIONS as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn nested_scopes_attribute_exclusively() {
+        let Some(w) = witness() else { return };
+        if !w.available()[CTR_INSTRUCTIONS as usize] {
+            return;
+        }
+        let sink = TraceSink::new(1);
+        let outer_span = w.span().unwrap();
+        {
+            let _outer = scope(&w, Some(&sink), Some(0), 1);
+            {
+                let _inner = scope(&w, Some(&sink), Some(0), 2);
+                let mut acc = 0u64;
+                for i in 0..500_000u64 {
+                    acc = acc.wrapping_mul(31).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+            }
+        }
+        let whole = w.span_delta(&outer_span);
+        let evs = sink.drain();
+        let t = totals(&evs);
+        assert!(t.events >= 2, "expected deltas from both scopes");
+        // Exclusive attribution: the per-scope instruction deltas sum
+        // to at most the thread's total over the same interval (strict
+        // double counting would make the sum ~2x the inner loop).
+        assert!(
+            t.counts[CTR_INSTRUCTIONS as usize] <= whole[CTR_INSTRUCTIONS as usize],
+            "exclusive deltas {} exceed thread total {}",
+            t.counts[CTR_INSTRUCTIONS as usize],
+            whole[CTR_INSTRUCTIONS as usize]
+        );
+        // Both jobs appear in the trace.
+        assert!(evs.iter().any(|e| e.c == 1));
+        assert!(evs.iter().any(|e| e.c == 2));
+    }
+
+    #[test]
+    fn unmatched_exit_is_ignored() {
+        let Some(w) = witness() else { return };
+        // Must not panic or underflow the stack.
+        w.task_exit(None, None, 0);
+        w.task_enter();
+        w.task_exit(None, None, 0);
+    }
+}

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use mo_core::rt::RtStats;
+use mo_obs::witness::{CTR_INSTRUCTIONS, CTR_L1D_MISS, CTR_LLC_MISS, NCOUNTERS};
 
 use crate::job::Kernel;
 
@@ -82,6 +83,11 @@ pub(crate) struct KernelCells {
     pub(crate) batches: AtomicU64,
     pub(crate) batched_jobs: AtomicU64,
     pub(crate) latency: LatencyHist,
+    /// Cache-witness counter deltas attributed to this kernel's
+    /// batches, indexed by witness counter id (`l1d_miss`, `llc_miss`,
+    /// `instructions`). Measured on the serving thread that executed
+    /// the batch (see `Server` docs for the attribution caveat).
+    pub(crate) witness: [AtomicU64; NCOUNTERS],
 }
 
 impl KernelCells {
@@ -95,6 +101,7 @@ impl KernelCells {
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
             latency: LatencyHist::new(),
+            witness: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -122,6 +129,8 @@ pub(crate) struct Metrics {
     pub(crate) kernels: Vec<KernelCells>,
     pub(crate) levels: Vec<LevelCells>,
     pub(crate) queue_peak: AtomicUsize,
+    /// 1 when the hardware cache witness opened at startup.
+    pub(crate) witness_available: AtomicU64,
 }
 
 impl Metrics {
@@ -130,11 +139,19 @@ impl Metrics {
             kernels: Kernel::ALL.iter().map(|_| KernelCells::new()).collect(),
             levels: (0..nlevels).map(|_| LevelCells::new()).collect(),
             queue_peak: AtomicUsize::new(0),
+            witness_available: AtomicU64::new(0),
         }
     }
 
     pub(crate) fn kernel(&self, k: Kernel) -> &KernelCells {
         &self.kernels[k.index()]
+    }
+
+    /// Credit measured witness counter deltas to `k`'s cells.
+    pub(crate) fn add_witness(&self, k: Kernel, deltas: [u64; NCOUNTERS]) {
+        for (cell, d) in self.kernel(k).witness.iter().zip(deltas) {
+            cell.fetch_add(d, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn note_peak_inflight(&self, level: usize, inflight: usize) {
@@ -177,6 +194,10 @@ pub struct KernelSnapshot {
     pub latency_buckets: Vec<u64>,
     /// Sum of recorded latencies in microseconds.
     pub latency_sum_us: u64,
+    /// Cache-witness counter totals for this kernel's batches, indexed
+    /// by witness counter id ([`mo_obs::witness::CTR_L1D_MISS`] etc.);
+    /// all zero when the hardware witness is unavailable.
+    pub witness: [u64; mo_obs::witness::NCOUNTERS],
 }
 
 impl KernelSnapshot {
@@ -235,6 +256,13 @@ pub struct MetricsSnapshot {
     /// Cumulative fork statistics of the underlying [`mo_core::rt::SbPool`]
     /// since the server started (the RtStats delta of the serving run).
     pub rt: RtStats,
+    /// Whether the hardware cache witness (`perf_event_open`) opened at
+    /// startup; when `false` every per-kernel witness count is zero.
+    pub witness_available: bool,
+    /// Trace-ring overflow drops per pool worker (trailing entry =
+    /// external ring); empty when no trace sink is attached (only the
+    /// `obs` feature attaches one).
+    pub ring_dropped: Vec<u64>,
     /// Time since the server started.
     pub uptime: Duration,
 }
@@ -246,6 +274,7 @@ impl MetricsSnapshot {
         inflight: &[usize],
         queue_depth: usize,
         rt: RtStats,
+        ring_dropped: Vec<u64>,
         uptime: Duration,
     ) -> Self {
         let kernels = Kernel::ALL
@@ -275,6 +304,7 @@ impl MetricsSnapshot {
                     p99_ms: quantile_ms(&hist, 0.99),
                     latency_sum_us: c.latency.sum_us.load(Ordering::Relaxed),
                     latency_buckets: hist,
+                    witness: std::array::from_fn(|i| c.witness[i].load(Ordering::Relaxed)),
                 }
             })
             .collect();
@@ -297,6 +327,8 @@ impl MetricsSnapshot {
             queue_depth,
             queue_peak: m.queue_peak.load(Ordering::Relaxed),
             rt,
+            witness_available: m.witness_available.load(Ordering::Relaxed) != 0,
+            ring_dropped,
             uptime,
         }
     }
@@ -351,6 +383,7 @@ impl MetricsSnapshot {
                     p99_ms: quantile_ms(&buckets, 0.99),
                     latency_sum_us: now.latency_sum_us.saturating_sub(old.latency_sum_us),
                     latency_buckets: buckets,
+                    witness: std::array::from_fn(|i| now.witness[i].saturating_sub(old.witness[i])),
                 }
             })
             .collect();
@@ -381,6 +414,13 @@ impl MetricsSnapshot {
                 parks: self.rt.parks.saturating_sub(prev.rt.parks),
                 injector_pops: self.rt.injector_pops.saturating_sub(prev.rt.injector_pops),
             },
+            witness_available: self.witness_available,
+            ring_dropped: self
+                .ring_dropped
+                .iter()
+                .zip(&prev.ring_dropped)
+                .map(|(n, o)| n.saturating_sub(*o))
+                .collect(),
             uptime: self.uptime.saturating_sub(prev.uptime),
         }
     }
@@ -558,6 +598,61 @@ impl MetricsSnapshot {
         );
         w.sample_u64("moserve_rt_injector_pops_total", &[], self.rt.injector_pops);
         w.header(
+            "moserve_cache_witness_available",
+            "Whether the hardware cache witness (perf_event_open) is active.",
+            "gauge",
+        );
+        w.sample_u64(
+            "moserve_cache_witness_available",
+            &[],
+            self.witness_available as u64,
+        );
+        w.header(
+            "moserve_cache_transfers_total",
+            "Measured cache transfers attributed to each kernel's batches \
+             (serving-thread traffic; see the cache-witness docs).",
+            "counter",
+        );
+        let last_level = self.levels.len().max(1).to_string();
+        for k in &self.kernels {
+            let name = k.kernel.name();
+            for (level, ctr) in [("1", CTR_L1D_MISS), (last_level.as_str(), CTR_LLC_MISS)] {
+                w.sample_u64(
+                    "moserve_cache_transfers_total",
+                    &[("kernel", name), ("level", level), ("backend", "perf")],
+                    k.witness[ctr as usize],
+                );
+            }
+        }
+        w.header(
+            "moserve_cache_instructions_total",
+            "Instructions retired by each kernel's batches (serving thread).",
+            "counter",
+        );
+        for k in &self.kernels {
+            w.sample_u64(
+                "moserve_cache_instructions_total",
+                &[("kernel", k.kernel.name()), ("backend", "perf")],
+                k.witness[CTR_INSTRUCTIONS as usize],
+            );
+        }
+        if !self.ring_dropped.is_empty() {
+            w.header(
+                "moserve_ring_dropped_total",
+                "Trace events dropped at each worker's full ring.",
+                "counter",
+            );
+            let last = self.ring_dropped.len() - 1;
+            for (i, &v) in self.ring_dropped.iter().enumerate() {
+                let worker = if i == last {
+                    "external".to_string()
+                } else {
+                    i.to_string()
+                };
+                w.sample_u64("moserve_ring_dropped_total", &[("worker", &worker)], v);
+            }
+        }
+        w.header(
             "moserve_uptime_seconds",
             "Time since the server started.",
             "gauge",
@@ -657,6 +752,113 @@ mod tests {
         assert!(p99 <= 0.016001, "{p99}");
         assert!(p999 > 1.0, "{p999}");
         assert_eq!(quantile_ms(&vec![0u64; NBUCKETS], 0.5), None);
+    }
+
+    #[test]
+    fn delta_since_saturates_across_racing_reset() {
+        // An embedder calling `SbPool::run` resets RtStats between two
+        // exposition scrapes, so "now" can carry *smaller* rt counters
+        // than "prev". Every delta must saturate to zero, never panic.
+        let m = Metrics::new(2);
+        let c = m.kernel(Kernel::Sort);
+        c.submitted.store(10, Ordering::SeqCst);
+        c.completed.store(8, Ordering::SeqCst);
+        c.latency.record(Duration::from_micros(100));
+        m.add_witness(Kernel::Sort, [5, 2, 1000]);
+        let rt_hi = RtStats {
+            parallel_forks: 50,
+            steals: 7,
+            parks: 3,
+            ..Default::default()
+        };
+        let caps = [1024usize, 4096];
+        let infl = [0usize, 0];
+        let prev = MetricsSnapshot::collect(
+            &m,
+            &caps,
+            &infl,
+            0,
+            rt_hi,
+            vec![4, 0, 0],
+            Duration::from_secs(10),
+        );
+        let rt_lo = RtStats {
+            parallel_forks: 3,
+            ..Default::default()
+        };
+        let now = MetricsSnapshot::collect(
+            &m,
+            &caps,
+            &infl,
+            0,
+            rt_lo,
+            vec![1, 0, 0],
+            Duration::from_secs(11),
+        );
+        let d = now.delta_since(&prev);
+        assert_eq!(d.rt.parallel_forks, 0); // 3 - 50 saturates
+        assert_eq!(d.rt.steals, 0);
+        assert_eq!(d.rt.parks, 0);
+        assert_eq!(d.ring_dropped, vec![0, 0, 0]); // 1 - 4 saturates
+                                                   // Counters that did not move delta to zero.
+        let row = &d.kernels[Kernel::Sort.index()];
+        assert_eq!(row.submitted, 0);
+        assert_eq!(row.witness, [0, 0, 0]);
+        assert_eq!(row.p50_ms, None); // no interval samples
+                                      // The fully swapped order (a mismatched pair) must not panic
+                                      // either, in any field.
+        let swapped = prev.delta_since(&now);
+        assert_eq!(swapped.rt.parallel_forks, 47);
+        assert_eq!(swapped.uptime, Duration::ZERO); // 10s - 11s saturates
+    }
+
+    #[test]
+    fn witness_counts_flow_to_snapshot_and_prometheus() {
+        let m = Metrics::new(3);
+        m.witness_available.store(1, Ordering::Relaxed);
+        m.add_witness(Kernel::Matmul, [40, 4, 9000]);
+        m.add_witness(Kernel::Matmul, [2, 1, 1000]);
+        let caps = [0usize; 3];
+        let infl = [0usize; 3];
+        let s = MetricsSnapshot::collect(
+            &m,
+            &caps,
+            &infl,
+            0,
+            RtStats::default(),
+            vec![0, 3, 0, 0],
+            Duration::ZERO,
+        );
+        assert!(s.witness_available);
+        assert_eq!(s.kernels[Kernel::Matmul.index()].witness, [42, 5, 10000]);
+        let text = s.to_prometheus_text();
+        assert!(text.contains(
+            "moserve_cache_transfers_total{kernel=\"matmul\",level=\"1\",backend=\"perf\"} 42"
+        ));
+        assert!(text.contains(
+            "moserve_cache_transfers_total{kernel=\"matmul\",level=\"3\",backend=\"perf\"} 5"
+        ));
+        assert!(text.contains(
+            "moserve_cache_instructions_total{kernel=\"matmul\",backend=\"perf\"} 10000"
+        ));
+        assert!(text.contains("moserve_cache_witness_available 1"));
+        assert!(text.contains("moserve_ring_dropped_total{worker=\"1\"} 3"));
+        assert!(text.contains("moserve_ring_dropped_total{worker=\"external\"} 0"));
+        let samples = mo_obs::prom::parse(&text).expect("valid exposition");
+        mo_obs::prom::check_histograms(&samples).expect("consistent histograms");
+        // Without a sink the drop family disappears entirely.
+        let bare = MetricsSnapshot::collect(
+            &m,
+            &caps,
+            &infl,
+            0,
+            RtStats::default(),
+            Vec::new(),
+            Duration::ZERO,
+        );
+        assert!(!bare
+            .to_prometheus_text()
+            .contains("moserve_ring_dropped_total"));
     }
 
     #[test]

@@ -96,6 +96,12 @@ pub(crate) struct Shared {
     state: Mutex<QueueState>,
     cv: Condvar,
     metrics: Metrics,
+    /// The hardware cache witness, when `perf_event_open` is available.
+    /// Batch execution wraps a per-thread span around the pool entry,
+    /// so the measured counts cover the serving thread's share of the
+    /// work (the root task plus whatever it help-executed) — a lower
+    /// bound on the batch's true traffic, attributed per kernel.
+    witness: Option<mo_obs::witness::PerfWitness>,
     started: Instant,
 }
 
@@ -103,6 +109,14 @@ impl Shared {
     /// Point-in-time copy of every metric (shared by [`Server::metrics`]
     /// and the `/metrics` exposition thread).
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        #[cfg(feature = "obs")]
+        let ring_dropped = self
+            .pool
+            .sink()
+            .map(|s| s.dropped_per_worker())
+            .unwrap_or_default();
+        #[cfg(not(feature = "obs"))]
+        let ring_dropped = Vec::new();
         let st = self.state.lock().unwrap();
         MetricsSnapshot::collect(
             &self.metrics,
@@ -110,6 +124,7 @@ impl Shared {
             &st.inflight,
             st.queue.len(),
             self.pool.stats(),
+            ring_dropped,
             self.started.elapsed(),
         )
     }
@@ -173,8 +188,13 @@ impl Server {
             }),
             cv: Condvar::new(),
             metrics: Metrics::new(nlevels),
+            witness: mo_obs::witness::PerfWitness::try_new().ok(),
             started: Instant::now(),
         });
+        shared.metrics.witness_available.store(
+            shared.witness.is_some() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         let handles = (0..workers)
             .map(|_| {
                 let sh = Arc::clone(&shared);
@@ -263,6 +283,16 @@ impl Server {
     /// [`SbPool::warm`] at startup.
     pub fn pool_info(&self) -> &PoolInfo {
         &self.shared.pool_info
+    }
+
+    /// Attach a trace sink to the underlying pool (see
+    /// [`mo_core::rt::SbPool::attach_sink`]); once attached, the
+    /// per-worker ring overflow-drop counts surface in snapshots and as
+    /// `moserve_ring_dropped_total{worker}` in the `/metrics`
+    /// exposition. Returns `false` if a sink is already attached.
+    #[cfg(feature = "obs")]
+    pub fn attach_sink(&self, sink: std::sync::Arc<mo_obs::TraceSink>) -> bool {
+        self.shared.pool.attach_sink(sink)
     }
 
     /// Serve a Prometheus text exposition of [`metrics`](Self::metrics)
@@ -394,7 +424,11 @@ fn execute(sh: &Shared, batch: Batch) {
     let n = jobs[0].spec.n;
     let seeds: Vec<u64> = jobs.iter().map(|q| q.spec.seed).collect();
     let t0 = Instant::now();
+    let span = sh.witness.as_ref().and_then(|w| w.span());
     let sums = sh.pool.enter(|ctx| run_batch_in(ctx, kernel, n, &seeds));
+    if let (Some(w), Some(span)) = (sh.witness.as_ref(), span.as_ref()) {
+        sh.metrics.add_witness(kernel, w.span_delta(span));
+    }
     let service = t0.elapsed();
     let batch_size = jobs.len();
     let cells = sh.metrics.kernel(kernel);
