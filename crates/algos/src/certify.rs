@@ -1,0 +1,528 @@
+//! Certification adapters: the bridge between the kernel registry
+//! ([`crate::real::registry`]) and the recorded MO programs the
+//! `mo_certify` pass suite analyses.
+//!
+//! Each registry kernel maps to its recorded counterpart at a given
+//! size, with *independently seeded input values* — the knob the
+//! value-obliviousness certifier (`mo_core::certify`) turns: record the
+//! same `(kernel, n)` under several seeds and diff the canonical
+//! traces. A registry-metadata lint pass rides along, cross-checking
+//! the declared grain hints and data-dependence markers against how
+//! the programs actually record.
+
+use mo_core::{Program, Recorder, Segment};
+
+use crate::real::registry::{footprint_words, Kernel};
+
+/// Splitmix generator mirroring the registry's input generator, so the
+/// certifier's seeded values are as cheap and deterministic as the
+/// serving layer's.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn f64_unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Default certification size per kernel: large enough that the
+/// recorded DAG exercises every hint the kernel uses (forks past the
+/// base case, several CGC levels), small enough that recording K runs
+/// of every kernel stays in CI-smoke territory.
+pub fn certify_size(kernel: Kernel) -> usize {
+    match kernel {
+        Kernel::Transpose => 32,
+        Kernel::Fft => 1 << 10,
+        Kernel::Matmul => 32,
+        Kernel::Sort => 1 << 11,
+        Kernel::SpmDv => 256, // 16×16 mesh
+        Kernel::Scan => 1 << 11,
+    }
+}
+
+/// Whether the kernel's recorded program uses measured space bounds
+/// ([`Recorder::record_measured`]) — the recording style that *should*
+/// accompany a [`Kernel::is_data_dependent`] marker. The lint pass
+/// flags disagreement between the two.
+pub fn records_measured(kernel: Kernel) -> bool {
+    matches!(kernel, Kernel::Sort)
+}
+
+/// The analytic footprint admission control charges a size-`n` job of
+/// `kernel` — re-exported next to the adapter so the auditor compares
+/// declared and recorded words through one module.
+pub fn declared_words(kernel: Kernel, n: usize) -> usize {
+    footprint_words(kernel, n)
+}
+
+/// Record `kernel` at size `n` with values drawn from `seed`.
+///
+/// The *structure* of the input (array lengths, the SpM-DV sparsity
+/// pattern) is fixed by `n`; only the **values** vary with the seed.
+/// That is exactly the experiment value-obliviousness is about: a
+/// certified kernel's DAG and canonical trace must not move when only
+/// values move.
+pub fn record_kernel(kernel: Kernel, n: usize, seed: u64) -> Program {
+    let mut g = Gen(seed ^ (kernel.index() as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+    match kernel {
+        Kernel::Transpose => {
+            let data: Vec<u64> = (0..n * n).map(|_| g.next()).collect();
+            crate::transpose::transpose_program(&data, n).program
+        }
+        Kernel::Fft => {
+            let len = n.next_power_of_two();
+            let input: Vec<(f64, f64)> = (0..len).map(|_| (g.f64_unit(), g.f64_unit())).collect();
+            crate::fft::fft_program(&input).program
+        }
+        Kernel::Matmul => {
+            let a: Vec<f64> = (0..n * n).map(|_| g.f64_unit()).collect();
+            let b: Vec<f64> = (0..n * n).map(|_| g.f64_unit()).collect();
+            crate::gep::matmul_program(&a, &b, n).program
+        }
+        Kernel::Sort => {
+            let data: Vec<u64> = (0..n).map(|_| g.next()).collect();
+            crate::sort::sort_program(&data).program
+        }
+        Kernel::SpmDv => {
+            // Fixed mesh sparsity pattern; seeded nonzero and vector
+            // values.
+            let side = (n as f64).sqrt().round().max(2.0) as usize;
+            let mut m = crate::separator::mesh_matrix(side);
+            for row in &mut m.rows {
+                for (_, v) in row.iter_mut() {
+                    *v = g.f64_unit();
+                }
+            }
+            let x: Vec<f64> = (0..m.n).map(|_| g.f64_unit()).collect();
+            crate::spmdv::spmdv_program(&m, &x).program
+        }
+        Kernel::Scan => {
+            let len = n.next_power_of_two();
+            let data: Vec<u64> = (0..len).map(|_| g.next()).collect();
+            Recorder::record(2 * len, |rec| {
+                let a = rec.alloc_init(&data);
+                crate::scan::mo_prefix_sum(rec, a, len);
+            })
+        }
+    }
+}
+
+/// The effective problem size the analytic footprint is parameterized
+/// on for a recording made by [`record_kernel`] — `n` for every kernel
+/// except SpM-DV, whose mesh rounds `n` to a square.
+pub fn effective_n(kernel: Kernel, n: usize) -> usize {
+    match kernel {
+        Kernel::SpmDv => {
+            let side = (n as f64).sqrt().round().max(2.0) as usize;
+            side * side
+        }
+        _ => n,
+    }
+}
+
+/// Known, documented footprint-audit exceptions: kernels whose recorded
+/// MO program legitimately touches more distinct words than the served
+/// real-machine kernel that admission control charges for. Returns the
+/// justification, or `None` if declared-≥-recorded must hold.
+///
+/// These entries mirror `certify/exceptions.json` at the workspace root
+/// (the `mo_certify --gate` input); the audit gate fails if a kernel
+/// understates its footprint *without* an entry here, and the tests fail
+/// if an entry goes stale (the gap closes).
+pub fn footprint_exception(kernel: Kernel) -> Option<&'static str> {
+    match kernel {
+        Kernel::Transpose => Some(
+            "recorded MO-MT routes through a Morton-order intermediate \
+             (3n² words live) while the served kernel transposes \
+             out-of-place in the 2n² that admission control charges",
+        ),
+        Kernel::Fft => Some(
+            "recorded MO-FFT keeps every recursion level's n1×n1 working \
+             matrix and transpose intermediate live (fft_space(n) = 2n + \
+             O(n log log n) words) while the served kernel runs in the 4n \
+             that admission control charges",
+        ),
+        Kernel::Sort => Some(
+            "recorded SPMS sort keeps per-level sample, pivot, count and \
+             distribution arrays live (≈6n words) while the served \
+             real-machine merge sort runs in the 2n that admission \
+             control charges",
+        ),
+        _ => None,
+    }
+}
+
+/// A registry-metadata lint finding (warning severity: these weaken
+/// constants or documentation honesty, not the scheduler theorems —
+/// races and footprint lies are `mo_core::verify`'s errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryLint {
+    /// A forked leaf task's working set exceeds the kernel's declared
+    /// serial-grain hint: the base case is bigger than advertised.
+    GrainExceeded {
+        /// The offending kernel.
+        kernel: Kernel,
+        /// Declared grain hint ([`Kernel::grain_words`]).
+        declared_grain: usize,
+        /// Largest recorded leaf working set (words).
+        max_leaf: usize,
+        /// Task id of that leaf.
+        leaf_task: usize,
+    },
+    /// Two sibling subtrees of one fork write into the same
+    /// 64-word-aligned block: false sharing that breaks the per-task
+    /// block-disjointness the transfer analyses assume. (Word-level
+    /// overlap would be a determinacy race and is reported by
+    /// `mo_core::verify` instead.)
+    SiblingScratchAliasing {
+        /// The offending kernel.
+        kernel: Kernel,
+        /// The forking task.
+        parent: usize,
+        /// First shared block's base word address.
+        block_addr: u64,
+        /// Number of distinct blocks written by two or more siblings.
+        shared_blocks: usize,
+    },
+    /// The kernel records with measured bounds
+    /// ([`Recorder::record_measured`]) but is not marked
+    /// [`Kernel::is_data_dependent`]: the registry under-documents a
+    /// value leak.
+    MissingDataDependentMarker {
+        /// The offending kernel.
+        kernel: Kernel,
+    },
+    /// The kernel carries the data-dependent marker but records with
+    /// analytic bounds: the marker is stale.
+    SpuriousDataDependentMarker {
+        /// The offending kernel.
+        kernel: Kernel,
+    },
+}
+
+impl std::fmt::Display for RegistryLint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryLint::GrainExceeded {
+                kernel,
+                declared_grain,
+                max_leaf,
+                leaf_task,
+            } => write!(
+                f,
+                "{kernel}: leaf task {leaf_task} touches {max_leaf} words, \
+                 above the declared grain hint of {declared_grain}"
+            ),
+            RegistryLint::SiblingScratchAliasing {
+                kernel,
+                parent,
+                block_addr,
+                shared_blocks,
+            } => write!(
+                f,
+                "{kernel}: fork of task {parent} has {shared_blocks} block(s) \
+                 written by multiple siblings (first: word {block_addr:#x})"
+            ),
+            RegistryLint::MissingDataDependentMarker { kernel } => write!(
+                f,
+                "{kernel}: records with measured bounds but lacks the \
+                 data-dependent marker"
+            ),
+            RegistryLint::SpuriousDataDependentMarker { kernel } => write!(
+                f,
+                "{kernel}: carries the data-dependent marker but records \
+                 with analytic bounds"
+            ),
+        }
+    }
+}
+
+/// Block length (words) at which sibling write aliasing is judged: the
+/// recorder's default allocation alignment, which is also the largest
+/// block size the stock machine specs use.
+const ALIAS_BLOCK_WORDS: u64 = 64;
+
+/// Lint one kernel's metadata against one of its recordings.
+pub fn lint_kernel(kernel: Kernel, prog: &Program) -> Vec<RegistryLint> {
+    let mut findings = Vec::new();
+    if records_measured(kernel) && !kernel.is_data_dependent() {
+        findings.push(RegistryLint::MissingDataDependentMarker { kernel });
+    }
+    if !records_measured(kernel) && kernel.is_data_dependent() {
+        findings.push(RegistryLint::SpuriousDataDependentMarker { kernel });
+    }
+    let fp = mo_core::verify::task_footprints(prog);
+    // Grain honesty: forked leaves must fit the declared grain.
+    let grain = kernel.grain_words();
+    let mut worst: Option<(usize, usize)> = None; // (footprint, task)
+    for (tid, task) in prog.tasks().iter().enumerate() {
+        let is_leaf = task.parent.is_some()
+            && !task
+                .segments
+                .iter()
+                .any(|s| matches!(s, Segment::Fork { .. }));
+        if is_leaf && fp[tid] > grain && worst.is_none_or(|(w, _)| fp[tid] > w) {
+            worst = Some((fp[tid], tid));
+        }
+    }
+    if let Some((max_leaf, leaf_task)) = worst {
+        findings.push(RegistryLint::GrainExceeded {
+            kernel,
+            declared_grain: grain,
+            max_leaf,
+            leaf_task,
+        });
+    }
+    // Sibling write aliasing at block granularity.
+    findings.extend(sibling_aliasing(kernel, prog));
+    findings
+}
+
+/// Per-fork check that sibling subtrees write disjoint 64-word blocks.
+fn sibling_aliasing(kernel: Kernel, prog: &Program) -> Vec<RegistryLint> {
+    use std::collections::{HashMap, HashSet};
+    let trace = prog.trace();
+    let ntasks = prog.tasks().len();
+    // Written blocks per task's own strands.
+    let mut own: Vec<HashSet<u64>> = vec![HashSet::new(); ntasks];
+    for (tid, task) in prog.tasks().iter().enumerate() {
+        for seg in &task.segments {
+            let (lo, hi) = match seg {
+                Segment::Compute { start, end } => (*start, *end),
+                Segment::CgcLoop { start, iter_ends } => {
+                    (*start, iter_ends.last().copied().unwrap_or(*start))
+                }
+                Segment::Fork { .. } => continue,
+            };
+            for e in &trace[lo..hi] {
+                if e.is_write() {
+                    own[tid].insert(e.addr() / ALIAS_BLOCK_WORDS);
+                }
+            }
+        }
+    }
+    // Subtree sets by bottom-up small-to-large merge (children have
+    // larger ids than parents).
+    let mut sub = own;
+    for t in (1..ntasks).rev() {
+        let p = prog.tasks()[t].parent.expect("non-root has a parent");
+        let child = std::mem::take(&mut sub[t]);
+        if sub[p].len() < child.len() {
+            let parent = std::mem::replace(&mut sub[p], child.clone());
+            sub[p].extend(parent);
+        } else {
+            sub[p].extend(child.iter().copied());
+        }
+        sub[t] = child;
+    }
+    let mut findings = Vec::new();
+    for (tid, task) in prog.tasks().iter().enumerate() {
+        for seg in &task.segments {
+            let Segment::Fork { children, .. } = seg else {
+                continue;
+            };
+            let mut seen: HashMap<u64, usize> = HashMap::new();
+            let mut shared: Vec<u64> = Vec::new();
+            for &c in children {
+                for &b in &sub[c] {
+                    let count = seen.entry(b).or_insert(0);
+                    *count += 1;
+                    if *count == 2 {
+                        shared.push(b);
+                    }
+                }
+            }
+            if !shared.is_empty() {
+                shared.sort_unstable();
+                findings.push(RegistryLint::SiblingScratchAliasing {
+                    kernel,
+                    parent: tid,
+                    block_addr: shared[0] * ALIAS_BLOCK_WORDS,
+                    shared_blocks: shared.len(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mo_core::certify::{classify, Classification};
+    use mo_core::{spawn, ForkHint};
+
+    #[test]
+    fn deterministic_kernels_certify_oblivious_at_small_sizes() {
+        for kernel in [Kernel::Transpose, Kernel::Scan] {
+            let n = 16;
+            let runs: Vec<(u64, Program)> =
+                (0..3).map(|s| (s, record_kernel(kernel, n, s))).collect();
+            let (c, w) = classify(&runs);
+            assert_eq!(c, Classification::Oblivious, "{kernel}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn sort_certifies_data_dependent_with_witness() {
+        let runs: Vec<(u64, Program)> = (0..2)
+            .map(|s| (s, record_kernel(Kernel::Sort, 256, s)))
+            .collect();
+        let (c, w) = classify(&runs);
+        assert_eq!(c, Classification::DataDependent);
+        let w = w.expect("data-dependent needs a witness");
+        assert_eq!((w.seed_a, w.seed_b), (0, 1));
+    }
+
+    #[test]
+    fn registry_kernels_pass_their_own_lint() {
+        for kernel in Kernel::ALL {
+            let n = match kernel {
+                Kernel::Transpose | Kernel::Matmul => 16,
+                Kernel::SpmDv => 64,
+                _ => 256,
+            };
+            let prog = record_kernel(kernel, n, 7);
+            let findings = lint_kernel(kernel, &prog);
+            // Grain and marker lints must be clean on the shipped
+            // registry; block-level aliasing of shared outputs is
+            // tolerated (reported, not asserted) for kernels whose
+            // siblings tile one output array.
+            for f in &findings {
+                assert!(
+                    matches!(f, RegistryLint::SiblingScratchAliasing { .. }),
+                    "{kernel}: unexpected lint {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grain_lint_flags_oversized_leaves() {
+        // A fork whose leaf touches more words than a tiny grain hint.
+        let prog = Recorder::record(4096, |rec| {
+            let a = rec.alloc(2048);
+            rec.fork(
+                ForkHint::Sb,
+                vec![spawn(1024, move |rec: &mut Recorder| {
+                    for k in 0..1024 {
+                        rec.write(a, k, k as u64);
+                    }
+                })],
+            );
+        });
+        // Borrow Transpose's metadata (grain 512) against the synthetic
+        // program.
+        let findings = lint_kernel(Kernel::Transpose, &prog);
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            RegistryLint::GrainExceeded {
+                declared_grain: 512,
+                max_leaf: 1024,
+                leaf_task: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn aliasing_lint_flags_block_sharing_siblings() {
+        // Siblings write adjacent words of one block: no race, but the
+        // block is shared.
+        let prog = Recorder::record(4096, |rec| {
+            let a = rec.alloc(64);
+            rec.fork2(
+                ForkHint::Sb,
+                64,
+                |rec| rec.write(a, 0, 1),
+                64,
+                |rec| rec.write(a, 1, 2),
+            );
+        });
+        let findings = lint_kernel(Kernel::Transpose, &prog);
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            RegistryLint::SiblingScratchAliasing {
+                parent: 0,
+                shared_blocks: 1,
+                ..
+            }
+        )));
+        // Siblings on distinct blocks are clean.
+        let prog = Recorder::record(4096, |rec| {
+            let a = rec.alloc(128);
+            rec.fork2(
+                ForkHint::Sb,
+                64,
+                |rec| rec.write(a, 0, 1),
+                64,
+                |rec| rec.write(a, 64, 2),
+            );
+        });
+        assert!(lint_kernel(Kernel::Transpose, &prog).is_empty());
+    }
+
+    #[test]
+    fn marker_lints_fire_on_disagreement() {
+        // Synthetic: pretend a measured-bounds kernel lost its marker by
+        // checking the two helper predicates stay in sync on the real
+        // registry…
+        for k in Kernel::ALL {
+            assert_eq!(records_measured(k), k.is_data_dependent(), "{k}");
+        }
+        // …and that the lint would fire if they disagreed (exercise via
+        // a direct construction of the finding's Display).
+        let f = RegistryLint::MissingDataDependentMarker {
+            kernel: Kernel::Sort,
+        };
+        assert!(f.to_string().contains("measured bounds"));
+    }
+
+    #[test]
+    fn footprint_audit_declared_covers_recorded() {
+        for kernel in Kernel::ALL {
+            let n = match kernel {
+                Kernel::Transpose | Kernel::Matmul => 16,
+                Kernel::SpmDv => 64,
+                _ => 256,
+            };
+            let prog = record_kernel(kernel, n, 3);
+            let recorded = mo_core::certify::max_working_set(&prog);
+            let en = effective_n(kernel, n);
+            let declared = declared_words(kernel, en);
+            if footprint_exception(kernel).is_some() {
+                // Documented exceptions (see `footprint_exception` and
+                // certify/exceptions.json): the recorded MO program keeps
+                // temporaries live that the served real kernel does not.
+                // The auditor must *see* the gap — an exception whose gap
+                // has closed is stale and must be removed…
+                assert!(declared < recorded, "{kernel}: exception became stale");
+                // …but the gap stays within each recording's own honest
+                // arena bound.
+                let cap = match kernel {
+                    Kernel::Transpose => 3 * en * en,
+                    Kernel::Fft => crate::fft::fft_space(en),
+                    Kernel::Sort => 8 * en,
+                    _ => unreachable!(),
+                };
+                assert!(
+                    recorded <= cap,
+                    "{kernel}: recorded {recorded} exceeds honest bound {cap}"
+                );
+                continue;
+            }
+            assert!(
+                declared >= recorded,
+                "{kernel}: declared {declared} < recorded {recorded}"
+            );
+        }
+    }
+}

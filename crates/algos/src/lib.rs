@@ -27,6 +27,7 @@
 
 pub mod bitinterleave;
 pub mod bp;
+pub mod certify;
 pub mod fft;
 pub mod gep;
 pub mod graph;

@@ -36,16 +36,19 @@ pub enum Kernel {
     Sort,
     /// Sparse matrix × dense vector, `n` rows of ~[`SPMDV_DEG`] nonzeros.
     SpmDv,
+    /// Exclusive prefix sum of `n` 64-bit words.
+    Scan,
 }
 
 impl Kernel {
     /// Every registered kernel.
-    pub const ALL: [Kernel; 5] = [
+    pub const ALL: [Kernel; 6] = [
         Kernel::Transpose,
         Kernel::Fft,
         Kernel::Matmul,
         Kernel::Sort,
         Kernel::SpmDv,
+        Kernel::Scan,
     ];
 
     /// Stable lower-case name (scenario files, metrics labels).
@@ -56,6 +59,7 @@ impl Kernel {
             Kernel::Matmul => "matmul",
             Kernel::Sort => "sort",
             Kernel::SpmDv => "spmdv",
+            Kernel::Scan => "scan",
         }
     }
 
@@ -69,6 +73,39 @@ impl Kernel {
     /// Index of this kernel inside [`Kernel::ALL`].
     pub fn index(self) -> usize {
         Kernel::ALL.iter().position(|k| *k == self).unwrap_or(0)
+    }
+
+    /// Whether the kernel's recorded MO program is *declared*
+    /// data-dependent: its task tree or address trace varies with the
+    /// input values, so it records with measured space bounds
+    /// ([`mo_core::Recorder::record_measured`]) and can never hold an
+    /// `oblivious` certificate. The certifier's lint pass cross-checks
+    /// this marker against how the program actually records.
+    pub fn is_data_dependent(self) -> bool {
+        matches!(self, Kernel::Sort)
+    }
+
+    /// Declared serial-grain hint in words: an upper bound on the
+    /// working set of any *leaf* task (a forked task that forks no
+    /// further) in the kernel's recorded program. The recursive
+    /// algorithms bottom out at a constant-size base case, so leaves
+    /// must stay below this; the certifier's lint pass flags recorded
+    /// leaves that exceed it (a missing or mis-sized base-case grain).
+    pub fn grain_words(self) -> usize {
+        match self {
+            // 8×8 tiles, two matrices, plus alignment padding slop.
+            Kernel::Transpose => 512,
+            // FFT leaf transforms plus twiddle scratch.
+            Kernel::Fft => 4096,
+            // 8×8×8 GEP base case touches three 64-word tiles.
+            Kernel::Matmul => 512,
+            // SPMS leaves sort sample-bounded buckets.
+            Kernel::Sort => 8192,
+            // Separator-tree leaves own small row blocks.
+            Kernel::SpmDv => 4096,
+            // Scan never forks (pure CGC); no leaf grain to bound.
+            Kernel::Scan => usize::MAX,
+        }
     }
 }
 
@@ -93,14 +130,17 @@ pub fn footprint_words(kernel: Kernel, n: usize) -> usize {
         Kernel::Sort => 2 * n,
         // row_ptr (n+1) + cols (deg·n) + vals (deg·n) + x (n) + y (n).
         Kernel::SpmDv => (3 + 2 * SPMDV_DEG) * n + 1,
+        // In-place tree scan over the power-of-two padded array, plus
+        // the per-block totals of the real-machine kernel.
+        Kernel::Scan => 2 * n.next_power_of_two(),
     }
 }
 
 /// Splitmix-style generator so inputs are cheap and deterministic.
-struct Gen(u64);
+pub(crate) struct Gen(pub(crate) u64);
 
 impl Gen {
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
@@ -108,7 +148,7 @@ impl Gen {
         z ^ (z >> 31)
     }
 
-    fn f64_unit(&mut self) -> f64 {
+    pub(crate) fn f64_unit(&mut self) -> f64 {
         (self.next() >> 11) as f64 / (1u64 << 53) as f64
     }
 }
@@ -153,6 +193,58 @@ fn sort_in_ctx(ctx: &Ctx<'_>, data: &mut [u64], scratch: &mut [u64]) {
             j += 1;
         }
     }
+}
+
+/// Ctx-native exclusive prefix sum (block-scan): per-block totals, a
+/// tiny serial combine, then seeded per-block scans. Like
+/// [`sort_in_ctx`], it never re-enters the pool.
+fn scan_in_ctx(ctx: &Ctx<'_>, a: &mut [u64]) {
+    let n = a.len();
+    let block = n.div_ceil(16).max(1024);
+    if n <= block {
+        let mut acc = 0u64;
+        for v in a.iter_mut() {
+            let nv = acc.wrapping_add(*v);
+            *v = acc;
+            acc = nv;
+        }
+        return;
+    }
+    let totals: Vec<(usize, u64)> = {
+        let jobs: Jobs<'_, (usize, u64)> = a
+            .chunks(block)
+            .enumerate()
+            .map(|(bi, chunk)| {
+                Box::new(move |_: &Ctx<'_>| {
+                    (bi, chunk.iter().fold(0u64, |s, &v| s.wrapping_add(v)))
+                }) as _
+            })
+            .collect();
+        ctx.join_all(2 * block, jobs)
+    };
+    let mut bases = vec![0u64; totals.len()];
+    let mut acc = 0u64;
+    for (bi, t) in totals {
+        bases[bi] = acc;
+        acc = acc.wrapping_add(t);
+    }
+    // Re-derive per-block bases in order (join_all returns in order, but
+    // keep the explicit indexing so the pairing is self-evident).
+    let jobs: Jobs<'_, ()> = a
+        .chunks_mut(block)
+        .zip(bases)
+        .map(|(chunk, base)| {
+            Box::new(move |_: &Ctx<'_>| {
+                let mut acc = base;
+                for v in chunk.iter_mut() {
+                    let nv = acc.wrapping_add(*v);
+                    *v = acc;
+                    acc = nv;
+                }
+            }) as _
+        })
+        .collect();
+    ctx.join_all(2 * block, jobs);
 }
 
 /// Run one job of `kernel` at size `n` with seed-generated inputs inside
@@ -213,6 +305,12 @@ pub fn run_in(ctx: &Ctx<'_>, kernel: Kernel, n: usize, seed: u64) -> u64 {
             let mut y = vec![0.0f64; n];
             super::spmdv_rows(ctx, &row_ptr, &cols, &vals, &x, &mut y, 0);
             checksum_f64(&y)
+        }
+        Kernel::Scan => {
+            let mut data: Vec<u64> = (0..n).map(|_| g.next()).collect();
+            scan_in_ctx(ctx, &mut data);
+            data.iter()
+                .fold(0u64, |acc, v| acc.wrapping_mul(31).wrapping_add(*v))
         }
     }
 }
@@ -286,6 +384,34 @@ mod tests {
             assert_eq!(batched[1], a, "{k} differs when batched");
             assert_ne!(batched[0], batched[2], "{k} seeds collide");
         }
+    }
+
+    #[test]
+    fn scan_in_ctx_matches_serial_reference() {
+        let p = pool();
+        let mut g = Gen(11);
+        let data: Vec<u64> = (0..40_000).map(|_| g.next() % 1000).collect();
+        let mut got = data.clone();
+        p.run(|ctx| scan_in_ctx(ctx, &mut got));
+        let mut acc = 0u64;
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(got[k], acc, "at {k}");
+            acc = acc.wrapping_add(v);
+        }
+        // Small inputs take the serial path.
+        let mut tiny = vec![5u64, 7, 9];
+        p.run(|ctx| scan_in_ctx(ctx, &mut tiny));
+        assert_eq!(tiny, vec![0, 5, 12]);
+    }
+
+    #[test]
+    fn data_dependent_markers_match_recording_style() {
+        // Exactly the measured-bounds kernels carry the marker.
+        let marked: Vec<Kernel> = Kernel::ALL
+            .into_iter()
+            .filter(|k| k.is_data_dependent())
+            .collect();
+        assert_eq!(marked, vec![Kernel::Sort]);
     }
 
     #[test]

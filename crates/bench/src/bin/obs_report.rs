@@ -119,6 +119,13 @@ fn kernel_size(k: Kernel, smoke: bool) -> usize {
                 100_000
             }
         }
+        Kernel::Scan => {
+            if smoke {
+                1 << 12
+            } else {
+                1 << 18
+            }
+        }
     }
 }
 
@@ -314,6 +321,13 @@ fn sim_size(k: Kernel, smoke: bool) -> usize {
                 32
             }
         }
+        Kernel::Scan => {
+            if smoke {
+                1 << 10
+            } else {
+                1 << 12
+            }
+        }
     }
 }
 
@@ -376,6 +390,23 @@ fn build_program(k: Kernel, size: usize) -> SimProgram {
                 nnz,
             }
         }
+        Kernel::Scan => {
+            // `sim_size` only hands out powers of two, which is what the
+            // in-place tree scan requires.
+            let len = size.next_power_of_two();
+            let data: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x9e37) % 8191)
+                .collect();
+            let program = mo_core::Recorder::record(2 * len, |rec| {
+                let a = rec.alloc_init(&data);
+                mo_algorithms::scan::mo_prefix_sum(rec, a, len);
+            });
+            SimProgram {
+                program,
+                n: len,
+                nnz: 0,
+            }
+        }
     }
 }
 
@@ -430,6 +461,8 @@ fn analytic_q(k: Kernel, n: usize, nnz: usize, spec: &MachineSpec, level: usize)
             let nnz = nnz as f64;
             16.0 * ((nnz / b + n / c.sqrt()) / q + nnz / b + b + 1.0)
         }
+        // Scan-bound like transpose: Q = O(n/B), two tree sweeps.
+        Kernel::Scan => 8.0 * (n / (b * q) + n / b + b + 1.0),
     }
 }
 
@@ -535,6 +568,46 @@ fn print_witness_kernel(
     rows
 }
 
+/// Certificate summary section: load the `mo_certify` artifact (if one
+/// has been generated) and print one row per kernel — classification,
+/// declared vs recorded footprint, soundness flags — so the obs report
+/// carries the verification posture next to the performance posture.
+fn print_certificate_summary(path: &str) {
+    println!("== certificates ({path}) ==");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!("no certificate artifact found; run `cargo run --release -p mo-bench --bin mo_certify` to generate one\n");
+            return;
+        }
+    };
+    let set = match mo_core::CertificateSet::from_json_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("artifact unreadable: {e}\n");
+            return;
+        }
+    };
+    println!(
+        "{:<10} {:>5} {:>4} {:<15} {:>9} {:>9} {:>6} {:>6}",
+        "kernel", "n", "runs", "classification", "declared", "recorded", "fpOK", "schedOK"
+    );
+    for c in &set.certs {
+        println!(
+            "{:<10} {:>5} {:>4} {:<15} {:>9} {:>9} {:>6} {:>6}",
+            c.kernel,
+            c.n,
+            c.runs,
+            c.classification.name(),
+            c.declared_words,
+            c.recorded_words,
+            if c.footprint_sound { "yes" } else { "NO" },
+            if c.schedule_clean { "yes" } else { "NO" },
+        );
+    }
+    println!();
+}
+
 /// Standalone `--validate <file>` mode: structural chrome-trace check.
 fn validate_file(path: &str) -> ! {
     let json = match std::fs::read_to_string(path) {
@@ -612,6 +685,10 @@ fn main() {
         info.resident_workers,
         info.l1_words,
         info.levels.len()
+    );
+
+    print_certificate_summary(
+        &flag_value("--certs").unwrap_or_else(|| "certify/certificates.json".to_string()),
     );
 
     let last_level = hier.levels().len();

@@ -17,6 +17,11 @@
 //!   --scenario FILE       workload file: `kernel size weight` lines
 //!                         (default: built-in mixed workload; see
 //!                         crates/bench/scenarios/mixed.scn)
+//!   --secure              refuse kernels without an `oblivious`
+//!                         value-obliviousness certificate (typed
+//!                         NotCertified shedding; sort is refused)
+//!   --certs FILE          certificate artifact for --secure
+//!                         [default certify/certificates.json]
 //! ```
 //!
 //! Both modes print the server's final [`MetricsSnapshot`] plus a
@@ -151,6 +156,8 @@ struct Args {
     queue_cap: usize,
     deadline: Duration,
     scenario: Option<String>,
+    secure: bool,
+    certs: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -163,6 +170,8 @@ fn parse_args() -> Result<Args, String> {
         queue_cap: 256,
         deadline: Duration::from_millis(500),
         scenario: None,
+        secure: false,
+        certs: "certify/certificates.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -202,6 +211,8 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--scenario" => args.scenario = Some(val("--scenario")?),
+            "--secure" => args.secure = true,
+            "--certs" => args.certs = val("--certs")?,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -292,11 +303,38 @@ fn main() {
         mix.len(),
         duration,
     );
+    let certificates = if args.secure {
+        match std::fs::read_to_string(&args.certs)
+            .map_err(|e| e.to_string())
+            .and_then(|t| mo_core::CertificateSet::from_json_str(&t))
+        {
+            Ok(set) => {
+                println!(
+                    "secure mode: {} certificates loaded from {}; uncertified kernels are refused",
+                    set.certs.len(),
+                    args.certs
+                );
+                Some(set)
+            }
+            Err(e) => {
+                eprintln!(
+                    "serve_load: --secure with no usable certificates ({}: {e}); \
+                     run `cargo run --release -p mo-bench --bin mo_certify` first",
+                    args.certs
+                );
+                std::process::exit(2);
+            }
+        }
+    } else {
+        None
+    };
     let server = Server::start(
         hier,
         ServeConfig {
             queue_cap: args.queue_cap,
             default_deadline: args.deadline,
+            secure: args.secure,
+            certificates,
             ..ServeConfig::default()
         },
     );

@@ -44,9 +44,13 @@
 // carries the safety argument in its module docs. Everything else must
 // stay safe; only that module may opt in.
 #![deny(unsafe_code)]
+// The one module that does opt in must still wrap every unsafe
+// operation in an explicit, `// SAFETY:`-commented block.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod arr;
+pub mod certify;
 mod record;
 pub mod rt;
 pub mod sched;
@@ -54,6 +58,7 @@ mod trace;
 pub mod verify;
 
 pub use arr::{Arr, Mat};
+pub use certify::{Certificate, CertificateSet, Classification};
 pub use record::{
     spawn, ForkHint, Program, ProgramStats, Recorder, Segment, Spawn, TaskId, TaskNode,
 };

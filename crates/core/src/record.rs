@@ -78,6 +78,11 @@ pub struct Program {
     pub(crate) mem: Vec<u64>,
     pub(crate) trace: Vec<TraceEntry>,
     pub(crate) tasks: Vec<TaskNode>,
+    /// Every region handed out by the recorder's bump allocator, in
+    /// allocation order (offsets strictly increase). The certifier keys
+    /// on this table to name addresses relative to their allocation,
+    /// i.e. modulo base-pointer relocation.
+    pub(crate) allocs: Vec<Arr>,
 }
 
 impl Program {
@@ -94,6 +99,15 @@ impl Program {
     /// The trace buffer.
     pub fn trace(&self) -> &[TraceEntry] {
         &self.trace
+    }
+
+    /// The allocation table: every region the recorder's bump allocator
+    /// handed out, in allocation order (offsets strictly increase).
+    /// [`crate::certify`] uses it to rewrite raw trace addresses as
+    /// `(allocation, offset)` pairs, making traces comparable modulo
+    /// base-pointer relocation.
+    pub fn allocs(&self) -> &[Arr] {
+        &self.allocs
     }
 
     /// Total number of recorded memory operations (the program's *work*).
@@ -214,6 +228,7 @@ pub struct Recorder {
     mem: Vec<u64>,
     trace: Vec<TraceEntry>,
     tasks: Vec<TaskNode>,
+    allocs: Vec<Arr>,
     /// Stack of open tasks (innermost last).
     stack: Vec<TaskId>,
     /// Trace index at which the innermost open compute segment began.
@@ -297,6 +312,7 @@ impl Recorder {
                             segments: Vec::new(),
                             parent: None,
                         }],
+                        allocs: Vec::new(),
                         stack: vec![0],
                         pending_start: 0,
                         in_cgc: false,
@@ -310,6 +326,7 @@ impl Recorder {
                         mem: rec.mem,
                         trace: rec.trace,
                         tasks: rec.tasks,
+                        allocs: rec.allocs,
                     }
                 })
                 .expect("failed to spawn recording thread");
@@ -324,10 +341,12 @@ impl Recorder {
     pub fn alloc(&mut self, len: usize) -> Arr {
         let off = self.mem.len().div_ceil(self.align) * self.align;
         self.mem.resize(off + len, 0);
-        Arr {
+        let a = Arr {
             off: off as u64,
             len,
-        }
+        };
+        self.allocs.push(a);
+        a
     }
 
     /// Allocate and initialize from `data` **without tracing**: the data

@@ -89,7 +89,9 @@ impl JobRef {
     /// is the unique owner of the right to execute it) and the backing
     /// [`StackJob`] must still be pinned.
     pub(super) unsafe fn execute(self, ctx: &Ctx<'_>) {
-        (self.exec)(self.data, ctx)
+        // SAFETY: forwarding the caller's contract — `data` points to
+        // the pinned `StackJob` that `exec` was monomorphized for.
+        unsafe { (self.exec)(self.data, ctx) }
     }
 }
 
@@ -148,10 +150,17 @@ where
     }
 
     unsafe fn execute_erased(data: *const (), ctx: &Ctx<'_>) {
-        let this = &*(data as *const Self);
-        let f = (*this.f.get()).take().expect("stack job executed twice");
+        // SAFETY: `data` came from `as_job_ref` on a still-pinned
+        // `StackJob<F, R>` (caller contract via `JobRef::execute`).
+        let this = unsafe { &*(data as *const Self) };
+        // SAFETY: the executing thread holds the unique right to run
+        // this job (it was popped from a queue), so nothing else
+        // touches the closure or result cells until the latch — set
+        // below, with release ordering — publishes them to the owner.
+        let f = unsafe { (*this.f.get()).take() }.expect("stack job executed twice");
         let res = panic::catch_unwind(AssertUnwindSafe(|| f(ctx)));
-        *this.result.get() = Some(res);
+        // SAFETY: same exclusive-execution argument as the read above.
+        unsafe { *this.result.get() = Some(res) };
         this.latch.set();
     }
 
@@ -162,6 +171,9 @@ where
     /// Reclaim the closure of a job that was popped back un-run; only
     /// legal after [`Registry::take_back`] returned `true` for it.
     pub(super) fn take_f(&self) -> F {
+        // SAFETY: `take_back` returning true removed the only escaped
+        // reference before anyone executed it, so the owner is again
+        // the sole accessor of the closure cell.
         unsafe { (*self.f.get()).take().expect("reclaimed a stolen job") }
     }
 

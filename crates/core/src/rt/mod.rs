@@ -195,6 +195,15 @@ impl RtStats {
     }
 }
 
+// Loom model builds (CI-only: `RUSTFLAGS="--cfg loom"` plus a CI-time
+// dev-dependency, see .github/workflows/ci.yml) swap the seqlock's
+// atomics for loom's permutation-tested ones; everything else in the
+// pool keeps std's.
+#[cfg(loom)]
+use loom::sync::atomic::{fence, AtomicU64 as SeqAtomicU64};
+#[cfg(not(loom))]
+use std::sync::atomic::{fence, AtomicU64 as SeqAtomicU64};
+
 /// Lock-free counters backing [`RtStats`], snapshotted under a
 /// generation seqlock.
 ///
@@ -205,26 +214,53 @@ impl RtStats {
 /// if it cannot interleave with [`reset`](Self::reset) (which would mix
 /// pre- and post-reset values across cells: the race this generation
 /// word exists to close). `reset` bumps `generation` to an odd value,
-/// zeroes every cell, then bumps it back to even; `snapshot` retries
-/// until it reads the same even generation on both sides of its loads.
-/// Concurrent *increments* during a snapshot remain visible or not per
-/// cell — that is inherent to monotone relaxed counters and harmless;
-/// what can no longer happen is a snapshot that saw `serial_forks`
-/// after a reset but `parallel_forks` from before it.
-#[derive(Debug, Default)]
+/// issues a release fence, zeroes every cell, then bumps it back to
+/// even with release ordering; `snapshot` retries until it reads the
+/// same even generation on both sides of its loads, with an acquire
+/// fence between the cell loads and the recheck.
+///
+/// The fence pair is load-bearing: the cell stores and loads are all
+/// relaxed, so without it a snapshot could observe a reset's zeroes
+/// while both generation loads still return the old even value (the
+/// classic seqlock weak-memory trap). With it, a cell load that read
+/// any reset store forces the recheck to see the odd generation
+/// (release/acquire fence synchronization), and a first load that read
+/// the final even generation forces every cell load to see the zeroes
+/// (release store / acquire load). Concurrent *increments* during a
+/// snapshot remain visible or not per cell — that is inherent to
+/// monotone relaxed counters and harmless; what cannot happen is a
+/// snapshot that saw `serial_forks` after a reset but `parallel_forks`
+/// from before it. The `loom_tests` module model-checks exactly this.
+#[derive(Debug)]
 struct StatCells {
-    generation: AtomicU64,
-    parallel_forks: AtomicU64,
-    serial_forks: AtomicU64,
-    denied_forks: AtomicU64,
-    steals: AtomicU64,
-    failed_steals: AtomicU64,
-    parks: AtomicU64,
-    injector_pops: AtomicU64,
+    generation: SeqAtomicU64,
+    parallel_forks: SeqAtomicU64,
+    serial_forks: SeqAtomicU64,
+    denied_forks: SeqAtomicU64,
+    steals: SeqAtomicU64,
+    failed_steals: SeqAtomicU64,
+    parks: SeqAtomicU64,
+    injector_pops: SeqAtomicU64,
+}
+
+impl Default for StatCells {
+    // Not derived: loom's `AtomicU64` lacks the `Default` impl.
+    fn default() -> Self {
+        Self {
+            generation: SeqAtomicU64::new(0),
+            parallel_forks: SeqAtomicU64::new(0),
+            serial_forks: SeqAtomicU64::new(0),
+            denied_forks: SeqAtomicU64::new(0),
+            steals: SeqAtomicU64::new(0),
+            failed_steals: SeqAtomicU64::new(0),
+            parks: SeqAtomicU64::new(0),
+            injector_pops: SeqAtomicU64::new(0),
+        }
+    }
 }
 
 impl StatCells {
-    fn cells(&self) -> [&AtomicU64; 7] {
+    fn cells(&self) -> [&SeqAtomicU64; 7] {
         [
             &self.parallel_forks,
             &self.serial_forks,
@@ -239,7 +275,11 @@ impl StatCells {
     /// Zero every counter, atomically with respect to [`snapshot`](Self::snapshot).
     fn reset(&self) {
         // Odd generation = reset in progress; snapshots spin past it.
-        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        // Pairs with the acquire fence in `snapshot`: a snapshot whose
+        // cell loads saw any of the zeroes below must then see the odd
+        // generation on its recheck and retry.
+        fence(Ordering::Release);
         for c in self.cells() {
             c.store(0, Ordering::Relaxed);
         }
@@ -251,7 +291,7 @@ impl StatCells {
         loop {
             let before = self.generation.load(Ordering::Acquire);
             if before & 1 == 1 {
-                std::hint::spin_loop();
+                Self::backoff();
                 continue;
             }
             let s = RtStats {
@@ -263,10 +303,24 @@ impl StatCells {
                 parks: self.parks.load(Ordering::Relaxed),
                 injector_pops: self.injector_pops.load(Ordering::Relaxed),
             };
-            if self.generation.load(Ordering::Acquire) == before {
+            // Pairs with the release fence in `reset` (see above).
+            fence(Ordering::Acquire);
+            if self.generation.load(Ordering::Relaxed) == before {
                 return s;
             }
         }
+    }
+
+    #[cfg(not(loom))]
+    fn backoff() {
+        std::hint::spin_loop();
+    }
+
+    // Loom needs an explicit yield to know the spinner is not making
+    // progress on its own; a raw spin hint would livelock the model.
+    #[cfg(loom)]
+    fn backoff() {
+        loom::thread::yield_now();
     }
 }
 
@@ -842,7 +896,10 @@ impl<'p> Ctx<'p> {
     }
 }
 
-#[cfg(test)]
+// Not compiled under `--cfg loom`: these tests drive real pools and
+// std threads, which loom's replacement atomics cannot run outside a
+// model. The loom build runs `loom_tests` below instead.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -1212,5 +1269,41 @@ mod tests {
             ctx.join_all(1 << 14, fs)
         });
         assert_eq!(out, (0..9).map(|i| i * i).collect::<Vec<_>>());
+    }
+}
+
+/// Loom model checks for the [`StatCells`] generation seqlock: every
+/// interleaving (and every C11-permitted weak-memory outcome) of a
+/// snapshot racing a reset must yield an all-pre or all-post snapshot,
+/// never a mix. CI runs this with `RUSTFLAGS="--cfg loom"` after
+/// adding `loom` as a CI-time dev-dependency; local builds compile it
+/// away entirely.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use loom::sync::Arc;
+    use loom::thread;
+
+    #[test]
+    fn loom_stats_snapshot_never_mixes_across_reset() {
+        loom::model(|| {
+            let cells = Arc::new(StatCells::default());
+            // Both cells start equal; the spawn edge publishes them to
+            // the resetter, so any mixed (1, 0) / (0, 1) snapshot can
+            // only come from interleaving with the reset itself.
+            cells.parallel_forks.store(1, Ordering::Relaxed);
+            cells.serial_forks.store(1, Ordering::Relaxed);
+            let c = Arc::clone(&cells);
+            let resetter = thread::spawn(move || c.reset());
+            let s = cells.snapshot();
+            assert_eq!(
+                s.parallel_forks, s.serial_forks,
+                "snapshot mixed pre- and post-reset cells: {s:?}"
+            );
+            resetter.join().unwrap();
+            // After the reset is joined, a snapshot must see the zeroes.
+            let s = cells.snapshot();
+            assert_eq!((s.parallel_forks, s.serial_forks), (0, 0));
+        });
     }
 }

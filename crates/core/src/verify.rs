@@ -717,6 +717,17 @@ fn lint_hints(
     }
 }
 
+/// Per-task subtree footprints: distinct words touched by each task and
+/// its descendants. This quantity is schedule-invariant over all
+/// SP-consistent executions (a task's subtree accesses the same word
+/// set under any interleaving), which is what lets the certifier's
+/// footprint audit ([`crate::certify`]) speak about *all* schedules from
+/// one recording.
+pub fn task_footprints(prog: &Program) -> Vec<usize> {
+    let (strands, _) = collect_strands(prog);
+    footprints(prog, &strands)
+}
+
 /// Measured space bounds for every task of a recorded program: the
 /// task's subtree footprint (at least 1 word), with CGC⇒SB sibling
 /// batches equalized to the batch maximum so the §III-C equal-bounds
@@ -1000,6 +1011,11 @@ mod tests {
             }
         )));
         assert!(r.min_slack < 0);
+        // Error severity: lands in `violations`, so the report is
+        // neither clean nor pristine.
+        assert!(r.violations.iter().all(HintViolation::is_error));
+        assert!(!r.is_clean());
+        assert!(!r.is_pristine());
     }
 
     #[test]
@@ -1020,6 +1036,8 @@ mod tests {
                 ..
             }
         )));
+        assert!(!r.is_clean());
+        assert!(!r.is_pristine());
     }
 
     #[test]
@@ -1039,6 +1057,8 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, HintViolation::CgcSbUnequalSpace { parent: 0, .. })));
+        assert!(!r.is_clean());
+        assert!(!r.is_pristine());
     }
 
     #[test]
@@ -1050,11 +1070,90 @@ mod tests {
             });
         });
         let r = verify(&prog);
+        // Warning severity: clean (no theorem is voided) but not
+        // pristine (the constant-factor argument is weakened).
         assert!(r.is_clean(), "{r}");
+        assert!(!r.is_pristine());
         assert!(r
             .warnings
             .iter()
             .any(|v| matches!(v, HintViolation::CgcNonMonotoneLayout { .. })));
+        assert!(r.warnings.iter().all(|v| !v.is_error()));
+    }
+
+    #[test]
+    fn cgc_empty_iteration_is_a_warning_not_an_error() {
+        let prog = Recorder::record(100, |rec| {
+            let a = rec.alloc(8);
+            rec.cgc_for(8, |rec, k| {
+                if k != 3 {
+                    rec.write(a, k, 1); // iteration 3 records nothing
+                }
+            });
+        });
+        let r = verify(&prog);
+        assert!(r.is_clean(), "{r}");
+        assert!(!r.is_pristine());
+        assert!(r.warnings.iter().any(|v| matches!(
+            v,
+            HintViolation::CgcEmptyIteration {
+                task: 0,
+                seg: 0,
+                iter: 3
+            }
+        )));
+        assert!(r.warnings.iter().all(|v| !v.is_error()));
+    }
+
+    /// The documented severity split, variant by variant: the four
+    /// theorem-voiding findings are errors, the two constant-factor
+    /// findings are warnings — exactly the routing `verify` uses when
+    /// filling `violations` vs `warnings`.
+    #[test]
+    fn violation_severities_split_errors_from_warnings() {
+        let errors = [
+            HintViolation::SpaceNotMonotone {
+                parent: 0,
+                child: 1,
+                parent_space: 1,
+                child_space: 2,
+            },
+            HintViolation::FootprintExceedsBound {
+                task: 1,
+                declared: 1,
+                measured: 2,
+            },
+            HintViolation::CgcSbUnequalSpace {
+                parent: 0,
+                min_space: 1,
+                max_space: 2,
+            },
+            HintViolation::CgcWriteOverlap {
+                task: 0,
+                seg: 0,
+                addr: 0,
+                iter_a: 0,
+                iter_b: 1,
+            },
+        ];
+        let warnings = [
+            HintViolation::CgcNonMonotoneLayout {
+                task: 0,
+                seg: 0,
+                iter: 1,
+            },
+            HintViolation::CgcEmptyIteration {
+                task: 0,
+                seg: 0,
+                iter: 0,
+            },
+        ];
+        for v in &errors {
+            assert!(v.is_error(), "{v} must be error severity");
+        }
+        for v in &warnings {
+            assert!(!v.is_error(), "{v} must be warning severity");
+        }
     }
 
     #[test]

@@ -100,4 +100,52 @@ mod tests {
     fn empty_detection_is_the_only_error() {
         assert_eq!(spec_from_host(&[]), Err(SpecError::NoLevels));
     }
+
+    #[test]
+    fn non_power_of_two_capacities_survive_unrounded() {
+        // 48 KiB L1s (Raptor Lake) and a 1.25 MiB L2 are not powers of
+        // two; the adapter must keep them at the block multiple, not
+        // round to a power of two.
+        let spec = spec_from_host(&[(6144, 1), (163_840, 2)]).unwrap();
+        assert_eq!(spec.level(1).capacity, 6144);
+        assert_eq!(spec.level(2).capacity, 163_840);
+        assert_eq!(spec.cores(), 2);
+        // A capacity that is not even a block multiple rounds *down*.
+        let spec = spec_from_host(&[(6004, 1)]).unwrap();
+        assert_eq!(spec.level(1).capacity, 6000);
+    }
+
+    #[test]
+    fn single_level_hierarchy_is_a_one_core_machine() {
+        // Some container sandboxes expose only one cache index.
+        let spec = spec_from_host(&[(4096, 1)]).unwrap();
+        assert_eq!(spec.cache_levels(), 1);
+        assert_eq!(spec.cores(), 1);
+        assert_eq!(spec.level(1).capacity, 4096);
+        assert_eq!(spec.level(1).block, HOST_BLOCK_WORDS);
+    }
+
+    #[test]
+    fn missing_sysfs_fields_zeroed_out_still_map() {
+        // A probe with unreadable `size`/`shared_cpu_list` files hands
+        // us zeros; every zero must repair to a valid level rather
+        // than error or produce a degenerate spec.
+        let spec = spec_from_host(&[(0, 0)]).unwrap();
+        assert_eq!(spec.level(1).capacity, HOST_BLOCK_WORDS);
+        assert_eq!(spec.level(1).fanout, 1);
+        // A zero-capacity outer level under a real L1 must still honour
+        // inclusion: it is raised to fanout * C_1, not floored at one
+        // block.
+        let spec = spec_from_host(&[(4096, 1), (0, 8)]).unwrap();
+        assert_eq!(spec.level(2).capacity, 8 * 4096);
+        assert_eq!(spec.cores(), 8);
+    }
+
+    #[test]
+    fn outer_level_smaller_than_inner_is_raised() {
+        // Exclusive-cache hosts can report an L2 smaller than the L1
+        // below it; inclusion repair raises it even at fanout 1.
+        let spec = spec_from_host(&[(4096, 1), (1024, 1)]).unwrap();
+        assert_eq!(spec.level(2).capacity, 4096);
+    }
 }

@@ -40,6 +40,9 @@
 //! evaluated).
 
 #![deny(unsafe_code)]
+// The syscall shim must wrap every unsafe operation in an explicit,
+// `// SAFETY:`-commented block even inside `unsafe fn`.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod chrome;

@@ -266,6 +266,10 @@ mod sys {
         attr[4..8].copy_from_slice(&128u32.to_ne_bytes());
         attr[8..16].copy_from_slice(&config.to_ne_bytes());
         attr[40..48].copy_from_slice(&0x60u64.to_ne_bytes());
+        // SAFETY: `attr` is a live, 128-byte, properly initialized
+        // perf_event_attr (size field says 128) and stays borrowed for
+        // the duration of the call; the remaining arguments are plain
+        // integers the kernel validates itself.
         let ret = unsafe {
             syscall5(
                 SYS_PERF_EVENT_OPEN,
@@ -287,6 +291,10 @@ mod sys {
     #[cfg(target_arch = "x86_64")]
     unsafe fn syscall5(n: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
         let ret: i64;
+        // SAFETY: standard x86_64 Linux syscall ABI — args in
+        // rdi/rsi/rdx/r10/r8, number in rax, return in rax; the kernel
+        // clobbers only rcx/r11, both declared. Pointer validity for
+        // any pointer-typed argument is the caller's contract.
         unsafe {
             std::arch::asm!(
                 "syscall",
@@ -307,6 +315,10 @@ mod sys {
     #[cfg(target_arch = "aarch64")]
     unsafe fn syscall5(n: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
         let ret: i64;
+        // SAFETY: standard aarch64 Linux syscall ABI — args in x0–x4,
+        // number in x8, return in x0; `svc 0` clobbers nothing else.
+        // Pointer validity for any pointer-typed argument is the
+        // caller's contract.
         unsafe {
             std::arch::asm!(
                 "svc 0",

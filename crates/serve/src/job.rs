@@ -61,6 +61,26 @@ pub enum Rejected {
     },
     /// The server is draining and accepts no new work.
     ShuttingDown,
+    /// The server is in secure mode ([`crate::ServeConfig::secure`])
+    /// and the kernel lacks an `oblivious` value-obliviousness
+    /// certificate, so its address trace is not provably
+    /// value-independent and it must not run next to secrets.
+    NotCertified {
+        /// What the loaded certificate set says about the kernel.
+        gap: CertifyGap,
+    },
+}
+
+/// Why a kernel fails the secure-mode certificate gate
+/// ([`Rejected::NotCertified`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertifyGap {
+    /// No certificate for this kernel was loaded into the server.
+    NoCertificate,
+    /// The kernel is certified `data-dependent`: the certifier holds a
+    /// concrete witness pair of equal-size inputs whose address traces
+    /// diverge, so the trace leaks information about the values.
+    DataDependent,
 }
 
 /// A successfully served job.

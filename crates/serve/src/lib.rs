@@ -43,7 +43,7 @@ mod metrics;
 mod server;
 
 pub use expose::MetricsExposition;
-pub use job::{Done, JobSpec, Kernel, Outcome, Rejected, Ticket};
+pub use job::{CertifyGap, Done, JobSpec, Kernel, Outcome, Rejected, Ticket};
 pub use metrics::{KernelSnapshot, LevelSnapshot, MetricsSnapshot};
 pub use server::{ServeConfig, Server};
 
@@ -63,6 +63,7 @@ mod tests {
                 default_deadline: Duration::from_secs(10),
                 batch_max,
                 batch_words_max: Some(4096),
+                ..ServeConfig::default()
             },
         )
     }
@@ -142,6 +143,7 @@ mod tests {
                 default_deadline: Duration::from_secs(10),
                 batch_max: 8,
                 batch_words_max: Some(4096),
+                ..ServeConfig::default()
             },
         );
         // Block the single worker behind a slow unbatchable job so the
@@ -346,6 +348,101 @@ mod tests {
         }
         let snap = server.drain();
         assert_eq!(snap.kernels[Kernel::Matmul.index()].shed_too_large, 1);
+    }
+
+    #[test]
+    fn secure_mode_gates_on_oblivious_certificates() {
+        use mo_core::certify::{Certificate, Classification, Witness};
+        use mo_core::CertificateSet;
+        // A hand-built certificate set: sort is data-dependent (as the
+        // real certifier finds), scan is oblivious, fft has no entry.
+        let cert = |kernel: &str, class: Classification| Certificate {
+            kernel: kernel.to_string(),
+            n: 256,
+            runs: 3,
+            classification: class,
+            witness: (class == Classification::DataDependent).then_some(Witness {
+                seed_a: 0,
+                seed_b: 1,
+                divergence: mo_core::certify::Divergence {
+                    kind: mo_core::certify::DivergenceKind::TraceEntry,
+                    pos: 0,
+                    a: None,
+                    b: None,
+                },
+            }),
+            declared_words: 512,
+            recorded_words: 512,
+            footprint_sound: true,
+            schedule_clean: true,
+        };
+        let set = CertificateSet {
+            certs: vec![
+                cert("scan", Classification::Oblivious),
+                cert("sort", Classification::DataDependent),
+            ],
+        };
+        let server = Server::start(
+            HwHierarchy::flat(4, 2048, 1 << 16),
+            ServeConfig {
+                workers: 1,
+                queue_cap: 16,
+                default_deadline: Duration::from_secs(10),
+                batch_max: 1,
+                batch_words_max: Some(4096),
+                secure: true,
+                certificates: Some(set),
+            },
+        );
+        // Certified oblivious: served normally.
+        assert!(server
+            .submit(JobSpec::new(Kernel::Scan, 1000, 1))
+            .unwrap()
+            .wait()
+            .is_done());
+        // Certified data-dependent: typed refusal.
+        match server.submit(JobSpec::new(Kernel::Sort, 1000, 1)) {
+            Err(Rejected::NotCertified {
+                gap: CertifyGap::DataDependent,
+            }) => {}
+            other => panic!("expected NotCertified/DataDependent, got {other:?}"),
+        }
+        // No certificate at all: typed refusal.
+        match server.submit(JobSpec::new(Kernel::Fft, 1024, 1)) {
+            Err(Rejected::NotCertified {
+                gap: CertifyGap::NoCertificate,
+            }) => {}
+            other => panic!("expected NotCertified/NoCertificate, got {other:?}"),
+        }
+        let snap = server.drain();
+        assert_eq!(snap.kernels[Kernel::Sort.index()].shed_not_certified, 1);
+        assert_eq!(snap.kernels[Kernel::Fft.index()].shed_not_certified, 1);
+        assert_eq!(snap.kernels[Kernel::Scan.index()].completed, 1);
+        assert_eq!(snap.shed_total(), 2);
+    }
+
+    #[test]
+    fn secure_mode_without_certificates_refuses_everything() {
+        let server = Server::start(
+            HwHierarchy::flat(4, 2048, 1 << 16),
+            ServeConfig {
+                workers: 1,
+                queue_cap: 16,
+                default_deadline: Duration::from_secs(10),
+                batch_max: 1,
+                batch_words_max: Some(4096),
+                secure: true,
+                certificates: None,
+            },
+        );
+        for k in Kernel::ALL {
+            match server.submit(JobSpec::new(k, 64, 0)) {
+                Err(Rejected::NotCertified {
+                    gap: CertifyGap::NoCertificate,
+                }) => {}
+                other => panic!("{k}: expected NotCertified, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub(crate) struct KernelCells {
     pub(crate) shed_queue_full: AtomicU64,
     pub(crate) shed_deadline: AtomicU64,
     pub(crate) shed_too_large: AtomicU64,
+    pub(crate) shed_not_certified: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_jobs: AtomicU64,
     pub(crate) latency: LatencyHist,
@@ -98,6 +99,7 @@ impl KernelCells {
             shed_queue_full: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
             shed_too_large: AtomicU64::new(0),
+            shed_not_certified: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
             latency: LatencyHist::new(),
@@ -180,6 +182,9 @@ pub struct KernelSnapshot {
     pub shed_deadline: u64,
     /// Jobs rejected because no cache level could ever hold them.
     pub shed_too_large: u64,
+    /// Jobs refused by the secure-mode certificate gate (the kernel
+    /// holds no `oblivious` value-obliviousness certificate).
+    pub shed_not_certified: u64,
     /// Batches executed (each ≥ 2 jobs).
     pub batches: u64,
     /// Jobs that ran inside a multi-job batch.
@@ -203,7 +208,7 @@ pub struct KernelSnapshot {
 impl KernelSnapshot {
     /// All sheds for this kernel.
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full + self.shed_deadline + self.shed_too_large
+        self.shed_queue_full + self.shed_deadline + self.shed_too_large + self.shed_not_certified
     }
 
     /// Recorded latency samples.
@@ -298,6 +303,7 @@ impl MetricsSnapshot {
                     shed_queue_full: c.shed_queue_full.load(Ordering::Relaxed),
                     shed_deadline,
                     shed_too_large: c.shed_too_large.load(Ordering::Relaxed),
+                    shed_not_certified: c.shed_not_certified.load(Ordering::Relaxed),
                     batches: c.batches.load(Ordering::Relaxed),
                     batched_jobs: c.batched_jobs.load(Ordering::Relaxed),
                     p50_ms: quantile_ms(&hist, 0.50),
@@ -377,6 +383,9 @@ impl MetricsSnapshot {
                     shed_queue_full: now.shed_queue_full.saturating_sub(old.shed_queue_full),
                     shed_deadline: now.shed_deadline.saturating_sub(old.shed_deadline),
                     shed_too_large: now.shed_too_large.saturating_sub(old.shed_too_large),
+                    shed_not_certified: now
+                        .shed_not_certified
+                        .saturating_sub(old.shed_not_certified),
                     batches: now.batches.saturating_sub(old.batches),
                     batched_jobs: now.batched_jobs.saturating_sub(old.batched_jobs),
                     p50_ms: quantile_ms(&buckets, 0.50),
@@ -466,6 +475,7 @@ impl MetricsSnapshot {
                 ("queue_full", k.shed_queue_full),
                 ("deadline", k.shed_deadline),
                 ("too_large", k.shed_too_large),
+                ("not_certified", k.shed_not_certified),
             ] {
                 w.sample_u64(
                     "moserve_jobs_shed_total",
@@ -681,13 +691,14 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "{:<10} {:>9} {:>9} {:>6} {:>8} {:>7} {:>7} {:>9} {:>9}",
+            "{:<10} {:>9} {:>9} {:>6} {:>8} {:>7} {:>8} {:>7} {:>9} {:>9}",
             "kernel",
             "submitted",
             "completed",
             "shed",
             "deadline",
             "toobig",
+            "uncert",
             "batches",
             "p50 ms",
             "p99 ms"
@@ -702,13 +713,14 @@ impl std::fmt::Display for MetricsSnapshot {
             };
             writeln!(
                 f,
-                "{:<10} {:>9} {:>9} {:>6} {:>8} {:>7} {:>7} {:>9} {:>9}",
+                "{:<10} {:>9} {:>9} {:>6} {:>8} {:>7} {:>8} {:>7} {:>9} {:>9}",
                 k.kernel.name(),
                 k.submitted,
                 k.completed,
                 k.shed_queue_full,
                 k.shed_deadline,
                 k.shed_too_large,
+                k.shed_not_certified,
                 k.batches,
                 fmt_q(k.p50_ms),
                 fmt_q(k.p99_ms),

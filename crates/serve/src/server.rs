@@ -54,6 +54,15 @@ pub struct ServeConfig {
     /// batched; `None` uses the L1 capacity (the paper's "small task"
     /// regime where CGC⇒SB expansion pays off).
     pub batch_words_max: Option<usize>,
+    /// Secure serving mode (`--secure`): refuse every kernel that does
+    /// not hold an `oblivious` certificate in [`Self::certificates`]
+    /// with the typed [`Rejected::NotCertified`] reason. Off by
+    /// default.
+    pub secure: bool,
+    /// Value-obliviousness certificates (the `mo_certify` artifact,
+    /// loaded via [`mo_core::CertificateSet::from_json_str`]) consulted
+    /// by secure mode. `None` with `secure` refuses everything.
+    pub certificates: Option<mo_core::CertificateSet>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +73,8 @@ impl Default for ServeConfig {
             default_deadline: Duration::from_secs(5),
             batch_max: 16,
             batch_words_max: None,
+            secure: false,
+            certificates: None,
         }
     }
 }
@@ -223,6 +234,26 @@ impl Server {
         let sh = &self.shared;
         let footprint = footprint_words(spec.kernel, spec.n);
         let cells = sh.metrics.kernel(spec.kernel);
+        // The secure gate is checked first: certification is a static
+        // property of the kernel, independent of load or size.
+        if sh.cfg.secure {
+            let cert = sh
+                .cfg
+                .certificates
+                .as_ref()
+                .and_then(|set| set.get(spec.kernel.name()));
+            let gap = match cert {
+                None => Some(crate::job::CertifyGap::NoCertificate),
+                Some(c) if c.classification != mo_core::Classification::Oblivious => {
+                    Some(crate::job::CertifyGap::DataDependent)
+                }
+                Some(_) => None,
+            };
+            if let Some(gap) = gap {
+                cells.shed_not_certified.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejected::NotCertified { gap });
+            }
+        }
         let hier = sh.pool.hierarchy();
         if hier.anchor_level(footprint).is_none() {
             cells.shed_too_large.fetch_add(1, Ordering::Relaxed);

@@ -17,6 +17,7 @@ fn tiny_server() -> Server {
             default_deadline: Duration::from_millis(250),
             batch_max: 4,
             batch_words_max: Some(1 << 14),
+            ..ServeConfig::default()
         },
     )
 }
