@@ -1,0 +1,434 @@
+//! Launch a real multi-process D-BSP fleet and check it against the
+//! simulator.
+//!
+//! ```text
+//! cargo run --release -p mo-bench --bin mo_dist -- [flags]
+//!
+//!   --smoke        bounded CI run (small sizes, 4 workers)
+//!   --workers W    fleet size, a power of two          [default 4]
+//!   --sort-n N     distributed sort size (N PEs)       [default 1024]
+//!   --ngep-n N     N-GEP matrix side                   [default 32]
+//!   --kappa K      N-GEP block side                    [default 4]
+//!   --out FILE     write the merged fleet /metrics artifact here
+//!
+//!   worker --index I --workers W --coord ADDR
+//!                  internal: run one shard process (the parent
+//!                  re-execs itself with this subcommand)
+//! ```
+//!
+//! The parent binds the router, re-execs itself `W` times as `worker`
+//! processes, and drives both network-oblivious kernels across the
+//! fleet. For each kernel it re-runs the identical driver on the
+//! in-process `NoMachine` and asserts:
+//!
+//! - bit-identical outputs (FNV checksum over the assembled words);
+//! - identical per-superstep traffic signatures;
+//! - socket words per D-BSP cluster level equal to the words the
+//!   simulator's signature implies for a `W`-processor machine;
+//!
+//! then reports measured words-per-superstep against the analytic
+//! M(p, B) communication complexity H(n, p, B), scrapes the merged
+//! fleet `/metrics` view over HTTP, and exits non-zero on any
+//! divergence — so the smoke run doubles as the end-to-end assertion
+//! in CI.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command};
+
+use mo_dist::{pair_level, DistOutcome, Partition, Router, WorkerConfig};
+use no_framework::algs::{ngep, sort};
+use no_framework::NoMachine;
+
+struct Args {
+    smoke: bool,
+    workers: usize,
+    sort_n: usize,
+    ngep_n: usize,
+    kappa: usize,
+    out: Option<String>,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("mo_dist: {err}");
+    eprintln!(
+        "usage: mo_dist [--smoke] [--workers W] [--sort-n N] [--ngep-n N] [--kappa K] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut args = Args {
+        smoke: false,
+        workers: 4,
+        sort_n: 1024,
+        ngep_n: 32,
+        kappa: 4,
+        out: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                .clone()
+        };
+        match flag.as_str() {
+            "--smoke" => {
+                args.smoke = true;
+                args.sort_n = 256;
+                args.ngep_n = 16;
+            }
+            "--workers" => {
+                args.workers = val("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --workers"))
+            }
+            "--sort-n" => {
+                args.sort_n = val("--sort-n")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --sort-n"))
+            }
+            "--ngep-n" => {
+                args.ngep_n = val("--ngep-n")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --ngep-n"))
+            }
+            "--kappa" => {
+                args.kappa = val("--kappa")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --kappa"))
+            }
+            "--out" => args.out = Some(val("--out")),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if !args.workers.is_power_of_two() {
+        usage("--workers must be a power of two");
+    }
+    args
+}
+
+/// The `worker` subcommand: one shard process.
+fn run_worker_proc(argv: &[String]) -> ! {
+    let (mut index, mut workers, mut coord) = (None, None, None);
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let v = it
+            .next()
+            .unwrap_or_else(|| usage("worker flag needs a value"));
+        match flag.as_str() {
+            "--index" => index = v.parse().ok(),
+            "--workers" => workers = v.parse().ok(),
+            "--coord" => coord = Some(v.clone()),
+            other => usage(&format!("unknown worker flag {other}")),
+        }
+    }
+    let (Some(index), Some(workers), Some(coord)) = (index, workers, coord) else {
+        usage("worker needs --index, --workers, --coord");
+    };
+    match mo_dist::run_worker(WorkerConfig::new(index, workers, coord)) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("worker {index}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn spawn_fleet(workers: usize) -> (Router, Vec<Child>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
+    let coord = listener.local_addr().expect("router addr").to_string();
+    let exe = std::env::current_exe().expect("current_exe");
+    let children: Vec<Child> = (0..workers)
+        .map(|i| {
+            Command::new(&exe)
+                .args([
+                    "worker",
+                    "--index",
+                    &i.to_string(),
+                    "--workers",
+                    &workers.to_string(),
+                    "--coord",
+                    &coord,
+                ])
+                .spawn()
+                .expect("spawn worker process")
+        })
+        .collect();
+    let router = Router::accept_fleet(&listener, workers).expect("fleet bootstrap");
+    (router, children)
+}
+
+/// Plain HTTP GET (loopback, one shot).
+fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut s = TcpStream::connect(addr)?;
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf)?;
+    let body = buf
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    if !buf.starts_with("HTTP/1.1 200") {
+        return Err(std::io::Error::other(format!(
+            "GET {path}: {}",
+            buf.lines().next().unwrap_or("no response")
+        )));
+    }
+    Ok(body)
+}
+
+/// Map the simulator's PE-level signature onto `W` workers: total
+/// cross-worker words per D-BSP cluster level — what the sockets must
+/// carry if the tier is faithful.
+fn expected_socket_words(sig: &[Vec<(u32, u32, u64)>], n_pes: usize, workers: usize) -> Vec<u64> {
+    let part = Partition::new(n_pes, workers);
+    let levels = workers.trailing_zeros() as usize;
+    let mut per_level = vec![0u64; levels.max(1)];
+    for rows in sig {
+        for &(s, d, w) in rows {
+            let (sw, dw) = (part.owner(s as usize), part.owner(d as usize));
+            if sw != dw {
+                per_level[pair_level(sw, dw, workers)] += w;
+            }
+        }
+    }
+    per_level
+}
+
+/// Per-superstep cross-worker word totals (machine-wide), for the
+/// words-per-superstep report.
+fn words_per_superstep(sig: &[Vec<(u32, u32, u64)>], n_pes: usize, workers: usize) -> Vec<u64> {
+    let part = Partition::new(n_pes, workers);
+    sig.iter()
+        .map(|rows| {
+            rows.iter()
+                .filter(|&&(s, d, _)| part.owner(s as usize) != part.owner(d as usize))
+                .map(|&(_, _, w)| w)
+                .sum()
+        })
+        .collect()
+}
+
+struct Verdict {
+    label: String,
+    ok: bool,
+    report: String,
+}
+
+fn check_kernel(
+    label: &str,
+    sim: &NoMachine,
+    sim_out: &[u64],
+    got: &DistOutcome,
+    n_pes: usize,
+    workers: usize,
+) -> Verdict {
+    let sig = sim.traffic_signature();
+    let mut problems = Vec::new();
+    if got.output != sim_out {
+        problems.push("output words diverge".to_string());
+    }
+    if got.supersteps != sim.supersteps() {
+        problems.push(format!(
+            "supersteps: fleet {} vs sim {}",
+            got.supersteps,
+            sim.supersteps()
+        ));
+    }
+    if got.signature != sig {
+        let at = got
+            .signature
+            .iter()
+            .zip(&sig)
+            .position(|(a, b)| a != b)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "length".into());
+        problems.push(format!("traffic signature diverges at superstep {at}"));
+    }
+    let expect_socket = expected_socket_words(&sig, n_pes, workers);
+    if got.socket_words_per_level != expect_socket {
+        problems.push(format!(
+            "socket words per level {:?} != signature-implied {:?}",
+            got.socket_words_per_level, expect_socket
+        ));
+    }
+    // The analytic bound: H(n, p, B) on M(W, B), words-measure (B = 1)
+    // and one blocked size, vs the measured per-superstep maxima.
+    let h_words = sim
+        .try_communication_complexity(workers, 1)
+        .expect("valid M(p,1)");
+    let h_blocked = sim
+        .try_communication_complexity(workers, 32)
+        .expect("valid M(p,32)");
+    let wps = words_per_superstep(&sig, n_pes, workers);
+    let busiest = wps.iter().copied().max().unwrap_or(0);
+    let total_socket: u64 = got.socket_words_per_level.iter().sum();
+    let report = format!(
+        "{label}: {} supersteps, {} socket words by level {:?}\n\
+         {label}: words/superstep total={} max={} mean={:.1}\n\
+         {label}: analytic H(n,p=W,B=1)={h_words} blocks, H(n,p=W,B=32)={h_blocked} blocks",
+        got.supersteps,
+        total_socket,
+        got.socket_words_per_level,
+        wps.iter().sum::<u64>(),
+        busiest,
+        wps.iter().sum::<u64>() as f64 / wps.len().max(1) as f64,
+    );
+    Verdict {
+        label: label.to_string(),
+        ok: problems.is_empty(),
+        report: if problems.is_empty() {
+            report
+        } else {
+            format!("{report}\n{label}: FAILED: {}", problems.join("; "))
+        },
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("worker") {
+        run_worker_proc(&argv[1..]);
+    }
+    let args = parse_args(&argv);
+    let seed = 0x5eed;
+
+    println!(
+        "mo_dist: spawning {} worker processes (sort n={}, ngep n={} kappa={})",
+        args.workers, args.sort_n, args.ngep_n, args.kappa
+    );
+    let (router, mut children) = spawn_fleet(args.workers);
+    let metrics = router
+        .serve_fleet_metrics("127.0.0.1:0")
+        .expect("fleet metrics endpoint");
+
+    let mut verdicts = Vec::new();
+
+    // Distributed NO sort vs simulator.
+    {
+        let input = mo_dist::data::sort_input(args.sort_n, seed);
+        let mut sim = NoMachine::new(args.sort_n);
+        sort::sort_program(&mut sim, &input);
+        let sim_out: Vec<u64> = (0..args.sort_n).map(|pe| sim.mem(pe)[0]).collect();
+        let got = router.run_sort(args.sort_n, seed).expect("fleet sort");
+        verdicts.push(check_kernel(
+            "no_sort",
+            &sim,
+            &sim_out,
+            &got,
+            args.sort_n,
+            args.workers,
+        ));
+    }
+
+    // Distributed N-GEP (Floyd–Warshall) vs simulator.
+    {
+        let (n, kappa) = (args.ngep_n, args.kappa);
+        let input = mo_dist::data::ngep_input(n, seed);
+        let nb = n / kappa;
+        let mut sim = NoMachine::new(nb * nb);
+        ngep::ngep_program_on(
+            &mut sim,
+            &input,
+            n,
+            kappa,
+            mo_dist::data::fw_update,
+            ngep::UpdateSet::All,
+            ngep::DOrder::DStar,
+        );
+        let mut sim_out = vec![0u64; n * n];
+        for bi in 0..nb {
+            for bj in 0..nb {
+                let block = sim.mem(ngep::morton(bi, bj));
+                for i in 0..kappa {
+                    for j in 0..kappa {
+                        sim_out[(bi * kappa + i) * n + bj * kappa + j] = block[i * kappa + j];
+                    }
+                }
+            }
+        }
+        let got = router.run_ngep(n, kappa, seed).expect("fleet ngep");
+        verdicts.push(check_kernel(
+            "ngep",
+            &sim,
+            &sim_out,
+            &got,
+            nb * nb,
+            args.workers,
+        ));
+    }
+
+    for v in &verdicts {
+        println!("{}", v.report);
+    }
+
+    // The merged fleet view over HTTP, with per-shard sanity checks.
+    let fleet_text = http_get(&metrics.addr().to_string(), "/metrics").expect("scrape fleet view");
+    let mut metrics_ok = true;
+    for shard in 0..args.workers {
+        let needle = format!("shard=\"{shard}\"");
+        if !fleet_text.contains(&needle) {
+            eprintln!("fleet view: no samples labeled {needle}");
+            metrics_ok = false;
+        }
+    }
+    for family in [
+        "modist_fleet_workers",
+        "modist_socket_words_total",
+        "moserve_jobs_submitted_total",
+    ] {
+        if !fleet_text.contains(family) {
+            eprintln!("fleet view: missing family {family}");
+            metrics_ok = false;
+        }
+    }
+    println!(
+        "fleet view: {} lines from {} shards at http://{}/metrics{}",
+        fleet_text.lines().count(),
+        args.workers,
+        metrics.addr(),
+        if metrics_ok { "" } else { " (INCOMPLETE)" }
+    );
+
+    if let Some(path) = &args.out {
+        std::fs::write(path, &fleet_text).expect("write fleet metrics artifact");
+        println!("fleet view written to {path}");
+    }
+
+    drop(metrics);
+    router.shutdown();
+    let mut clean = true;
+    for (i, child) in children.iter_mut().enumerate() {
+        let status = child.wait().expect("wait worker");
+        if !status.success() {
+            eprintln!("worker {i} exited with {status}");
+            clean = false;
+        }
+    }
+
+    let all_ok = verdicts.iter().all(|v| v.ok) && metrics_ok && clean;
+    for v in &verdicts {
+        println!(
+            "{}: {}",
+            v.label,
+            if v.ok {
+                "sim == sockets (bit-identical)"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+    println!(
+        "mo_dist: {} worker processes, all checks passed{}",
+        args.workers,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+}

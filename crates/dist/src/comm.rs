@@ -1,0 +1,266 @@
+//! `SocketComm`: the socket-backed [`Comm`] backend.
+//!
+//! One instance lives in each worker process and owns a contiguous PE
+//! range. A superstep runs in four phases, preserving the simulator's
+//! semantics bit for bit:
+//!
+//! 1. **Compute** — the driver closure runs for every owned PE in
+//!    increasing index order over a [`Pe`] view of the local memory and
+//!    inbox (the exact view `NoMachine` hands out).
+//! 2. **Partition** — outgoing messages split into locally-delivered
+//!    and per-destination-worker buffers; cross-PE traffic is
+//!    pair-aggregated into the worker's slice of the superstep's
+//!    traffic signature.
+//! 3. **Exchange** — `W − 1` XOR rounds: in round `r`, worker `w`
+//!    exchanges exactly one length-prefixed frame with `w ⊕ r` (the
+//!    lower index sends first, so the pairing is deadlock-free without
+//!    any buffering assumption). An empty frame is the barrier: every
+//!    worker hears from every peer every superstep, so no message from
+//!    superstep `s` can arrive during `s + 1`. Each frame is stamped
+//!    with the superstep index and the pair's D-BSP cluster level
+//!    ([`pair_level`]); both are validated on receipt.
+//! 4. **Deliver** — local and remote messages merge into per-PE
+//!    inboxes, stable-sorted by source PE (within a source, send order
+//!    is preserved — frames are built by scanning source PEs in
+//!    increasing order), matching `NoMachine::step`'s delivery rule.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+
+use no_framework::{Comm, Pe};
+
+use crate::frame::{recv_data, send_data, Msg};
+use crate::topology::{num_levels, pair_level, Partition};
+
+/// The socket-backed superstep machine of one worker process.
+pub struct SocketComm<'a> {
+    part: Partition,
+    me: usize,
+    /// One TCP stream per peer worker (`None` at `me`).
+    peers: &'a mut [Option<TcpStream>],
+    /// Owned PE memories, indexed `pe - lo`.
+    mem: Vec<Vec<u64>>,
+    /// Owned PE inboxes for the current superstep.
+    inbox: Vec<Vec<(u32, u64)>>,
+    superstep: u32,
+    /// This worker's src-side traffic rows per superstep (sorted,
+    /// same-PE messages excluded).
+    traffic: Vec<Vec<Msg>>,
+    /// Payload words framed to each cluster level (sender-side).
+    socket_words_per_level: Vec<u64>,
+    ops: u64,
+}
+
+impl<'a> SocketComm<'a> {
+    /// A fresh machine for one kernel run. `peers[j]` must hold the
+    /// established stream to worker `j` for every `j != me`; streams
+    /// are borrowed so the mesh outlives the job.
+    pub fn new(part: Partition, me: usize, peers: &'a mut [Option<TcpStream>]) -> Self {
+        assert_eq!(peers.len(), part.workers);
+        assert!(me < part.workers && peers[me].is_none());
+        let share = part.share();
+        Self {
+            part,
+            me,
+            peers,
+            mem: vec![Vec::new(); share],
+            inbox: vec![Vec::new(); share],
+            superstep: 0,
+            traffic: Vec::new(),
+            socket_words_per_level: vec![0; num_levels(part.workers).max(1)],
+            ops: 0,
+        }
+    }
+
+    /// First owned PE.
+    pub fn lo(&self) -> usize {
+        self.part.range(self.me).start
+    }
+
+    /// One past the last owned PE.
+    pub fn hi(&self) -> usize {
+        self.part.range(self.me).end
+    }
+
+    /// Supersteps executed so far.
+    pub fn supersteps(&self) -> u32 {
+        self.superstep
+    }
+
+    /// Total operations charged by owned PEs.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// This worker's slice of the traffic signature (src-side rows).
+    pub fn traffic(&self) -> &[Vec<Msg>] {
+        &self.traffic
+    }
+
+    /// Sender-side payload words framed per cluster level.
+    pub fn socket_words_per_level(&self) -> &[u64] {
+        &self.socket_words_per_level
+    }
+
+    /// Consume the machine, returning the owned PE memories trimmed to
+    /// `keep` words each (the kernel's per-PE output size).
+    pub fn into_mems(mut self, keep: usize) -> Vec<Vec<u64>> {
+        for mem in &mut self.mem {
+            mem.truncate(keep);
+        }
+        self.mem
+    }
+
+    fn exchange(&mut self, mut to_peer: Vec<Vec<Msg>>) -> io::Result<Vec<Msg>> {
+        let w = self.part.workers;
+        let mut incoming = Vec::new();
+        for r in 1..w {
+            let peer = self.me ^ r;
+            let level = pair_level(self.me, peer, w) as u8;
+            let out = std::mem::take(&mut to_peer[peer]);
+            let stream = self.peers[peer]
+                .as_mut()
+                .expect("mesh stream missing for peer");
+            // The lower index of each XOR pair talks first; the higher
+            // one listens first. Every round is a perfect matching, so
+            // no cyclic wait can form regardless of frame sizes.
+            let (step, got_level, msgs) = if self.me < peer {
+                send_data(stream, self.superstep, level, &out)?;
+                recv_data(stream)?
+            } else {
+                let got = recv_data(stream)?;
+                send_data(stream, self.superstep, level, &out)?;
+                got
+            };
+            if step != self.superstep {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "worker {} got superstep {step} from {peer}, expected {}",
+                        self.me, self.superstep
+                    ),
+                ));
+            }
+            if got_level != level {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "worker {} got cluster level {got_level} from {peer}, expected {level}",
+                        self.me
+                    ),
+                ));
+            }
+            self.socket_words_per_level[level as usize] += out.len() as u64;
+            incoming.extend(msgs);
+        }
+        Ok(incoming)
+    }
+
+    /// One superstep; the fallible core [`Comm::step_dyn`] wraps.
+    ///
+    /// A transport error is unrecoverable for the job — the fleet's
+    /// supersteps are in lockstep, so a lost frame cannot be resent
+    /// without replaying the superstep — and surfaces as `Err` for the
+    /// worker loop to report on the control channel.
+    pub fn try_step(&mut self, f: &mut dyn FnMut(usize, &mut Pe<'_>)) -> io::Result<()> {
+        let (lo, hi) = (self.lo(), self.hi());
+        let n = self.part.n_pes;
+        let share = self.part.share();
+
+        // Phase 1: compute.
+        let mut outboxes: Vec<Vec<(u32, u64)>> = vec![Vec::new(); share];
+        for pe in lo..hi {
+            let i = pe - lo;
+            let mut ops = 0u64;
+            {
+                let mut ctx = Pe::new(
+                    &mut self.mem[i],
+                    &self.inbox[i],
+                    &mut outboxes[i],
+                    &mut ops,
+                    pe,
+                    n,
+                );
+                f(pe, &mut ctx);
+            }
+            self.ops += ops;
+        }
+
+        // Phase 2: partition + log. Scanning source PEs in increasing
+        // order keeps every per-peer buffer sorted by source, which the
+        // delivery merge below relies on.
+        let mut to_peer: Vec<Vec<Msg>> = vec![Vec::new(); self.part.workers];
+        let mut pair_words: HashMap<(u32, u32), u64> = HashMap::new();
+        for (i, out) in outboxes.into_iter().enumerate() {
+            let src = (lo + i) as u32;
+            for (dst, word) in out {
+                if dst != src {
+                    *pair_words.entry((src, dst)).or_insert(0) += 1;
+                }
+                to_peer[self.part.owner(dst as usize)].push((src, dst, word));
+            }
+        }
+        let mut rows: Vec<Msg> = pair_words
+            .into_iter()
+            .map(|((s, d), w)| (s, d, w))
+            .collect();
+        rows.sort_unstable();
+        self.traffic.push(rows);
+
+        // Phase 3: exchange (the barrier).
+        let local = std::mem::take(&mut to_peer[self.me]);
+        let incoming = self.exchange(to_peer)?;
+
+        // Phase 4: deliver. Local messages come first (sources in our
+        // own range were scanned in order); remote frames append theirs
+        // (each sorted by its sender's sources); the stable sort by
+        // source then reproduces NoMachine's delivery order exactly.
+        for ib in &mut self.inbox {
+            ib.clear();
+        }
+        for (src, dst, word) in local.into_iter().chain(incoming) {
+            self.inbox[dst as usize - lo].push((src, word));
+        }
+        for ib in &mut self.inbox {
+            ib.sort_by_key(|m| m.0);
+        }
+        self.superstep += 1;
+        Ok(())
+    }
+}
+
+impl Comm for SocketComm<'_> {
+    fn n_pes(&self) -> usize {
+        self.part.n_pes
+    }
+
+    fn owns(&self, pe: usize) -> bool {
+        self.part.range(self.me).contains(&pe)
+    }
+
+    fn pe_mem_mut(&mut self, pe: usize) -> Option<&mut Vec<u64>> {
+        let lo = self.lo();
+        if self.owns(pe) {
+            self.mem.get_mut(pe - lo)
+        } else {
+            None
+        }
+    }
+
+    fn pe_mem(&self, pe: usize) -> Option<&[u64]> {
+        if self.owns(pe) {
+            self.mem.get(pe - self.lo()).map(Vec::as_slice)
+        } else {
+            None
+        }
+    }
+
+    fn step_dyn(&mut self, f: &mut dyn FnMut(usize, &mut Pe<'_>)) {
+        // NO drivers are infallible by signature; a dead mesh stream is
+        // a fleet-fatal condition the worker loop turns into a control
+        // error, so panicking (and letting the process supervisor see
+        // it) is the correct failure mode mid-superstep.
+        self.try_step(f).expect("D-BSP mesh exchange failed");
+    }
+}

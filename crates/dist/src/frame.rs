@@ -1,0 +1,530 @@
+//! Length-prefixed wire framing for the D-BSP socket tier.
+//!
+//! Two message families share the same outer frame — a little-endian
+//! `u32` byte length followed by that many payload bytes:
+//!
+//! * **Data frames** (worker ↔ worker, one per peer per superstep):
+//!   `[u32 superstep][u8 level][u32 count]` then `count` messages of
+//!   `[u32 src_pe][u32 dst_pe][u64 word]`. The `level` byte is the
+//!   D-BSP cluster level of the worker pair (`log₂ W − ⌈log₂ (a⊕b)⌉`-ish;
+//!   see [`crate::topology::pair_level`]): the recursive-subnetwork
+//!   structure is stamped on every frame and validated by the
+//!   receiver. An empty frame (`count == 0`) is the superstep barrier.
+//! * **Control messages** (router ↔ worker): a one-byte tag followed by
+//!   tag-specific fields, see [`Ctl`].
+//!
+//! Everything is hand-rolled over `std::io` — no serialization
+//! dependency enters the tree.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame's payload, a defense against a corrupt
+/// or hostile length prefix (256 MiB).
+pub const MAX_FRAME: usize = 256 << 20;
+
+/// Incremental encoder for one frame payload.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Write the frame — length prefix plus payload — to `w`.
+    pub fn send(&self, w: &mut impl Write) -> io::Result<()> {
+        let len = self.buf.len() as u32;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&self.buf)?;
+        w.flush()
+    }
+}
+
+/// Cursor over one received frame payload.
+#[derive(Debug)]
+pub struct Dec {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+fn eof(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, format!("truncated {what}"))
+}
+
+impl Dec {
+    /// Read one length-prefixed frame from `r`.
+    pub fn recv(r: &mut impl Read) -> io::Result<Self> {
+        let mut len = [0u8; 4];
+        r.read_exact(&mut len)?;
+        let len = u32::from_le_bytes(len) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds cap {MAX_FRAME}"),
+            ));
+        }
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        Ok(Self { buf, pos: 0 })
+    }
+
+    /// Consume one byte.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        let v = *self.buf.get(self.pos).ok_or_else(|| eof("u8"))?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        let end = self.pos + 4;
+        let b = self.buf.get(self.pos..end).ok_or_else(|| eof("u32"))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        let end = self.pos + 8;
+        let b = self.buf.get(self.pos..end).ok_or_else(|| eof("u64"))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Consume a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let end = self.pos + len;
+        let b = self.buf.get(self.pos..end).ok_or_else(|| eof("string"))?;
+        let s = std::str::from_utf8(b)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            .to_string();
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+/// One cross-worker message: `(src_pe, dst_pe, word)`.
+pub type Msg = (u32, u32, u64);
+
+/// Send one superstep data frame (possibly empty — the barrier).
+pub fn send_data(w: &mut impl Write, superstep: u32, level: u8, msgs: &[Msg]) -> io::Result<()> {
+    let mut e = Enc::new();
+    e.u32(superstep).u8(level).u32(msgs.len() as u32);
+    for &(src, dst, word) in msgs {
+        e.u32(src).u32(dst).u64(word);
+    }
+    e.send(w)
+}
+
+/// Receive one superstep data frame: `(superstep, level, messages)`.
+pub fn recv_data(r: &mut impl Read) -> io::Result<(u32, u8, Vec<Msg>)> {
+    let mut d = Dec::recv(r)?;
+    let superstep = d.u32()?;
+    let level = d.u8()?;
+    let count = d.u32()? as usize;
+    let mut msgs = Vec::with_capacity(count);
+    for _ in 0..count {
+        msgs.push((d.u32()?, d.u32()?, d.u64()?));
+    }
+    Ok((superstep, level, msgs))
+}
+
+/// The fleet-wide distributed kernels (run across *all* shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistAlg {
+    /// N-GEP `𝒜(x,x,x,x)` with the Floyd–Warshall update, `𝒟*` order.
+    Ngep,
+    /// The column-sort-based NO sort, one key per PE.
+    Sort,
+}
+
+impl DistAlg {
+    fn code(self) -> u8 {
+        match self {
+            DistAlg::Ngep => 0,
+            DistAlg::Sort => 1,
+        }
+    }
+
+    fn from_code(c: u8) -> io::Result<Self> {
+        match c {
+            0 => Ok(DistAlg::Ngep),
+            1 => Ok(DistAlg::Sort),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown dist alg code {other}"),
+            )),
+        }
+    }
+
+    /// Stable display name (used in metrics labels and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            DistAlg::Ngep => "ngep",
+            DistAlg::Sort => "no_sort",
+        }
+    }
+}
+
+/// Per-worker result of a distributed kernel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistDone {
+    /// Supersteps executed (must agree across the fleet).
+    pub supersteps: u32,
+    /// First owned PE.
+    pub lo: u32,
+    /// One past the last owned PE.
+    pub hi: u32,
+    /// Output words per owned PE (`hi - lo` entries, trimmed to the
+    /// kernel's per-PE output size).
+    pub mems: Vec<Vec<u64>>,
+    /// This worker's src-side traffic rows per superstep, sorted
+    /// `(src, dst, words)` with same-PE messages excluded — the local
+    /// slice of the machine-wide traffic signature.
+    pub traffic: Vec<Vec<Msg>>,
+    /// Payload words actually framed to each D-BSP cluster level.
+    pub socket_words_per_level: Vec<u64>,
+    /// Local operations charged through `Pe::work`.
+    pub ops: u64,
+}
+
+/// Control messages on the router ↔ worker connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ctl {
+    /// Worker introduces itself after connecting.
+    Hello {
+        /// Worker index in `0..workers`.
+        index: u32,
+        /// Address of the worker's data-mesh listener.
+        data_addr: String,
+        /// Address of the worker's Prometheus exposition.
+        metrics_addr: String,
+    },
+    /// Router broadcasts every worker's data address (index order).
+    PeerTable {
+        /// `addrs[i]` is worker `i`'s data listener.
+        addrs: Vec<String>,
+    },
+    /// Route one single-shard kernel job to this worker's local server.
+    RunKernel {
+        /// Registry kernel name (`sort`, `fft`, …).
+        kernel: String,
+        /// Problem size.
+        n: u64,
+        /// Deterministic input seed.
+        seed: u64,
+    },
+    /// Reply to [`Ctl::RunKernel`]: checksum or a typed-shed string.
+    KernelDone {
+        /// `Ok(checksum)` or `Err(rejection)` mirroring
+        /// `mo_serve::Rejected`.
+        result: Result<u64, String>,
+    },
+    /// Run a fleet-wide distributed kernel (broadcast to all workers).
+    RunDist {
+        /// Which kernel.
+        alg: DistAlg,
+        /// Problem size (`n × n` matrix for N-GEP, key count for sort).
+        n: u64,
+        /// N-GEP block side `κ` (ignored by sort).
+        kappa: u32,
+        /// Deterministic input seed.
+        seed: u64,
+    },
+    /// Reply to [`Ctl::RunDist`].
+    DistDone(DistDone),
+    /// Ask the worker for its merged Prometheus text.
+    MetricsReq,
+    /// Reply to [`Ctl::MetricsReq`].
+    MetricsText {
+        /// The exposition document.
+        text: String,
+    },
+    /// Stop the worker process.
+    Shutdown,
+}
+
+const T_HELLO: u8 = 1;
+const T_PEERS: u8 = 2;
+const T_RUN_KERNEL: u8 = 3;
+const T_KERNEL_DONE: u8 = 4;
+const T_RUN_DIST: u8 = 5;
+const T_DIST_DONE: u8 = 6;
+const T_METRICS_REQ: u8 = 7;
+const T_METRICS_TEXT: u8 = 8;
+const T_SHUTDOWN: u8 = 9;
+
+/// Send one control message.
+pub fn send_ctl(w: &mut impl Write, msg: &Ctl) -> io::Result<()> {
+    let mut e = Enc::new();
+    match msg {
+        Ctl::Hello {
+            index,
+            data_addr,
+            metrics_addr,
+        } => {
+            e.u8(T_HELLO).u32(*index).str(data_addr).str(metrics_addr);
+        }
+        Ctl::PeerTable { addrs } => {
+            e.u8(T_PEERS).u32(addrs.len() as u32);
+            for a in addrs {
+                e.str(a);
+            }
+        }
+        Ctl::RunKernel { kernel, n, seed } => {
+            e.u8(T_RUN_KERNEL).str(kernel).u64(*n).u64(*seed);
+        }
+        Ctl::KernelDone { result } => {
+            e.u8(T_KERNEL_DONE);
+            match result {
+                Ok(sum) => e.u8(1).u64(*sum),
+                Err(reason) => e.u8(0).str(reason),
+            };
+        }
+        Ctl::RunDist {
+            alg,
+            n,
+            kappa,
+            seed,
+        } => {
+            e.u8(T_RUN_DIST)
+                .u8(alg.code())
+                .u64(*n)
+                .u32(*kappa)
+                .u64(*seed);
+        }
+        Ctl::DistDone(d) => {
+            e.u8(T_DIST_DONE)
+                .u32(d.supersteps)
+                .u32(d.lo)
+                .u32(d.hi)
+                .u64(d.ops);
+            e.u32(d.mems.len() as u32);
+            for mem in &d.mems {
+                e.u32(mem.len() as u32);
+                for &w in mem {
+                    e.u64(w);
+                }
+            }
+            e.u32(d.traffic.len() as u32);
+            for step in &d.traffic {
+                e.u32(step.len() as u32);
+                for &(s, t, words) in step {
+                    e.u32(s).u32(t).u64(words);
+                }
+            }
+            e.u32(d.socket_words_per_level.len() as u32);
+            for &w in &d.socket_words_per_level {
+                e.u64(w);
+            }
+        }
+        Ctl::MetricsReq => {
+            e.u8(T_METRICS_REQ);
+        }
+        Ctl::MetricsText { text } => {
+            e.u8(T_METRICS_TEXT).str(text);
+        }
+        Ctl::Shutdown => {
+            e.u8(T_SHUTDOWN);
+        }
+    }
+    e.send(w)
+}
+
+/// Receive one control message.
+pub fn recv_ctl(r: &mut impl Read) -> io::Result<Ctl> {
+    let mut d = Dec::recv(r)?;
+    match d.u8()? {
+        T_HELLO => Ok(Ctl::Hello {
+            index: d.u32()?,
+            data_addr: d.str()?,
+            metrics_addr: d.str()?,
+        }),
+        T_PEERS => {
+            let count = d.u32()? as usize;
+            let mut addrs = Vec::with_capacity(count);
+            for _ in 0..count {
+                addrs.push(d.str()?);
+            }
+            Ok(Ctl::PeerTable { addrs })
+        }
+        T_RUN_KERNEL => Ok(Ctl::RunKernel {
+            kernel: d.str()?,
+            n: d.u64()?,
+            seed: d.u64()?,
+        }),
+        T_KERNEL_DONE => {
+            let ok = d.u8()? == 1;
+            let result = if ok { Ok(d.u64()?) } else { Err(d.str()?) };
+            Ok(Ctl::KernelDone { result })
+        }
+        T_RUN_DIST => Ok(Ctl::RunDist {
+            alg: DistAlg::from_code(d.u8()?)?,
+            n: d.u64()?,
+            kappa: d.u32()?,
+            seed: d.u64()?,
+        }),
+        T_DIST_DONE => {
+            let supersteps = d.u32()?;
+            let lo = d.u32()?;
+            let hi = d.u32()?;
+            let ops = d.u64()?;
+            let nmems = d.u32()? as usize;
+            let mut mems = Vec::with_capacity(nmems);
+            for _ in 0..nmems {
+                let len = d.u32()? as usize;
+                let mut mem = Vec::with_capacity(len);
+                for _ in 0..len {
+                    mem.push(d.u64()?);
+                }
+                mems.push(mem);
+            }
+            let nsteps = d.u32()? as usize;
+            let mut traffic = Vec::with_capacity(nsteps);
+            for _ in 0..nsteps {
+                let rows = d.u32()? as usize;
+                let mut step = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    step.push((d.u32()?, d.u32()?, d.u64()?));
+                }
+                traffic.push(step);
+            }
+            let nlevels = d.u32()? as usize;
+            let mut socket_words_per_level = Vec::with_capacity(nlevels);
+            for _ in 0..nlevels {
+                socket_words_per_level.push(d.u64()?);
+            }
+            Ok(Ctl::DistDone(DistDone {
+                supersteps,
+                lo,
+                hi,
+                mems,
+                traffic,
+                socket_words_per_level,
+                ops,
+            }))
+        }
+        T_METRICS_REQ => Ok(Ctl::MetricsReq),
+        T_METRICS_TEXT => Ok(Ctl::MetricsText { text: d.str()? }),
+        T_SHUTDOWN => Ok(Ctl::Shutdown),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown control tag {other}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Ctl) {
+        let mut buf = Vec::new();
+        send_ctl(&mut buf, &msg).unwrap();
+        let got = recv_ctl(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        roundtrip(Ctl::Hello {
+            index: 3,
+            data_addr: "127.0.0.1:4567".into(),
+            metrics_addr: "127.0.0.1:8901".into(),
+        });
+        roundtrip(Ctl::PeerTable {
+            addrs: vec!["a:1".into(), "b:2".into()],
+        });
+        roundtrip(Ctl::RunKernel {
+            kernel: "sort".into(),
+            n: 1000,
+            seed: 7,
+        });
+        roundtrip(Ctl::KernelDone { result: Ok(42) });
+        roundtrip(Ctl::KernelDone {
+            result: Err("TooLarge".into()),
+        });
+        roundtrip(Ctl::RunDist {
+            alg: DistAlg::Ngep,
+            n: 32,
+            kappa: 4,
+            seed: 1,
+        });
+        roundtrip(Ctl::DistDone(DistDone {
+            supersteps: 2,
+            lo: 4,
+            hi: 8,
+            mems: vec![vec![1, 2], vec![], vec![3], vec![4]],
+            traffic: vec![vec![(0, 1, 5)], vec![]],
+            socket_words_per_level: vec![10, 20],
+            ops: 99,
+        }));
+        roundtrip(Ctl::MetricsReq);
+        roundtrip(Ctl::MetricsText {
+            text: "# HELP x y\n".into(),
+        });
+        roundtrip(Ctl::Shutdown);
+    }
+
+    #[test]
+    fn data_frames_roundtrip_and_empty_frames_are_barriers() {
+        let mut buf = Vec::new();
+        send_data(&mut buf, 7, 1, &[(0, 9, 123), (1, 9, 456)]).unwrap();
+        send_data(&mut buf, 8, 0, &[]).unwrap();
+        let mut r = buf.as_slice();
+        let (s, l, msgs) = recv_data(&mut r).unwrap();
+        assert_eq!((s, l), (7, 1));
+        assert_eq!(msgs, vec![(0, 9, 123), (1, 9, 456)]);
+        let (s, l, msgs) = recv_data(&mut r).unwrap();
+        assert_eq!((s, l), (8, 0));
+        assert!(msgs.is_empty());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(Dec::recv(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_a_typed_eof() {
+        let mut buf = Vec::new();
+        send_ctl(&mut buf, &Ctl::MetricsReq).unwrap();
+        buf.truncate(buf.len() - 1);
+        // The length prefix promises more bytes than arrive.
+        let mut short = buf.clone();
+        short[0] = 2; // claim 2 payload bytes, deliver 0
+        short.truncate(4);
+        assert!(Dec::recv(&mut short.as_slice()).is_err());
+    }
+}

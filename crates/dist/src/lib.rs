@@ -1,0 +1,107 @@
+//! `mo-dist`: a real multi-process D-BSP tier with network-oblivious
+//! kernels over sockets.
+//!
+//! The `no-framework` simulator executes M(N) programs in one process
+//! and *accounts* for D-BSP(P, g, B) communication analytically. This
+//! crate makes the machine real: `W` worker processes connected by a
+//! full TCP mesh form the recursive-subnetwork hierarchy (each of the
+//! `log₂ W` cluster levels halves the worker set), and the *same*
+//! kernel sources — N-GEP and the column-sort-based NO sort — run
+//! across them through the [`no_framework::Comm`] trait, one backend
+//! being the in-process [`no_framework::NoMachine`], the other
+//! [`SocketComm`].
+//!
+//! Because the kernels are network-oblivious, every worker derives the
+//! whole superstep schedule from the input size alone; the sockets
+//! carry only payload words, framed per superstep with an explicit
+//! barrier (see [`comm`]). The outputs are bit-identical to the
+//! simulator's and the per-superstep traffic signature — logged
+//! src-side by each worker and merged by the router — equals
+//! [`NoMachine::traffic_signature`](no_framework::NoMachine::traffic_signature)
+//! exactly.
+//!
+//! On top of the kernel tier sits a serving tier: each worker embeds a
+//! full `mo-serve` server (SB admission, batching, typed shedding) and
+//! a Prometheus endpoint; the [`Router`] consistent-hashes single-shard
+//! jobs over a [`HashRing`] and serves a merged fleet `/metrics` view.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod data;
+pub mod frame;
+pub mod router;
+pub mod topology;
+pub mod worker;
+
+pub use comm::SocketComm;
+pub use frame::{Ctl, DistAlg, DistDone, Msg};
+pub use router::{DistOutcome, FleetExposition, Router};
+pub use topology::{job_key, pair_level, HashRing, Partition};
+pub use worker::{run_worker, WorkerConfig};
+
+use std::io;
+use std::net::TcpListener;
+use std::thread;
+
+/// A complete local fleet: `W` workers on their own threads, talking to
+/// a connected [`Router`] over real loopback TCP — the full wire
+/// protocol without process-spawn overhead. The `mo_dist` bench binary
+/// runs the same components as separate OS processes.
+pub struct LocalFleet {
+    router: Router,
+    handles: Vec<thread::JoinHandle<io::Result<()>>>,
+}
+
+impl std::fmt::Debug for LocalFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalFleet")
+            .field("workers", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LocalFleet {
+    /// Spawn `workers` (a power of two) with default configuration.
+    pub fn spawn(workers: usize) -> io::Result<Self> {
+        Self::spawn_with(workers, |_| {})
+    }
+
+    /// Spawn `workers`, letting `configure` adjust each
+    /// [`WorkerConfig`] (hierarchy injection, serve limits) first.
+    pub fn spawn_with(
+        workers: usize,
+        mut configure: impl FnMut(&mut WorkerConfig),
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let coord = listener.local_addr()?.to_string();
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let mut cfg = WorkerConfig::new(w, workers, coord.clone());
+            configure(&mut cfg);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("mo-dist-worker-{w}"))
+                    .spawn(move || run_worker(cfg))?,
+            );
+        }
+        let router = Router::accept_fleet(&listener, workers)?;
+        Ok(Self { router, handles })
+    }
+
+    /// The connected router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Stop every worker and wait for clean exits.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.router.shutdown();
+        for h in self.handles {
+            h.join()
+                .map_err(|_| io::Error::other("worker thread panicked"))??;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,471 @@
+//! The router: fleet bootstrap, consistent-hash job routing, fleet-wide
+//! kernel orchestration, and the merged Prometheus fleet view.
+//!
+//! The router owns one control stream per shard. Single-shard jobs are
+//! consistent-hashed ([`HashRing`]) to a shard whose embedded
+//! `mo-serve` server makes the admission decision; fleet jobs broadcast
+//! to every shard, which then run the D-BSP supersteps among themselves
+//! over the data mesh while the router waits for the per-shard results
+//! and assembles output, traffic signature, and per-level socket
+//! traffic.
+
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::data;
+use crate::frame::{recv_ctl, send_ctl, Ctl, DistAlg, DistDone, Msg};
+use crate::topology::{job_key, num_levels, HashRing, Partition};
+
+/// One connected shard.
+struct Shard {
+    ctrl: TcpStream,
+    data_addr: String,
+    metrics_addr: String,
+}
+
+struct Inner {
+    shards: Vec<Shard>,
+    ring: HashRing,
+    jobs_routed: Vec<u64>,
+    dist_jobs: u64,
+}
+
+/// The assembled result of one fleet-wide kernel run.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// FNV-1a checksum of the assembled output words.
+    pub checksum: u64,
+    /// Supersteps executed (identical on every shard by construction).
+    pub supersteps: usize,
+    /// The machine-wide per-superstep traffic signature, merged from
+    /// every shard's src-side rows and sorted — directly comparable to
+    /// [`no_framework::NoMachine::traffic_signature`].
+    pub signature: Vec<Vec<Msg>>,
+    /// Assembled output words in problem order (sort keys, or the
+    /// row-major `f64` bit patterns of the N-GEP matrix).
+    pub output: Vec<u64>,
+    /// Payload words actually framed between workers, by D-BSP cluster
+    /// level, summed over senders.
+    pub socket_words_per_level: Vec<u64>,
+    /// Total PE operations charged across the fleet.
+    pub ops: u64,
+}
+
+/// The fleet front-end. All methods take `&self`; control-channel I/O
+/// is serialized through an internal lock (scrapes and jobs interleave
+/// but never interleave *within* one exchange).
+pub struct Router {
+    inner: Arc<Mutex<Inner>>,
+    workers: usize,
+}
+
+impl Router {
+    /// Accept `workers` shard registrations on `listener`, then
+    /// broadcast the peer table that lets the shards build their data
+    /// mesh. Returns once the fleet is fully connected.
+    pub fn accept_fleet(listener: &TcpListener, workers: usize) -> io::Result<Router> {
+        assert!(workers >= 1 && workers.is_power_of_two());
+        let mut slots: Vec<Option<Shard>> = (0..workers).map(|_| None).collect();
+        for _ in 0..workers {
+            let (mut ctrl, _) = listener.accept()?;
+            ctrl.set_nodelay(true)?;
+            match recv_ctl(&mut ctrl)? {
+                Ctl::Hello {
+                    index,
+                    data_addr,
+                    metrics_addr,
+                } => {
+                    let i = index as usize;
+                    if i >= workers || slots[i].is_some() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("bad or duplicate worker index {i}"),
+                        ));
+                    }
+                    slots[i] = Some(Shard {
+                        ctrl,
+                        data_addr,
+                        metrics_addr,
+                    });
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected Hello, got {other:?}"),
+                    ))
+                }
+            }
+        }
+        let mut shards: Vec<Shard> = slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect();
+        let addrs: Vec<String> = shards.iter().map(|s| s.data_addr.clone()).collect();
+        for shard in &mut shards {
+            send_ctl(
+                &mut shard.ctrl,
+                &Ctl::PeerTable {
+                    addrs: addrs.clone(),
+                },
+            )?;
+        }
+        Ok(Router {
+            inner: Arc::new(Mutex::new(Inner {
+                ring: HashRing::new(0..workers as u32, 64),
+                jobs_routed: vec![0; workers],
+                dist_jobs: 0,
+                shards,
+            })),
+            workers,
+        })
+    }
+
+    /// Fleet size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Each shard's Prometheus endpoint address (index order).
+    pub fn metrics_addrs(&self) -> Vec<String> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .shards
+            .iter()
+            .map(|s| s.metrics_addr.clone())
+            .collect()
+    }
+
+    /// Route one single-shard kernel job by consistent hash; the shard's
+    /// own SB admission accepts or sheds it. Returns the shard index and
+    /// the job's outcome (`Err` carries the shard's typed-shed name).
+    pub fn submit(
+        &self,
+        kernel: &str,
+        n: u64,
+        seed: u64,
+    ) -> io::Result<(usize, Result<u64, String>)> {
+        let mut inner = self.inner.lock().unwrap();
+        let shard = inner.ring.route(job_key(kernel, n, seed)) as usize;
+        inner.jobs_routed[shard] += 1;
+        let ctrl = &mut inner.shards[shard].ctrl;
+        send_ctl(
+            ctrl,
+            &Ctl::RunKernel {
+                kernel: kernel.to_string(),
+                n,
+                seed,
+            },
+        )?;
+        match recv_ctl(ctrl)? {
+            Ctl::KernelDone { result } => Ok((shard, result)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected KernelDone, got {other:?}"),
+            )),
+        }
+    }
+
+    fn run_dist(&self, alg: DistAlg, n: usize, kappa: usize, seed: u64) -> io::Result<DistOutcome> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.dist_jobs += 1;
+        let msg = Ctl::RunDist {
+            alg,
+            n: n as u64,
+            kappa: kappa as u32,
+            seed,
+        };
+        for shard in &mut inner.shards {
+            send_ctl(&mut shard.ctrl, &msg)?;
+        }
+        let mut dones: Vec<DistDone> = Vec::with_capacity(self.workers);
+        for shard in &mut inner.shards {
+            match recv_ctl(&mut shard.ctrl)? {
+                Ctl::DistDone(d) => dones.push(d),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected DistDone, got {other:?}"),
+                    ))
+                }
+            }
+        }
+        drop(inner);
+        assemble(alg, n, kappa, self.workers, dones)
+    }
+
+    /// Run the distributed N-GEP (Floyd–Warshall instance, `𝒟*` order)
+    /// across every shard: `(n/κ)²` PEs over `W` workers.
+    pub fn run_ngep(&self, n: usize, kappa: usize, seed: u64) -> io::Result<DistOutcome> {
+        self.run_dist(DistAlg::Ngep, n, kappa, seed)
+    }
+
+    /// Run the distributed column sort across every shard: `n` PEs,
+    /// one key each.
+    pub fn run_sort(&self, n: usize, seed: u64) -> io::Result<DistOutcome> {
+        self.run_dist(DistAlg::Sort, n, 0, seed)
+    }
+
+    /// The merged fleet Prometheus view: every shard's exposition with a
+    /// `shard` label prepended to each sample, plus the router's own
+    /// routing counters.
+    pub fn fleet_metrics(&self) -> io::Result<String> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut texts = Vec::with_capacity(inner.shards.len());
+        for shard in &mut inner.shards {
+            send_ctl(&mut shard.ctrl, &Ctl::MetricsReq)?;
+            match recv_ctl(&mut shard.ctrl)? {
+                Ctl::MetricsText { text } => texts.push(text),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected MetricsText, got {other:?}"),
+                    ))
+                }
+            }
+        }
+        let mut p = mo_obs::prom::PromText::new();
+        p.header(
+            "modist_fleet_workers",
+            "Number of connected shards.",
+            "gauge",
+        );
+        p.sample_u64("modist_fleet_workers", &[], inner.shards.len() as u64);
+        p.header(
+            "modist_jobs_routed_total",
+            "Single-shard jobs routed by consistent hash, per shard.",
+            "counter",
+        );
+        for (i, &jobs) in inner.jobs_routed.iter().enumerate() {
+            let shard = i.to_string();
+            p.sample_u64("modist_jobs_routed_total", &[("shard", &shard)], jobs);
+        }
+        p.header(
+            "modist_fleet_dist_jobs_total",
+            "Fleet-wide distributed kernel runs.",
+            "counter",
+        );
+        p.sample_u64("modist_fleet_dist_jobs_total", &[], inner.dist_jobs);
+        let mut out = p.finish();
+        for (i, text) in texts.iter().enumerate() {
+            let shard = i.to_string();
+            let samples = mo_obs::prom::parse(text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            for s in &samples {
+                let mut labels: Vec<(&str, &str)> = vec![("shard", &shard)];
+                labels.extend(s.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())));
+                let mut one = mo_obs::prom::PromText::new();
+                one.sample_f64(&s.name, &labels, s.value);
+                out.push_str(&one.finish());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serve [`fleet_metrics`](Self::fleet_metrics) over HTTP on `addr`
+    /// (`GET /metrics`, text format 0.0.4). Each scrape pulls fresh
+    /// per-shard expositions over the control channels.
+    pub fn serve_fleet_metrics(&self, addr: impl ToSocketAddrs) -> io::Result<FleetExposition> {
+        FleetExposition::bind(self.clone_handle(), addr)
+    }
+
+    fn clone_handle(&self) -> Router {
+        Router {
+            inner: Arc::clone(&self.inner),
+            workers: self.workers,
+        }
+    }
+
+    /// Stop every worker (best effort) and drop the control channels.
+    pub fn shutdown(self) {
+        let mut inner = self.inner.lock().unwrap();
+        for shard in &mut inner.shards {
+            let _ = send_ctl(&mut shard.ctrl, &Ctl::Shutdown);
+        }
+    }
+}
+
+/// Merge per-shard results into the machine-wide outcome.
+fn assemble(
+    alg: DistAlg,
+    n: usize,
+    kappa: usize,
+    workers: usize,
+    dones: Vec<DistDone>,
+) -> io::Result<DistOutcome> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let supersteps = dones[0].supersteps;
+    if dones.iter().any(|d| d.supersteps != supersteps) {
+        return Err(bad(format!(
+            "superstep counts diverged: {:?}",
+            dones.iter().map(|d| d.supersteps).collect::<Vec<_>>()
+        )));
+    }
+    let n_pes = match alg {
+        DistAlg::Ngep => (n / kappa) * (n / kappa),
+        DistAlg::Sort => n,
+    };
+    let part = Partition::new(n_pes, workers);
+    // Per-PE output words, assembled from owned ranges.
+    let mut pe_mem: Vec<&[u64]> = vec![&[]; n_pes];
+    for (w, d) in dones.iter().enumerate() {
+        let range = part.range(w);
+        if (d.lo as usize, d.hi as usize) != (range.start, range.end) || d.mems.len() != range.len()
+        {
+            return Err(bad(format!("worker {w} returned a foreign PE range")));
+        }
+        for (i, mem) in d.mems.iter().enumerate() {
+            pe_mem[range.start + i] = mem;
+        }
+    }
+    let output: Vec<u64> = match alg {
+        DistAlg::Sort => pe_mem
+            .iter()
+            .map(|m| m.first().copied().unwrap_or_default())
+            .collect(),
+        DistAlg::Ngep => {
+            // Morton blocks back to row-major element order.
+            let nb = n / kappa;
+            let mut out = vec![0u64; n * n];
+            for bi in 0..nb {
+                for bj in 0..nb {
+                    let block = pe_mem[no_framework::algs::ngep::morton(bi, bj)];
+                    for i in 0..kappa {
+                        for j in 0..kappa {
+                            out[(bi * kappa + i) * n + bj * kappa + j] = block[i * kappa + j];
+                        }
+                    }
+                }
+            }
+            out
+        }
+    };
+    // Merge traffic rows: shards hold disjoint src ranges, so the
+    // machine-wide sorted row list is the sorted concatenation.
+    let mut signature: Vec<Vec<Msg>> = vec![Vec::new(); supersteps as usize];
+    for d in &dones {
+        for (s, rows) in d.traffic.iter().enumerate() {
+            signature[s].extend_from_slice(rows);
+        }
+    }
+    for rows in &mut signature {
+        rows.sort_unstable();
+    }
+    let mut socket_words_per_level = vec![0u64; num_levels(workers).max(1)];
+    for d in &dones {
+        for (l, &w) in d.socket_words_per_level.iter().enumerate() {
+            socket_words_per_level[l] += w;
+        }
+    }
+    Ok(DistOutcome {
+        checksum: data::checksum_words(output.iter().copied()),
+        supersteps: supersteps as usize,
+        signature,
+        output,
+        socket_words_per_level,
+        ops: dones.iter().map(|d| d.ops).sum(),
+    })
+}
+
+/// How often the fleet-metrics accept loop re-checks its stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// A running fleet `/metrics` endpoint. Dropping the handle stops it.
+pub struct FleetExposition {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FleetExposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetExposition")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetExposition {
+    fn bind(router: Router, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("mo-dist-fleet-metrics".into())
+            .spawn(move || accept_loop(&listener, &router, &flag))?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for FleetExposition {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, router: &Router, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                let _ = serve_one(stream, router);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, router: &Router) -> io::Result<()> {
+    use std::io::{Read, Write};
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", String::new())
+    } else if path == "/metrics" || path == "/" {
+        match router.fleet_metrics() {
+            Ok(text) => ("200 OK", text),
+            Err(e) => ("500 Internal Server Error", e.to_string()),
+        }
+    } else {
+        ("404 Not Found", String::new())
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}

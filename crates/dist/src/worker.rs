@@ -1,0 +1,314 @@
+//! The worker (shard) process.
+//!
+//! Each worker runs a full `mo-serve` server — SB admission against its
+//! own detected (or injected) hierarchy, CGC⇒SB batching, typed
+//! shedding, Prometheus exposition — plus the D-BSP engine for
+//! fleet-wide kernels. Lifecycle:
+//!
+//! 1. connect the control channel to the router, bind the data-mesh
+//!    listener and the metrics endpoint on ephemeral ports;
+//! 2. send [`Ctl::Hello`] (index + both addresses), wait for the
+//!    router's [`Ctl::PeerTable`];
+//! 3. establish the mesh: connect to every lower-indexed peer, accept
+//!    from every higher-indexed one (one duplex TCP stream per pair,
+//!    `TCP_NODELAY`);
+//! 4. serve control messages until [`Ctl::Shutdown`].
+//!
+//! Single-shard jobs reuse `mo_serve::Server::submit` verbatim — the
+//! shard's admission decisions, queueing, and shedding are exactly the
+//! single-process service's. Fleet jobs build a fresh [`SocketComm`]
+//! over the long-lived mesh and run the *same* `no-framework` driver
+//! the simulator runs.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use mo_serve::{HwHierarchy, JobSpec, Kernel, Outcome, Rejected, ServeConfig, Server};
+use no_framework::algs::{ngep, sort};
+
+use crate::comm::SocketComm;
+use crate::data;
+use crate::frame::{recv_ctl, send_ctl, Ctl, DistAlg, DistDone};
+use crate::topology::{num_levels, Partition};
+
+/// Worker process configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// This worker's index in `0..workers`.
+    pub index: usize,
+    /// Fleet size `W` (a power of two).
+    pub workers: usize,
+    /// The router's control address.
+    pub coord: String,
+    /// Serving hierarchy; `None` detects the host.
+    pub hierarchy: Option<HwHierarchy>,
+    /// Serving configuration for the embedded `mo-serve` server.
+    pub serve: ServeConfig,
+}
+
+impl WorkerConfig {
+    /// Defaults for worker `index` of `workers` reporting to `coord`.
+    pub fn new(index: usize, workers: usize, coord: impl Into<String>) -> Self {
+        Self {
+            index,
+            workers,
+            coord: coord.into(),
+            hierarchy: None,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// Dist-side counters appended to the shard's Prometheus text.
+struct DistStats {
+    worker: usize,
+    jobs: u64,
+    supersteps: u64,
+    socket_words_per_level: Vec<u64>,
+}
+
+impl DistStats {
+    fn to_prometheus_text(&self) -> String {
+        let mut p = mo_obs::prom::PromText::new();
+        let worker = self.worker.to_string();
+        let wl: &[(&str, &str)] = &[("worker", &worker)];
+        p.header(
+            "modist_dist_jobs_total",
+            "Fleet-wide distributed kernel runs this shard took part in.",
+            "counter",
+        );
+        p.sample_u64("modist_dist_jobs_total", wl, self.jobs);
+        p.header(
+            "modist_supersteps_total",
+            "D-BSP supersteps executed by this shard.",
+            "counter",
+        );
+        p.sample_u64("modist_supersteps_total", wl, self.supersteps);
+        p.header(
+            "modist_socket_words_total",
+            "Payload words framed to peers, by D-BSP cluster level.",
+            "counter",
+        );
+        for (level, &words) in self.socket_words_per_level.iter().enumerate() {
+            let level = level.to_string();
+            p.sample_u64(
+                "modist_socket_words_total",
+                &[("worker", &worker), ("level", &level)],
+                words,
+            );
+        }
+        p.finish()
+    }
+}
+
+/// Establish the full data mesh: one duplex stream per worker pair.
+/// Worker `i` dials every `j < i` (announcing its index in a hello
+/// frame) and accepts from every `j > i`.
+fn establish_mesh(
+    index: usize,
+    addrs: &[String],
+    listener: &TcpListener,
+) -> io::Result<Vec<Option<TcpStream>>> {
+    let workers = addrs.len();
+    let mut peers: Vec<Option<TcpStream>> = (0..workers).map(|_| None).collect();
+    for (j, addr) in addrs.iter().enumerate().take(index) {
+        // Lower-indexed listeners are already bound (they sent Hello
+        // before the PeerTable went out), but their accept loop may
+        // lag; retry briefly.
+        let mut stream = None;
+        for attempt in 0..50 {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) if attempt == 49 => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let mut s = stream.expect("retry loop returned");
+        s.set_nodelay(true)?;
+        crate::frame::Enc::new().u32(index as u32).send(&mut s)?;
+        peers[j] = Some(s);
+    }
+    for _ in index + 1..workers {
+        let (mut s, _) = listener.accept()?;
+        s.set_nodelay(true)?;
+        let who = crate::frame::Dec::recv(&mut s)?.u32()? as usize;
+        if who <= index || who >= workers || peers[who].is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected mesh hello from worker {who}"),
+            ));
+        }
+        peers[who] = Some(s);
+    }
+    Ok(peers)
+}
+
+fn reject_name(r: &Rejected) -> String {
+    match r {
+        Rejected::QueueFull { .. } => "QueueFull".into(),
+        Rejected::DeadlineExpired { .. } => "DeadlineExpired".into(),
+        Rejected::TooLarge { .. } => "TooLarge".into(),
+        Rejected::ShuttingDown => "ShuttingDown".into(),
+        Rejected::NotCertified { .. } => "NotCertified".into(),
+    }
+}
+
+fn run_dist_job(
+    alg: DistAlg,
+    n: usize,
+    kappa: usize,
+    seed: u64,
+    index: usize,
+    workers: usize,
+    peers: &mut [Option<TcpStream>],
+) -> DistDone {
+    let (n_pes, keep) = match alg {
+        DistAlg::Ngep => ((n / kappa) * (n / kappa), kappa * kappa),
+        DistAlg::Sort => (n, 1),
+    };
+    let part = Partition::new(n_pes, workers);
+    let mut comm = SocketComm::new(part, index, peers);
+    match alg {
+        DistAlg::Ngep => {
+            let input = data::ngep_input(n, seed);
+            ngep::ngep_program_on(
+                &mut comm,
+                &input,
+                n,
+                kappa,
+                data::fw_update,
+                ngep::UpdateSet::All,
+                ngep::DOrder::DStar,
+            );
+        }
+        DistAlg::Sort => {
+            let input = data::sort_input(n, seed);
+            sort::sort_program(&mut comm, &input);
+        }
+    }
+    let (lo, hi) = (comm.lo() as u32, comm.hi() as u32);
+    let supersteps = comm.supersteps();
+    let traffic = comm.traffic().to_vec();
+    let socket_words_per_level = comm.socket_words_per_level().to_vec();
+    let ops = comm.ops();
+    DistDone {
+        supersteps,
+        lo,
+        hi,
+        mems: comm.into_mems(keep),
+        traffic,
+        socket_words_per_level,
+        ops,
+    }
+}
+
+/// Run one worker to completion (returns after [`Ctl::Shutdown`] or
+/// when the router hangs up).
+pub fn run_worker(cfg: WorkerConfig) -> io::Result<()> {
+    assert!(cfg.index < cfg.workers && cfg.workers.is_power_of_two());
+    let mut ctrl = TcpStream::connect(&cfg.coord)?;
+    ctrl.set_nodelay(true)?;
+    let data_listener = TcpListener::bind("127.0.0.1:0")?;
+    let hier = cfg.hierarchy.unwrap_or_else(HwHierarchy::detect);
+    let server = Server::start(hier, cfg.serve.clone());
+    let metrics = server.serve_metrics("127.0.0.1:0")?;
+    send_ctl(
+        &mut ctrl,
+        &Ctl::Hello {
+            index: cfg.index as u32,
+            data_addr: data_listener.local_addr()?.to_string(),
+            metrics_addr: metrics.addr().to_string(),
+        },
+    )?;
+    let addrs = match recv_ctl(&mut ctrl)? {
+        Ctl::PeerTable { addrs } => addrs,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected PeerTable, got {other:?}"),
+            ))
+        }
+    };
+    if addrs.len() != cfg.workers {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "peer table names {} workers, expected {}",
+                addrs.len(),
+                cfg.workers
+            ),
+        ));
+    }
+    let mut peers = establish_mesh(cfg.index, &addrs, &data_listener)?;
+    let mut stats = DistStats {
+        worker: cfg.index,
+        jobs: 0,
+        supersteps: 0,
+        socket_words_per_level: vec![0; num_levels(cfg.workers).max(1)],
+    };
+    loop {
+        let msg = match recv_ctl(&mut ctrl) {
+            Ok(m) => m,
+            // Router gone: drain and exit quietly.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Ctl::RunKernel { kernel, n, seed } => {
+                let result = match Kernel::parse(&kernel) {
+                    None => Err(format!("UnknownKernel:{kernel}")),
+                    Some(k) => match server.submit(JobSpec::new(k, n as usize, seed)) {
+                        Err(r) => Err(reject_name(&r)),
+                        Ok(ticket) => match ticket.wait() {
+                            Outcome::Done(d) => Ok(d.checksum),
+                            Outcome::Rejected(r) => Err(reject_name(&r)),
+                        },
+                    },
+                };
+                send_ctl(&mut ctrl, &Ctl::KernelDone { result })?;
+            }
+            Ctl::RunDist {
+                alg,
+                n,
+                kappa,
+                seed,
+            } => {
+                let done = run_dist_job(
+                    alg,
+                    n as usize,
+                    kappa as usize,
+                    seed,
+                    cfg.index,
+                    cfg.workers,
+                    &mut peers,
+                );
+                stats.jobs += 1;
+                stats.supersteps += done.supersteps as u64;
+                for (l, &w) in done.socket_words_per_level.iter().enumerate() {
+                    stats.socket_words_per_level[l] += w;
+                }
+                send_ctl(&mut ctrl, &Ctl::DistDone(done))?;
+            }
+            Ctl::MetricsReq => {
+                let text = format!(
+                    "{}{}",
+                    server.metrics().to_prometheus_text(),
+                    stats.to_prometheus_text()
+                );
+                send_ctl(&mut ctrl, &Ctl::MetricsText { text })?;
+            }
+            Ctl::Shutdown => break,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected control message {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,214 @@
+//! Sim-vs-socket equivalence (the tentpole's acceptance bar): the same
+//! `no-framework` kernel sources, run once on the in-process
+//! `NoMachine` and once across a real TCP fleet, must produce
+//! bit-identical outputs and *identical* per-superstep traffic
+//! signatures — the machine-level statement that the socket tier
+//! changed the transport and nothing else.
+
+use mo_dist::{DistOutcome, LocalFleet};
+use mo_serve::HwHierarchy;
+use no_framework::algs::{ngep, sort};
+use no_framework::NoMachine;
+
+const WORKERS: usize = 4;
+
+/// Per-superstep sorted `(src, dst, words)` rows.
+type Signature = Vec<Vec<(u32, u32, u64)>>;
+
+fn fleet() -> LocalFleet {
+    LocalFleet::spawn_with(WORKERS, |cfg| {
+        cfg.hierarchy = Some(HwHierarchy::flat(2, 1 << 14, 1 << 22));
+    })
+    .expect("spawn local fleet")
+}
+
+/// The simulator reference for the distributed sort: output keys and
+/// traffic signature from the identical driver.
+fn sim_sort(input: &[u64]) -> (Vec<u64>, Signature, usize) {
+    let mut m = NoMachine::new(input.len());
+    sort::sort_program(&mut m, input);
+    let out = (0..input.len()).map(|pe| m.mem(pe)[0]).collect();
+    (out, m.traffic_signature(), m.supersteps())
+}
+
+/// The simulator reference for the distributed N-GEP: row-major `f64`
+/// bit patterns assembled from Morton blocks exactly as the router
+/// assembles the fleet's.
+fn sim_ngep(n: usize, kappa: usize, seed: u64) -> (Vec<u64>, Signature, usize) {
+    let input = mo_dist::data::ngep_input(n, seed);
+    let nb = n / kappa;
+    let mut m = NoMachine::new(nb * nb);
+    ngep::ngep_program_on(
+        &mut m,
+        &input,
+        n,
+        kappa,
+        mo_dist::data::fw_update,
+        ngep::UpdateSet::All,
+        ngep::DOrder::DStar,
+    );
+    let mut out = vec![0u64; n * n];
+    for bi in 0..nb {
+        for bj in 0..nb {
+            let block = m.mem(ngep::morton(bi, bj));
+            for i in 0..kappa {
+                for j in 0..kappa {
+                    out[(bi * kappa + i) * n + bj * kappa + j] = block[i * kappa + j];
+                }
+            }
+        }
+    }
+    (out, m.traffic_signature(), m.supersteps())
+}
+
+fn assert_outcome_matches(
+    label: &str,
+    got: &DistOutcome,
+    out: &[u64],
+    sig: &[Vec<(u32, u32, u64)>],
+    supersteps: usize,
+) {
+    assert_eq!(got.supersteps, supersteps, "{label}: superstep count");
+    assert_eq!(got.output, out, "{label}: output words");
+    assert_eq!(
+        got.checksum,
+        mo_dist::data::checksum_words(out.iter().copied()),
+        "{label}: checksum"
+    );
+    assert_eq!(got.signature.len(), sig.len(), "{label}: signature length");
+    for (s, (a, b)) in got.signature.iter().zip(sig).enumerate() {
+        assert_eq!(a, b, "{label}: traffic rows diverge at superstep {s}");
+    }
+}
+
+/// Satellite: NO sort over sockets is bit-identical to the simulator —
+/// same outputs, same per-superstep signature — at three input sizes.
+#[test]
+fn sort_socket_matches_simulator_at_three_sizes() {
+    let fleet = fleet();
+    for (n, seed) in [(16usize, 11u64), (64, 12), (256, 13)] {
+        let input = mo_dist::data::sort_input(n, seed);
+        let (out, sig, steps) = sim_sort(&input);
+        // The kernel really sorts (independent ground truth).
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        assert_eq!(out, expect, "simulator output is not sorted (n={n})");
+
+        let got = fleet.router().run_sort(n, seed).expect("fleet sort");
+        assert_outcome_matches(&format!("sort n={n}"), &got, &out, &sig, steps);
+    }
+    fleet.shutdown().expect("clean shutdown");
+}
+
+/// Satellite: N-GEP (Floyd–Warshall instance, `𝒟*` order) over sockets
+/// is bit-identical to the simulator at three problem shapes.
+#[test]
+fn ngep_socket_matches_simulator_at_three_sizes() {
+    let fleet = fleet();
+    for (n, kappa, seed) in [(8usize, 2usize, 21u64), (16, 4, 22), (16, 2, 23)] {
+        let (out, sig, steps) = sim_ngep(n, kappa, seed);
+        let got = fleet.router().run_ngep(n, kappa, seed).expect("fleet ngep");
+        assert_outcome_matches(
+            &format!("ngep n={n} kappa={kappa}"),
+            &got,
+            &out,
+            &sig,
+            steps,
+        );
+    }
+    fleet.shutdown().expect("clean shutdown");
+}
+
+/// The signature is *network-oblivious* end to end: same size, two
+/// different seeds, identical traffic over the real sockets.
+#[test]
+fn socket_signature_depends_only_on_input_size() {
+    let fleet = fleet();
+    let a = fleet.router().run_sort(64, 1).expect("sort seed 1");
+    let b = fleet.router().run_sort(64, 2).expect("sort seed 2");
+    assert_ne!(a.output, b.output, "different seeds, different data");
+    assert_eq!(a.signature, b.signature, "signature must ignore values");
+    assert_eq!(
+        a.socket_words_per_level, b.socket_words_per_level,
+        "socket traffic per cluster level must ignore values"
+    );
+    fleet.shutdown().expect("clean shutdown");
+}
+
+/// Single-shard jobs route deterministically over the consistent-hash
+/// ring and come back with the shard's own serve-tier verdict.
+#[test]
+fn kernel_jobs_route_and_complete() {
+    let fleet = fleet();
+    let mut shards_hit = std::collections::BTreeSet::new();
+    for (kernel, n, seed) in [
+        ("sort", 1usize << 10, 5u64),
+        ("fft", 1 << 10, 6),
+        ("scan", 1 << 12, 7),
+        ("transpose", 1 << 10, 8),
+        ("matmul", 1 << 8, 9),
+        ("spmdv", 1 << 10, 10),
+    ] {
+        let (shard, result) = fleet
+            .router()
+            .submit(kernel, n as u64, seed)
+            .expect("control channel");
+        let checksum = result.unwrap_or_else(|e| panic!("{kernel} shed: {e}"));
+        shards_hit.insert(shard);
+        // Same spec re-routes to the same shard and recomputes the same
+        // checksum: routing and kernels are both deterministic.
+        let (shard2, result2) = fleet
+            .router()
+            .submit(kernel, n as u64, seed)
+            .expect("control channel");
+        assert_eq!(shard, shard2, "{kernel}: routing must be deterministic");
+        assert_eq!(result2, Ok(checksum), "{kernel}: checksum must repeat");
+    }
+    assert!(
+        shards_hit.len() > 1,
+        "six distinct jobs all hashed to one shard: {shards_hit:?}"
+    );
+    let (_, unknown) = fleet.router().submit("no-such-kernel", 8, 1).unwrap();
+    assert_eq!(unknown, Err("UnknownKernel:no-such-kernel".into()));
+    fleet.shutdown().expect("clean shutdown");
+}
+
+/// The merged fleet view carries every shard's serve metrics re-labeled
+/// with `shard`, the dist-tier counters, and the router's own counters.
+#[test]
+fn fleet_metrics_merge_all_shards() {
+    let fleet = fleet();
+    fleet.router().run_sort(64, 3).expect("fleet sort");
+    let (_, r) = fleet.router().submit("sort", 512, 4).expect("submit");
+    r.expect("kernel accepted");
+    let text = fleet.router().fleet_metrics().expect("fleet metrics");
+    let samples = mo_obs::prom::parse(&text).expect("fleet view parses");
+    for shard in 0..WORKERS {
+        let shard = shard.to_string();
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "modist_dist_jobs_total" && s.label("shard") == Some(&shard)),
+            "missing dist counters for shard {shard}"
+        );
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name.starts_with("moserve_") && s.label("shard") == Some(&shard)),
+            "missing serve metrics for shard {shard}"
+        );
+    }
+    let routed: f64 = samples
+        .iter()
+        .filter(|s| s.name == "modist_jobs_routed_total")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(routed, 1.0, "router counts the routed job");
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "modist_fleet_workers" && s.value == WORKERS as f64),
+        "fleet gauge missing"
+    );
+    fleet.shutdown().expect("clean shutdown");
+}

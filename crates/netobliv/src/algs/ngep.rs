@@ -30,7 +30,7 @@
 
 use std::collections::HashMap;
 
-use crate::NoMachine;
+use crate::{Comm, NoMachine};
 
 /// The GEP update function (as in the MO side; kept as a plain `fn` so
 /// schedules stay `Copy`).
@@ -186,8 +186,8 @@ fn stages(fun: Fun, order: DOrder) -> Vec<Vec<Spec>> {
     }
 }
 
-struct Engine<'m> {
-    m: &'m mut NoMachine,
+struct Engine<'m, C: Comm> {
+    m: &'m mut C,
     kappa: usize,
     bsz: usize,
     f: GepF,
@@ -195,7 +195,7 @@ struct Engine<'m> {
     order: DOrder,
 }
 
-impl Engine<'_> {
+impl<C: Comm> Engine<'_, C> {
     /// Execute all `calls` (same family, same size) in lock-step.
     fn run_level(&mut self, calls: Vec<Call>) {
         let calls: Vec<Call> = calls
@@ -393,8 +393,10 @@ impl CallExt for Call {
     }
 }
 
-/// Morton (bit-interleaved) index of block `(bi, bj)`.
-fn morton(bi: usize, bj: usize) -> usize {
+/// Morton (bit-interleaved) index of block `(bi, bj)` — the PE owning
+/// that `κ × κ` block. Public so distributed backends can assemble a
+/// full matrix from per-PE block memories.
+pub fn morton(bi: usize, bj: usize) -> usize {
     let mut z = 0usize;
     for bit in 0..usize::BITS as usize / 2 {
         z |= ((bi >> bit) & 1) << (2 * bit + 1);
@@ -403,12 +405,14 @@ fn morton(bi: usize, bj: usize) -> usize {
     z
 }
 
-fn load_blocks(m: &mut NoMachine, data: &[f64], n: usize, kappa: usize, off: usize) {
+fn load_blocks<C: Comm>(m: &mut C, data: &[f64], n: usize, kappa: usize, off: usize) {
     let nb = n / kappa;
     for bi in 0..nb {
         for bj in 0..nb {
             let pe = morton(bi, bj);
-            let mem = m.mem_mut(pe);
+            let Some(mem) = m.pe_mem_mut(pe) else {
+                continue;
+            };
             if mem.len() < off + kappa * kappa {
                 mem.resize(off + kappa * kappa, 0);
             }
@@ -445,27 +449,33 @@ fn frame_words(npes: usize, bsz: usize) -> usize {
     bsz * (1 + 3 * depth)
 }
 
-/// Run the full N-GEP computation `𝒜(x, x, x, x)` on M((n/κ)²), the
-/// matrix distributed in `κ × κ` Morton-ordered blocks. Returns the
-/// machine (for cost evaluation) and the transformed matrix.
-pub fn ngep_program(
+/// Run the full N-GEP computation `𝒜(x, x, x, x)` on an arbitrary
+/// [`Comm`] backend with `(n/κ)²` PEs, the matrix distributed in
+/// `κ × κ` Morton-ordered blocks. Loads the input into owned PEs and
+/// executes every superstep; output collection is the caller's (each
+/// owned PE's first `κ²` memory words are its finished block, in
+/// row-major order, at the PE index [`morton`]`(bi, bj)`).
+pub fn ngep_program_on<C: Comm>(
+    m: &mut C,
     data: &[f64],
     n: usize,
     kappa: usize,
     f: GepF,
     sigma: UpdateSet,
     order: DOrder,
-) -> (NoMachine, Vec<f64>) {
+) {
     assert!(n.is_power_of_two() && kappa.is_power_of_two() && kappa <= n);
     assert_eq!(data.len(), n * n);
     let nb = n / kappa;
     let npes = nb * nb;
     let bsz = kappa * kappa;
-    let mut m = NoMachine::new(npes);
-    load_blocks(&mut m, data, n, kappa, 0);
+    assert_eq!(m.n_pes(), npes, "backend must expose (n/kappa)^2 PEs");
+    load_blocks(m, data, n, kappa, 0);
     for pe in 0..npes {
         let need = frame_words(npes, bsz);
-        m.mem_mut(pe).resize(need, 0);
+        if let Some(mem) = m.pe_mem_mut(pe) {
+            mem.resize(need, 0);
+        }
     }
     let region = Region {
         base: 0,
@@ -487,7 +497,7 @@ pub fn ngep_program(
         src: [(0, usize::MAX); 3],
     };
     let mut eng = Engine {
-        m: &mut m,
+        m,
         kappa,
         bsz,
         f,
@@ -495,6 +505,22 @@ pub fn ngep_program(
         order,
     };
     eng.run_level(vec![root]);
+}
+
+/// Run the full N-GEP computation `𝒜(x, x, x, x)` on M((n/κ)²), the
+/// matrix distributed in `κ × κ` Morton-ordered blocks. Returns the
+/// machine (for cost evaluation) and the transformed matrix.
+pub fn ngep_program(
+    data: &[f64],
+    n: usize,
+    kappa: usize,
+    f: GepF,
+    sigma: UpdateSet,
+    order: DOrder,
+) -> (NoMachine, Vec<f64>) {
+    let nb = n / kappa;
+    let mut m = NoMachine::new(nb * nb);
+    ngep_program_on(&mut m, data, n, kappa, f, sigma, order);
     let out = store_blocks(&m, n, kappa);
     (m, out)
 }

@@ -13,14 +13,14 @@
 //! All groups at a recursion level share supersteps (level-synchronous),
 //! so M(p,B) costs are measured with full concurrency.
 
-use crate::NoMachine;
+use crate::{Comm, NoMachine};
 
 /// Gather-sort-scatter base size.
 const BASE: usize = 32;
 
 /// One permutation superstep applied within every group in `starts`
 /// (all of size `g`): local index `t` moves to `perm(t)`.
-fn permute(m: &mut NoMachine, starts: &[usize], g: usize, perm: impl Fn(usize) -> usize) {
+fn permute<C: Comm>(m: &mut C, starts: &[usize], g: usize, perm: impl Fn(usize) -> usize) {
     let mut group_of = std::collections::HashMap::new();
     for &lo in starts {
         for t in 0..g {
@@ -56,7 +56,7 @@ fn pick_s(g: usize) -> Option<usize> {
 }
 
 /// Sort every group `[lo, lo + g)` for `lo ∈ starts`, ascending.
-fn sort_groups(m: &mut NoMachine, starts: &[usize], g: usize) {
+fn sort_groups<C: Comm>(m: &mut C, starts: &[usize], g: usize) {
     if starts.is_empty() || g <= 1 {
         return;
     }
@@ -127,16 +127,28 @@ fn sort_groups(m: &mut NoMachine, starts: &[usize], g: usize) {
     }
 }
 
+/// Run the column sort on an arbitrary [`Comm`] backend with
+/// `data.len()` PEs (one key per PE, a power of two). Loads owned PEs
+/// and executes every superstep; afterwards each owned PE's memory
+/// word 0 holds its key of the ascending result.
+pub fn sort_program<C: Comm>(m: &mut C, data: &[u64]) {
+    let n = data.len().max(1);
+    assert!(n.is_power_of_two(), "pad to a power of two");
+    assert_eq!(m.n_pes(), n, "backend must expose one PE per key");
+    for (pe, &v) in data.iter().enumerate() {
+        if let Some(mem) = m.pe_mem_mut(pe) {
+            mem.clear();
+            mem.push(v);
+        }
+    }
+    sort_groups(m, &[0], n);
+}
+
 /// Sort `data` on M(n) (one key per PE, `n` a power of two). Returns the
 /// machine and the sorted keys.
 pub fn no_sort(data: &[u64]) -> (NoMachine, Vec<u64>) {
-    let n = data.len().max(1);
-    assert!(n.is_power_of_two(), "pad to a power of two");
-    let mut m = NoMachine::new(n);
-    for (pe, &v) in data.iter().enumerate() {
-        m.mem_mut(pe).push(v);
-    }
-    sort_groups(&mut m, &[0], n);
+    let mut m = NoMachine::new(data.len().max(1));
+    sort_program(&mut m, data);
     let out = (0..data.len()).map(|pe| m.mem(pe)[0]).collect();
     (m, out)
 }

@@ -1,0 +1,95 @@
+//! The [`Comm`] abstraction: one M(N) kernel source, many backends.
+//!
+//! The paper's network-oblivious claim is that an M(N) program is
+//! written once and *evaluated* on any M(p,B)/D-BSP machine. This trait
+//! makes the claim operational for execution too: an NO algorithm is a
+//! driver over an abstract superstep machine, and the same driver runs
+//! on
+//!
+//! * the in-process [`NoMachine`](crate::NoMachine) simulator (owns
+//!   every PE, executes them sequentially, logs traffic for the cost
+//!   models), and
+//! * the socket-backed D-BSP tier (`mo-dist`), where each worker
+//!   process owns a contiguous PE range and cross-worker messages
+//!   travel over real TCP connections.
+//!
+//! The contract that makes this sound: NO drivers are *deterministic
+//! functions of the input size* — every routing table they build
+//! host-side is the same on every worker — so each backend can execute
+//! the per-PE closures for just the PEs it owns and exchange the rest.
+//! Backends must preserve the simulator's delivery semantics exactly:
+//! messages sent in superstep `s` are visible in superstep `s + 1`,
+//! ordered by source PE and, within a source, in send order.
+
+use crate::machine::Pe;
+
+/// An abstract M(N) superstep machine.
+///
+/// Implementations own some subset of the `N` PEs. Memory accessors
+/// return `None` for PEs the backend does not own; drivers loading
+/// input or reading output must skip those (the owning backend handles
+/// them). [`step_dyn`](Comm::step_dyn) must invoke the closure exactly
+/// once per *owned* PE, in increasing PE order, and complete the
+/// machine-wide exchange before returning.
+pub trait Comm {
+    /// Total number of PEs `N` (machine-wide, not just owned).
+    fn n_pes(&self) -> usize;
+
+    /// Whether this backend owns `pe`'s memory and execution.
+    fn owns(&self, pe: usize) -> bool;
+
+    /// Mutable access to an owned PE's memory (input marshalling; not
+    /// communication). `None` when the PE is owned by another backend.
+    fn pe_mem_mut(&mut self, pe: usize) -> Option<&mut Vec<u64>>;
+
+    /// Read access to an owned PE's memory (output marshalling).
+    fn pe_mem(&self, pe: usize) -> Option<&[u64]>;
+
+    /// Execute one superstep: run `f` for every owned PE in index
+    /// order, then deliver all messages (local and cross-backend) so
+    /// they are visible in the next superstep's inboxes.
+    fn step_dyn(&mut self, f: &mut dyn FnMut(usize, &mut Pe<'_>));
+
+    /// Generic convenience wrapper over [`step_dyn`](Comm::step_dyn).
+    fn step<F: FnMut(usize, &mut Pe<'_>)>(&mut self, mut f: F)
+    where
+        Self: Sized,
+    {
+        self.step_dyn(&mut f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoMachine;
+
+    /// A driver written against `Comm` behaves identically to direct
+    /// `NoMachine` use.
+    #[test]
+    fn nomachine_implements_comm() {
+        fn ring_shift<C: Comm>(m: &mut C) {
+            let n = m.n_pes();
+            for pe in 0..n {
+                if let Some(mem) = m.pe_mem_mut(pe) {
+                    mem.push(pe as u64 * 100);
+                }
+            }
+            m.step(|pe, ctx| {
+                let v = ctx.mem[0];
+                ctx.send((pe + 1) % ctx.n_pes(), v);
+            });
+            m.step(|_, ctx| {
+                let v = ctx.inbox[0].1;
+                ctx.mem.push(v);
+            });
+        }
+        let mut m = NoMachine::new(4);
+        assert!((0..4).all(|pe| m.owns(pe)));
+        ring_shift(&mut m);
+        for pe in 0..4 {
+            assert_eq!(m.pe_mem(pe).unwrap()[1], (((pe + 3) % 4) * 100) as u64);
+        }
+        assert_eq!(m.supersteps(), 2);
+    }
+}

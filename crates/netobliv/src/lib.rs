@@ -30,6 +30,8 @@
 #![warn(missing_docs)]
 
 pub mod algs;
+mod comm;
 mod machine;
 
-pub use machine::{NoMachine, Pe};
+pub use comm::Comm;
+pub use machine::{CostModelError, NoMachine, Pe};

@@ -15,6 +15,33 @@ pub struct Pe<'a> {
     n: usize,
 }
 
+impl<'a> Pe<'a> {
+    /// Construct a PE view over externally owned state.
+    ///
+    /// This is the hook for alternative [`Comm`](crate::Comm) backends
+    /// (e.g. the socket-based D-BSP tier): a backend that owns a PE's
+    /// memory and message buffers builds the same per-superstep view
+    /// the simulator hands to its closures. `ops` accumulates the
+    /// computation charged through [`Pe::work`].
+    pub fn new(
+        mem: &'a mut Vec<u64>,
+        inbox: &'a [(u32, u64)],
+        outbox: &'a mut Vec<(u32, u64)>,
+        ops: &'a mut u64,
+        pe: usize,
+        n: usize,
+    ) -> Pe<'a> {
+        Pe {
+            mem,
+            inbox,
+            outbox,
+            ops,
+            pe,
+            n,
+        }
+    }
+}
+
 impl Pe<'_> {
     /// This PE's index.
     pub fn id(&self) -> usize {
@@ -51,6 +78,66 @@ impl Pe<'_> {
         self.inbox.iter().filter(move |m| m.0 == src).map(|m| m.1)
     }
 }
+
+/// A malformed cost-model query: the machine parameters handed to
+/// [`NoMachine::try_communication_complexity`] or
+/// [`NoMachine::try_dbsp_time`] do not describe a valid M(p,B)/D-BSP
+/// instance.
+///
+/// The unchecked variants ([`NoMachine::communication_complexity`],
+/// [`NoMachine::dbsp_time`]) panic on these conditions; benches and
+/// services evaluating user- or config-supplied parameters should use
+/// the `try_` forms and surface the error instead of dying mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostModelError {
+    /// `p == 0`: there is no zero-processor machine.
+    ZeroProcessors,
+    /// `B == 0`: blocks must hold at least one word.
+    ZeroBlockSize {
+        /// Index of the offending entry in the `b` vector (0 for the
+        /// scalar M(p,B) query).
+        level: usize,
+    },
+    /// D-BSP requires `p` to be a power of two (clusters halve).
+    NotPowerOfTwo {
+        /// The offending processor count.
+        p: usize,
+    },
+    /// `g`/`b` must each carry one entry per cluster level, `log₂ p`.
+    LengthMismatch {
+        /// Required length, `log₂ p`.
+        expected: usize,
+        /// Supplied `g.len()`.
+        g_len: usize,
+        /// Supplied `b.len()`.
+        b_len: usize,
+    },
+}
+
+impl std::fmt::Display for CostModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CostModelError::ZeroProcessors => write!(f, "p must be >= 1"),
+            CostModelError::ZeroBlockSize { level } => {
+                write!(f, "block size B must be >= 1 (level {level})")
+            }
+            CostModelError::NotPowerOfTwo { p } => {
+                write!(f, "D-BSP processor count must be a power of two, got {p}")
+            }
+            CostModelError::LengthMismatch {
+                expected,
+                g_len,
+                b_len,
+            } => write!(
+                f,
+                "D-BSP parameter vectors must have log2(p) = {expected} entries, \
+                 got g.len() = {g_len}, b.len() = {b_len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CostModelError {}
 
 /// Per-superstep log: pair-aggregated traffic and per-PE op counts
 /// (sparse).
@@ -104,6 +191,10 @@ impl NoMachine {
     /// Execute one superstep: `f(pe, ctx)` runs for every PE; messages
     /// sent become visible in the next superstep.
     pub fn step<F: FnMut(usize, &mut Pe<'_>)>(&mut self, mut f: F) {
+        self.step_impl(&mut f);
+    }
+
+    fn step_impl(&mut self, f: &mut dyn FnMut(usize, &mut Pe<'_>)) {
         let mut outboxes: Vec<Vec<(u32, u64)>> = vec![Vec::new(); self.n];
         let mut slog = StepLog::default();
         #[allow(clippy::needless_range_loop)] // pe is also the PE id handed to f
@@ -180,8 +271,25 @@ impl NoMachine {
     /// Communication complexity on M(p, B): Σ_steps max_proc
     /// max(blocks sent, blocks received), with per-destination block
     /// packing (`⌈words/B⌉` per (src,dst) processor pair).
+    ///
+    /// Panics on `p == 0` or `b == 0`; see
+    /// [`try_communication_complexity`](Self::try_communication_complexity)
+    /// for the checked form.
     pub fn communication_complexity(&self, p: usize, b: usize) -> u64 {
-        assert!(p >= 1 && b >= 1);
+        self.try_communication_complexity(p, b)
+            .expect("invalid M(p,B) parameters")
+    }
+
+    /// Checked [`communication_complexity`](Self::communication_complexity):
+    /// returns a typed [`CostModelError`] instead of panicking on
+    /// degenerate machine parameters.
+    pub fn try_communication_complexity(&self, p: usize, b: usize) -> Result<u64, CostModelError> {
+        if p == 0 {
+            return Err(CostModelError::ZeroProcessors);
+        }
+        if b == 0 {
+            return Err(CostModelError::ZeroBlockSize { level: 0 });
+        }
         let mut total = 0u64;
         for step in &self.log {
             let mut pair: HashMap<(usize, usize), u64> = HashMap::new();
@@ -201,7 +309,7 @@ impl NoMachine {
             let h = (0..p).map(|i| sent[i].max(recv[i])).max().unwrap_or(0);
             total += h;
         }
-        total
+        Ok(total)
     }
 
     /// Computation complexity on M(p, ·): Σ_steps max_proc Σ ops of its
@@ -223,13 +331,38 @@ impl NoMachine {
     /// `P/2^i`), and charge `h_s(B_i) · g_i`.
     ///
     /// `g.len() == b.len() == log₂ P`; index 0 is the whole machine.
+    ///
+    /// Panics on non-power-of-two `p` or mis-sized `g`/`b`; see
+    /// [`try_dbsp_time`](Self::try_dbsp_time) for the checked form.
     pub fn dbsp_time(&self, p: usize, g: &[f64], b: &[usize]) -> f64 {
-        assert!(p.is_power_of_two());
+        self.try_dbsp_time(p, g, b)
+            .expect("invalid D-BSP parameters")
+    }
+
+    /// Checked [`dbsp_time`](Self::dbsp_time): returns a typed
+    /// [`CostModelError`] instead of panicking when `p` is not a power
+    /// of two, `g`/`b` do not carry `log₂ p` entries, or a block size
+    /// is zero.
+    pub fn try_dbsp_time(&self, p: usize, g: &[f64], b: &[usize]) -> Result<f64, CostModelError> {
+        if p == 0 {
+            return Err(CostModelError::ZeroProcessors);
+        }
+        if !p.is_power_of_two() {
+            return Err(CostModelError::NotPowerOfTwo { p });
+        }
         let logp = p.trailing_zeros() as usize;
-        assert_eq!(g.len(), logp);
-        assert_eq!(b.len(), logp);
+        if g.len() != logp || b.len() != logp {
+            return Err(CostModelError::LengthMismatch {
+                expected: logp,
+                g_len: g.len(),
+                b_len: b.len(),
+            });
+        }
+        if let Some(level) = b.iter().position(|&bs| bs == 0) {
+            return Err(CostModelError::ZeroBlockSize { level });
+        }
         if logp == 0 {
-            return 0.0;
+            return Ok(0.0);
         }
         let mut time = 0.0;
         for step in &self.log {
@@ -271,7 +404,29 @@ impl NoMachine {
             let h = (0..p).map(|i| sent[i].max(recv[i])).max().unwrap_or(0);
             time += h as f64 * g[level];
         }
-        time
+        Ok(time)
+    }
+}
+
+impl crate::Comm for NoMachine {
+    fn n_pes(&self) -> usize {
+        self.n
+    }
+
+    fn owns(&self, pe: usize) -> bool {
+        pe < self.n
+    }
+
+    fn pe_mem_mut(&mut self, pe: usize) -> Option<&mut Vec<u64>> {
+        self.mem.get_mut(pe)
+    }
+
+    fn pe_mem(&self, pe: usize) -> Option<&[u64]> {
+        self.mem.get(pe).map(Vec::as_slice)
+    }
+
+    fn step_dyn(&mut self, f: &mut dyn FnMut(usize, &mut Pe<'_>)) {
+        self.step_impl(f);
     }
 }
 

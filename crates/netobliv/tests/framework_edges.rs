@@ -194,3 +194,72 @@ fn no_fft_energy_preserved() {
     let ef: f64 = y.iter().map(|v| v.0 * v.0 + v.1 * v.1).sum();
     assert!((ef / n as f64 - et).abs() < 1e-6 * et);
 }
+
+/// Satellite: the cost evaluators return typed errors on degenerate
+/// parameters instead of panicking — callers holding wire-supplied
+/// `p`/`g`/`b` can shed bad requests without a `catch_unwind`.
+#[test]
+fn cost_model_errors_are_typed() {
+    use no_framework::CostModelError;
+    let mut m = NoMachine::new(8);
+    m.step(|pe, ctx| {
+        if pe == 0 {
+            ctx.send(7, 1);
+        }
+    });
+
+    // M(p, B): zero processors / zero block size.
+    assert_eq!(
+        m.try_communication_complexity(0, 4),
+        Err(CostModelError::ZeroProcessors)
+    );
+    assert_eq!(
+        m.try_communication_complexity(4, 0),
+        Err(CostModelError::ZeroBlockSize { level: 0 })
+    );
+    assert_eq!(m.try_communication_complexity(4, 1), Ok(1));
+
+    // D-BSP: non-power-of-two p, then g/b arity mismatches.
+    assert_eq!(
+        m.try_dbsp_time(3, &[1.0], &[1]),
+        Err(CostModelError::NotPowerOfTwo { p: 3 })
+    );
+    assert_eq!(
+        m.try_dbsp_time(0, &[], &[]),
+        Err(CostModelError::ZeroProcessors)
+    );
+    // log2(4) = 2 levels: both vectors must carry exactly 2 entries.
+    assert_eq!(
+        m.try_dbsp_time(4, &[1.0], &[2, 2]),
+        Err(CostModelError::LengthMismatch {
+            expected: 2,
+            g_len: 1,
+            b_len: 2
+        })
+    );
+    assert_eq!(
+        m.try_dbsp_time(4, &[1.0, 1.0], &[2, 2, 2]),
+        Err(CostModelError::LengthMismatch {
+            expected: 2,
+            g_len: 2,
+            b_len: 3
+        })
+    );
+    assert_eq!(
+        m.try_dbsp_time(4, &[1.0, 1.0], &[2, 0]),
+        Err(CostModelError::ZeroBlockSize { level: 1 })
+    );
+    let t = m.try_dbsp_time(4, &[2.0, 1.0], &[1, 1]).expect("valid");
+    assert!(t > 0.0);
+    // The checked and panicking forms agree on valid input.
+    assert_eq!(t, m.dbsp_time(4, &[2.0, 1.0], &[1, 1]));
+
+    // Errors render as actionable messages.
+    let msg = CostModelError::LengthMismatch {
+        expected: 3,
+        g_len: 1,
+        b_len: 2,
+    }
+    .to_string();
+    assert!(msg.contains('3') && msg.contains("g"), "unhelpful: {msg}");
+}

@@ -24,6 +24,10 @@
 //! * [`serve`] — the serving layer: a space-bound-aware kernel service
 //!   with SB admission control, CGC⇒SB request batching, bounded-queue
 //!   backpressure and per-kernel/per-level metrics.
+//! * [`dist`] — the distributed tier: a real multi-process D-BSP over
+//!   TCP sockets running the same NO kernel sources through the `Comm`
+//!   trait, with a consistent-hash router, per-shard `mo-serve`
+//!   admission, and a merged fleet `/metrics` view.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! the per-table/figure reproduction index.
@@ -32,6 +36,7 @@ pub use hm_model as hm;
 pub use mo_algorithms as algs;
 pub use mo_baselines as baselines;
 pub use mo_core as mo;
+pub use mo_dist as dist;
 pub use mo_obs as obs;
 pub use mo_serve as serve;
 pub use no_framework as no;
