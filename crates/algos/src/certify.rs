@@ -153,8 +153,9 @@ pub fn footprint_exception(kernel: Kernel) -> Option<&'static str> {
         Kernel::Sort => Some(
             "recorded SPMS sort keeps per-level sample, pivot, count and \
              distribution arrays live (≈6n words) while the served \
-             real-machine merge sort runs in the 2n that admission \
-             control charges",
+             real-machine SPMS sort runs in the 2n + o(n) words of \
+             spms_working_set_words that admission control charges \
+             (keys + caller-owned ping-pong scratch + radix histograms)",
         ),
         _ => None,
     }

@@ -13,6 +13,12 @@
 use mo_core::rt::{Ctx, Jobs, SbPool};
 
 pub mod registry;
+pub mod spms;
+
+pub use spms::{
+    par_sort, par_sort_with_scratch, spms_sort_in_ctx, spms_working_set_words, SpmsParams,
+    SPMS_LEAF, SPMS_MAX_WAYS, SPMS_SERIAL_CUTOFF,
+};
 
 /// Parallel out-of-place matrix transposition (`n × n`, row-major):
 /// CGC-style row-band parallelism with a serial cache-oblivious recursive
@@ -357,103 +363,6 @@ fn serial_exclusive(a: &mut [u64]) {
     }
 }
 
-/// Parallel sample sort: sorted runs → pivots → per-bucket gather, with
-/// the runs and buckets both processed under `join_all`.
-pub fn par_sort(pool: &SbPool, data: &mut [u64]) {
-    let mut scratch = Vec::new();
-    par_sort_with_scratch(pool, data, &mut scratch);
-}
-
-/// [`par_sort`] with a caller-owned gather buffer, so repeated sorts of
-/// the same size reuse one allocation instead of paying a fresh
-/// `n`-element vector per call. The buffer is grown as needed and its
-/// contents on return are unspecified.
-pub fn par_sort_with_scratch(pool: &SbPool, data: &mut [u64], scratch: &mut Vec<u64>) {
-    let n = data.len();
-    if n <= 2048 {
-        data.sort_unstable();
-        return;
-    }
-    let q = pool.hierarchy().cores().max(2);
-    let run_len = n.div_ceil(q);
-    // Round 1: sort runs in parallel.
-    pool.run(|ctx| {
-        let jobs: Jobs<'_, ()> = data
-            .chunks_mut(run_len)
-            .map(|chunk| {
-                Box::new(move |_: &Ctx<'_>| chunk.sort_unstable())
-                    as Box<dyn FnOnce(&Ctx<'_>) + Send>
-            })
-            .collect();
-        ctx.join_all(2 * run_len, jobs);
-    });
-    // Pivots: regular samples across runs.
-    let mut samples = Vec::new();
-    for chunk in data.chunks(run_len) {
-        let step = (chunk.len() / 8).max(1);
-        samples.extend(chunk.iter().step_by(step).copied());
-    }
-    samples.sort_unstable();
-    let mut pivots: Vec<u64> = (1..q)
-        .map(|t| samples[(t * samples.len() / q).min(samples.len() - 1)])
-        .collect();
-    pivots.dedup();
-    // Split each sorted run at the pivots; bucket b = concatenation of
-    // each run's b-th segment, finished by a per-bucket sort.
-    let nb = pivots.len() + 1;
-    let run_bounds: Vec<(usize, usize)> = (0..data.len().div_ceil(run_len))
-        .map(|i| (i * run_len, ((i + 1) * run_len).min(n)))
-        .collect();
-    let splits: Vec<Vec<usize>> = run_bounds
-        .iter()
-        .map(|&(lo, hi)| {
-            let run = &data[lo..hi];
-            let mut pts = Vec::with_capacity(nb + 1);
-            pts.push(0usize);
-            for &p in &pivots {
-                pts.push(run.partition_point(|&v| v <= p));
-            }
-            pts.push(run.len());
-            pts
-        })
-        .collect();
-    // Gather buckets into the scratch buffer, then sort each bucket in
-    // parallel. The gather fully overwrites `scratch[..n]` before any
-    // element is read, so stale contents are fine.
-    if scratch.len() < n {
-        scratch.resize(n, 0);
-    }
-    let out: &mut [u64] = &mut scratch[..n];
-    let mut bucket_ranges = Vec::with_capacity(nb);
-    {
-        let mut cursor = 0usize;
-        for b in 0..nb {
-            let start = cursor;
-            for (ri, pts) in splits.iter().enumerate() {
-                let (lo, _) = run_bounds[ri];
-                let seg = &data[lo + pts[b]..lo + pts[b + 1]];
-                out[cursor..cursor + seg.len()].copy_from_slice(seg);
-                cursor += seg.len();
-            }
-            bucket_ranges.push((start, cursor));
-        }
-    }
-    pool.run(|ctx| {
-        let mut rest: &mut [u64] = &mut *out;
-        let mut jobs: Jobs<'_, ()> = Vec::new();
-        let mut consumed = 0usize;
-        for &(lo, hi) in &bucket_ranges {
-            let (bucket, tail) = rest.split_at_mut(hi - consumed);
-            let seg = &mut bucket[lo - consumed..];
-            jobs.push(Box::new(move |_: &Ctx<'_>| seg.sort_unstable()));
-            rest = tail;
-            consumed = hi;
-        }
-        ctx.join_all(2 * run_len, jobs);
-    });
-    data.copy_from_slice(out);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,10 +536,20 @@ pub fn par_fft(pool: &SbPool, x: &mut [C64]) {
 /// one allocation instead of paying a fresh `n`-element vector per
 /// call. The buffer is grown as needed and its contents on return are
 /// unspecified.
+///
+/// As with `par_sort`, plan choice is resource-aware even though the
+/// algorithm is oblivious: a width-1 pool gets the iterative
+/// [`serial_fft`] directly — the recursion's deinterleave copies and
+/// per-level twiddles only pay for themselves once the halves actually
+/// run in parallel.
 pub fn par_fft_with_scratch(pool: &SbPool, x: &mut [C64], scratch: &mut Vec<C64>) {
     let n = x.len();
     assert!(n.is_power_of_two() || n == 0);
     if n <= 1 {
+        return;
+    }
+    if n <= FFT_LEAF || pool.hierarchy().cores() == 1 {
+        serial_fft(x);
         return;
     }
     if scratch.len() < n {

@@ -126,8 +126,10 @@ pub fn footprint_words(kernel: Kernel, n: usize) -> usize {
         Kernel::Fft => 4 * n.next_power_of_two(),
         // a + b + c.
         Kernel::Matmul => 3 * n * n,
-        // keys + merge scratch.
-        Kernel::Sort => 2 * n,
+        // keys + merge scratch + the SPMS per-level sampling/split/
+        // histogram auxiliaries (2n + o(n); see
+        // [`super::spms::spms_working_set_words`]).
+        Kernel::Sort => super::spms::spms_working_set_words(n),
         // row_ptr (n+1) + cols (deg·n) + vals (deg·n) + x (n) + y (n).
         Kernel::SpmDv => (3 + 2 * SPMDV_DEG) * n + 1,
         // In-place tree scan over the power-of-two padded array, plus
@@ -159,40 +161,33 @@ fn checksum_f64(xs: &[f64]) -> u64 {
     })
 }
 
-/// Ctx-native parallel merge sort (SB fork–join splits, serial merges):
-/// unlike [`super::par_sort`] it never re-enters the pool, so a server
-/// batch can run many of these under one `enter`.
-fn sort_in_ctx(ctx: &Ctx<'_>, data: &mut [u64], scratch: &mut [u64]) {
+thread_local! {
+    /// Per-worker sort scratch, reused across the jobs of a batch so
+    /// repeated sorted jobs stop paying a fresh `n`-word allocation
+    /// each. Taken out (not borrowed) for the duration of a sort: the
+    /// pool's help-first joins may run *another* sort job on this
+    /// thread while one is blocked on a stolen fork, and that inner job
+    /// must find the slot free, not a held borrow.
+    static SORT_SCRATCH: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Sort `data` via the SPMS path ([`super::spms_sort_in_ctx`], the same
+/// code `par_sort_with_scratch` runs) with the worker's reused scratch
+/// buffer. Never re-enters the pool, so a server batch can run many of
+/// these under one `enter`.
+fn sort_in_ctx_with_pooled_scratch(ctx: &Ctx<'_>, data: &mut [u64]) {
     let n = data.len();
-    if n <= 2048 {
-        data.sort_unstable();
-        return;
+    let mut scratch = SORT_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    if scratch.len() < n {
+        scratch.resize(n, 0);
     }
-    let mid = n / 2;
-    {
-        let (dl, dr) = data.split_at_mut(mid);
-        let (sl, sr) = scratch.split_at_mut(mid);
-        ctx.join(
-            2 * dl.len(),
-            |c| sort_in_ctx(c, dl, sl),
-            2 * dr.len(),
-            |c| sort_in_ctx(c, dr, sr),
-        );
-    }
-    // Serial merge through scratch.
-    scratch.copy_from_slice(data);
-    let (a, b) = scratch.split_at(mid);
-    let (mut i, mut j) = (0usize, 0usize);
-    for slot in data.iter_mut() {
-        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
-        if take_a {
-            *slot = a[i];
-            i += 1;
-        } else {
-            *slot = b[j];
-            j += 1;
+    super::spms_sort_in_ctx(ctx, data, &mut scratch[..n]);
+    SORT_SCRATCH.with(|s| {
+        let mut slot = s.borrow_mut();
+        if slot.capacity() < scratch.capacity() {
+            *slot = scratch;
         }
-    }
+    });
 }
 
 /// Ctx-native exclusive prefix sum (block-scan): per-block totals, a
@@ -283,8 +278,7 @@ pub fn run_in(ctx: &Ctx<'_>, kernel: Kernel, n: usize, seed: u64) -> u64 {
         }
         Kernel::Sort => {
             let mut data: Vec<u64> = (0..n).map(|_| g.next()).collect();
-            let mut scratch = vec![0u64; n];
-            sort_in_ctx(ctx, &mut data, &mut scratch);
+            sort_in_ctx_with_pooled_scratch(ctx, &mut data);
             data.iter()
                 .fold(0u64, |acc, v| acc.wrapping_mul(31).wrapping_add(*v))
         }
@@ -421,8 +415,20 @@ mod tests {
         let mut data: Vec<u64> = (0..50_000).map(|_| g.next()).collect();
         let mut want = data.clone();
         want.sort_unstable();
-        let mut scratch = vec![0u64; data.len()];
-        p.run(|ctx| sort_in_ctx(ctx, &mut data, &mut scratch));
+        p.run(|ctx| sort_in_ctx_with_pooled_scratch(ctx, &mut data));
         assert_eq!(data, want);
+    }
+
+    #[test]
+    fn batched_sorts_reuse_worker_scratch() {
+        // A whole batch of sort jobs through the server path: results
+        // must match the singleton runs (the reused scratch can never
+        // leak state between jobs).
+        let p = pool();
+        let seeds: Vec<u64> = (0..16).collect();
+        let batched = p.enter(|ctx| run_batch_in(ctx, Kernel::Sort, 5000, &seeds));
+        for (&seed, &got) in seeds.iter().zip(&batched) {
+            assert_eq!(got, run_kernel(&p, Kernel::Sort, 5000, seed), "seed {seed}");
+        }
     }
 }

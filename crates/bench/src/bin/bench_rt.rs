@@ -25,24 +25,52 @@ use mo_algorithms::gep::floyd_warshall_reference;
 use mo_algorithms::real::registry::{run_kernel, Kernel};
 use mo_algorithms::real::{
     par_fft_with_scratch, par_floyd_warshall, par_matmul, par_sort_with_scratch, par_spmdv,
-    par_transpose, serial_fft, C64,
+    par_transpose, serial_fft, spms_sort_in_ctx, C64,
 };
 use mo_baselines::matmul::naive_matmul;
 use mo_baselines::transpose::naive_transpose;
 use mo_core::rt::{HwHierarchy, SbPool};
 
-/// Median-of-`reps` wall-clock nanoseconds of `f` (one warmup call).
-fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> u64 {
-    black_box(f());
-    let mut samples: Vec<u64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            black_box(f());
-            t.elapsed().as_nanos() as u64
-        })
-        .collect();
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+/// Interleaved paired measurement: `f(false)` is the serial side,
+/// `f(true)` the pool side. The two are sampled alternately —
+/// serial, pool, serial, pool, … — so a slow phase on a shared host
+/// taxes both sides of every pair about equally, and the speedup is
+/// the *median of per-pair ratios*, which shrugs off drift that a
+/// ratio of two block medians (all serial reps first, all pool reps
+/// a hundred milliseconds later) soaks up whole. Returns
+/// `(serial_median_ns, pool_median_ns, speedup)`.
+fn paired_ns(reps: usize, mut f: impl FnMut(bool)) -> (u64, u64, f64) {
+    f(false);
+    f(true);
+    let mut ser = Vec::with_capacity(reps);
+    let mut pool = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
+    let mut time_one = |par: bool| {
+        let t = Instant::now();
+        f(par);
+        t.elapsed().as_nanos() as u64
+    };
+    for i in 0..reps {
+        // Alternate which side leads the pair: the trailing position
+        // carries a small systematic cost (timer tick alignment, warmed
+        // predictors from the leader), and alternation cancels it.
+        let (s, p) = if i % 2 == 0 {
+            let s = time_one(false);
+            let p = time_one(true);
+            (s, p)
+        } else {
+            let p = time_one(true);
+            let s = time_one(false);
+            (s, p)
+        };
+        ser.push(s);
+        pool.push(p);
+        ratios.push(s as f64 / p.max(1) as f64);
+    }
+    ser.sort_unstable();
+    pool.sort_unstable();
+    ratios.sort_by(f64::total_cmp);
+    (ser[reps / 2], pool[reps / 2], ratios[reps / 2])
 }
 
 fn rand_f64(seed: u64, n: usize) -> Vec<f64> {
@@ -89,6 +117,7 @@ struct Row {
     n: usize,
     serial_ns: u64,
     pool_ns: u64,
+    speedup: f64,
 }
 
 fn run_suite(pool: &SbPool, reps: usize, smoke: bool) -> Vec<Row> {
@@ -98,11 +127,19 @@ fn run_suite(pool: &SbPool, reps: usize, smoke: bool) -> Vec<Row> {
     let n = if smoke { 128 } else { 1024 };
     let a = rand_f64(1, n * n);
     let mut out = vec![0.0; n * n];
+    let (serial_ns, pool_ns, speedup) = paired_ns(reps, |par| {
+        if par {
+            par_transpose(pool, &a, &mut out, n);
+        } else {
+            naive_transpose(&a, &mut out, n);
+        }
+    });
     rows.push(Row {
         kernel: "transpose",
         n,
-        serial_ns: median_ns(reps, || naive_transpose(&a, &mut out, n)),
-        pool_ns: median_ns(reps, || par_transpose(pool, &a, &mut out, n)),
+        serial_ns,
+        pool_ns,
+        speedup,
     });
 
     // Matmul.
@@ -110,17 +147,20 @@ fn run_suite(pool: &SbPool, reps: usize, smoke: bool) -> Vec<Row> {
     let a = rand_f64(2, n * n);
     let b = rand_f64(3, n * n);
     let mut c = vec![0.0; n * n];
+    let (serial_ns, pool_ns, speedup) = paired_ns(reps, |par| {
+        c.iter_mut().for_each(|v| *v = 0.0);
+        if par {
+            par_matmul(pool, &mut c, &a, &b, n);
+        } else {
+            naive_matmul(&mut c, &a, &b, n);
+        }
+    });
     rows.push(Row {
         kernel: "matmul",
         n,
-        serial_ns: median_ns(reps, || {
-            c.iter_mut().for_each(|v| *v = 0.0);
-            naive_matmul(&mut c, &a, &b, n)
-        }),
-        pool_ns: median_ns(reps, || {
-            c.iter_mut().for_each(|v| *v = 0.0);
-            par_matmul(pool, &mut c, &a, &b, n)
-        }),
+        serial_ns,
+        pool_ns,
+        speedup,
     });
 
     // FFT.
@@ -129,40 +169,42 @@ fn run_suite(pool: &SbPool, reps: usize, smoke: bool) -> Vec<Row> {
         .map(|t| ((t as f64 * 0.3).sin(), (t as f64 * 0.7).cos()))
         .collect();
     let mut buf = input.clone();
+    let mut scratch = Vec::new();
+    let (serial_ns, pool_ns, speedup) = paired_ns(reps, |par| {
+        buf.copy_from_slice(&input);
+        if par {
+            par_fft_with_scratch(pool, &mut buf, &mut scratch);
+        } else {
+            serial_fft(&mut buf);
+        }
+    });
     rows.push(Row {
         kernel: "fft",
         n,
-        serial_ns: median_ns(reps, || {
-            buf.copy_from_slice(&input);
-            serial_fft(&mut buf);
-        }),
-        pool_ns: {
-            let mut scratch = Vec::new();
-            median_ns(reps, || {
-                buf.copy_from_slice(&input);
-                par_fft_with_scratch(pool, &mut buf, &mut scratch);
-            })
-        },
+        serial_ns,
+        pool_ns,
+        speedup,
     });
 
     // Sort.
     let n = if smoke { 1 << 12 } else { 1 << 20 };
     let data = rand_u64(5, n);
     let mut buf = data.clone();
+    let mut scratch = Vec::new();
+    let (serial_ns, pool_ns, speedup) = paired_ns(reps, |par| {
+        buf.copy_from_slice(&data);
+        if par {
+            par_sort_with_scratch(pool, &mut buf, &mut scratch);
+        } else {
+            buf.sort_unstable();
+        }
+    });
     rows.push(Row {
         kernel: "sort",
         n,
-        serial_ns: median_ns(reps, || {
-            buf.copy_from_slice(&data);
-            buf.sort_unstable();
-        }),
-        pool_ns: {
-            let mut scratch = Vec::new();
-            median_ns(reps, || {
-                buf.copy_from_slice(&data);
-                par_sort_with_scratch(pool, &mut buf, &mut scratch);
-            })
-        },
+        serial_ns,
+        pool_ns,
+        speedup,
     });
 
     // SpM-DV.
@@ -170,10 +212,10 @@ fn run_suite(pool: &SbPool, reps: usize, smoke: bool) -> Vec<Row> {
     let (row_ptr, cols, vals) = csr(m, 8, 7);
     let x: Vec<f64> = (0..m).map(|i| (i as f64 * 0.1).sin()).collect();
     let mut y = vec![0.0f64; m];
-    rows.push(Row {
-        kernel: "spmdv",
-        n: m,
-        serial_ns: median_ns(reps, || {
+    let (serial_ns, pool_ns, speedup) = paired_ns(reps, |par| {
+        if par {
+            par_spmdv(pool, &row_ptr, &cols, &vals, &x, &mut y);
+        } else {
             for (r, yr) in y.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for k in row_ptr[r]..row_ptr[r + 1] {
@@ -181,22 +223,34 @@ fn run_suite(pool: &SbPool, reps: usize, smoke: bool) -> Vec<Row> {
                 }
                 *yr = acc;
             }
-        }),
-        pool_ns: median_ns(reps, || par_spmdv(pool, &row_ptr, &cols, &vals, &x, &mut y)),
+        }
+    });
+    rows.push(Row {
+        kernel: "spmdv",
+        n: m,
+        serial_ns,
+        pool_ns,
+        speedup,
     });
 
     // Floyd–Warshall.
     let n = if smoke { 64 } else { 256 };
     let d0 = rand_f64(9, n * n);
+    let (serial_ns, pool_ns, speedup) = paired_ns(reps, |par| {
+        if par {
+            let mut d = d0.clone();
+            par_floyd_warshall(pool, &mut d, n);
+            black_box(d);
+        } else {
+            black_box(floyd_warshall_reference(&d0, n));
+        }
+    });
     rows.push(Row {
         kernel: "floyd_warshall",
         n,
-        serial_ns: median_ns(reps, || floyd_warshall_reference(&d0, n)),
-        pool_ns: median_ns(reps, || {
-            let mut d = d0.clone();
-            par_floyd_warshall(pool, &mut d, n);
-            d
-        }),
+        serial_ns,
+        pool_ns,
+        speedup,
     });
 
     rows
@@ -226,9 +280,50 @@ fn smoke_checksums(pool: &SbPool) {
 /// Record layout version. Bump when the JSON shape changes; `bench_rt`
 /// refuses to overwrite a file with a different schema without
 /// `--force`, so a layout change can never masquerade as a perf change.
-/// Schema 3 added the `"regressions"` array: kernels whose pool run is
-/// slower than their serial baseline (speedup < 1.0).
+/// Schema 3 added the `"regressions"` array: kernels whose pool run
+/// loses to their serial baseline beyond the noise floor.
 const SCHEMA: u64 = 3;
+
+/// A kernel below this speedup is a regression — the run exits nonzero
+/// (the hard CI gate) and the kernel lands in the record's
+/// `"regressions"` array. The floor sits below exact parity because
+/// interleaved medians on a shared runner jitter by ~10–15%; a
+/// *structural* regression — the class this gate exists for, like the
+/// pre-SPMS sort at 0.46x — sits far below it. Kernels in the
+/// `[floor, 1.0)` band are printed as below parity but do not fail.
+const REGRESSION_FLOOR: f64 = 0.8;
+
+/// `--sweep`: sort-only size sweep for leaf tuning. Always drives the
+/// structured SPMS path (`spms_sort_in_ctx`), even at sizes where
+/// `par_sort` itself would pick the serial plan on a width-1 pool —
+/// the point is to see the structure's constants move as `n` crosses
+/// the leaf and fan-in boundaries, not to re-measure plan selection.
+fn sweep_sort(pool: &SbPool, reps: usize) {
+    println!(
+        "sort sweep (structured SPMS path, leaf = {} keys, median of {reps}):",
+        mo_algorithms::real::SPMS_LEAF
+    );
+    let sizes = [1usize << 16, 1 << 18, 1 << 20, 1 << 22];
+    let nmax = *sizes.last().expect("sizes");
+    let data = rand_u64(5, nmax);
+    let mut buf = data.clone();
+    let mut scratch = vec![0u64; nmax];
+    for n in sizes {
+        let (serial_ns, pool_ns, speedup) = paired_ns(reps, |par| {
+            buf[..n].copy_from_slice(&data[..n]);
+            if par {
+                let (b, s) = (&mut buf[..n], &mut scratch[..n]);
+                pool.run(|ctx| spms_sort_in_ctx(ctx, b, s));
+            } else {
+                buf[..n].sort_unstable();
+            }
+        });
+        println!(
+            "{:>16} n={:<8} serial {:>12} ns   spms {:>12} ns   speedup {:.3}x",
+            "sort", n, serial_ns, pool_ns, speedup
+        );
+    }
+}
 
 /// The `"schema"` value of an existing record, if the file parses far
 /// enough to have one (the pre-versioning layout reports `None`).
@@ -250,12 +345,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let force = args.iter().any(|a| a == "--force");
+    if args.iter().any(|a| a == "--sweep") {
+        let pool = SbPool::new(HwHierarchy::detect());
+        sweep_sort(&pool, 5);
+        return;
+    }
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_rt.json".to_string());
-    let reps = if smoke { 3 } else { 5 };
+    let reps = if smoke { 3 } else { 7 };
 
     if std::path::Path::new(&out_path).exists() && !force {
         let found = existing_schema(&out_path);
@@ -294,7 +394,7 @@ fn main() {
     ));
     let mut regressions = Vec::new();
     for (i, r) in rows.iter().enumerate() {
-        let speedup = r.serial_ns as f64 / r.pool_ns.max(1) as f64;
+        let speedup = r.speedup;
         json.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"n\": {}, \"serial_ns\": {}, \"pool_ns\": {}, \"speedup\": {:.3}}}{}\n",
             r.kernel,
@@ -304,12 +404,18 @@ fn main() {
             speedup,
             if i + 1 < rows.len() { "," } else { "" }
         ));
-        let marker = if speedup < 1.0 { "  REGRESSION" } else { "" };
+        let marker = if speedup < REGRESSION_FLOOR {
+            "  REGRESSION"
+        } else if speedup < 1.0 {
+            "  (below parity)"
+        } else {
+            ""
+        };
         println!(
             "{:>16} n={:<8} serial {:>12} ns   pool {:>12} ns   speedup {:.3}x{marker}",
             r.kernel, r.n, r.serial_ns, r.pool_ns, speedup
         );
-        if speedup < 1.0 {
+        if speedup < REGRESSION_FLOOR {
             regressions.push(r.kernel);
         }
     }
@@ -322,10 +428,13 @@ fn main() {
     if regressions.is_empty() {
         println!("wrote {out_path}");
     } else {
-        println!(
-            "wrote {out_path} — {} kernel(s) slower under the pool than serial: {}",
+        // The hard gate: a non-empty regressions array fails the run
+        // (and with it the CI bench step) — no advisory-marker path.
+        eprintln!(
+            "wrote {out_path} — {} kernel(s) below the {REGRESSION_FLOOR} regression floor: {}",
             regressions.len(),
             regressions.join(", ")
         );
+        std::process::exit(1);
     }
 }

@@ -237,6 +237,65 @@ fn cache_counters_are_consistent() {
     }
 }
 
+/// Pool-vs-serial equivalence for the runtime SPMS sort: for arbitrary
+/// inputs, pool widths, and tuning parameters, the structured parallel
+/// path produces exactly `sort_unstable`'s output. Widths ≥ 2 always
+/// take the full sample–partition–merge recursion; width 1 additionally
+/// covers the scheduler's serial-plan delegation, and shrunk parameters
+/// force multiple partition levels on small inputs so every merge shape
+/// (pair bottoming, loser trees, odd tails) is exercised.
+#[test]
+fn par_sort_matches_serial_for_any_pool() {
+    use oblivious::algs::real::spms::spms_with_params;
+    use oblivious::algs::real::{par_sort, SpmsParams};
+    use oblivious::mo::rt::{HwHierarchy, SbPool};
+
+    let mut rng = Rng::new(12);
+    for &cores in &[1usize, 2, 4] {
+        let pool = SbPool::new(HwHierarchy::flat(cores, 1 << 10, 1 << 20));
+
+        // Public facade: plan choice included (width-1 pools delegate).
+        for case in 0..10 {
+            let n = if case < 3 {
+                case
+            } else {
+                rng.below(3000) as usize
+            };
+            let mut data = rng.vec(n, 1 << 20);
+            let mut want = data.clone();
+            want.sort_unstable();
+            par_sort(&pool, &mut data);
+            assert_eq!(data, want, "par_sort cores={cores} n={n}");
+        }
+
+        // Structured path pinned open: tiny cutoffs force several
+        // partition levels and ragged fan-ins at test-sized inputs.
+        for &(cutoff, leaf, ways) in &[(4usize, 16usize, 2usize), (8, 32, 3), (1, 8, 4)] {
+            let params = SpmsParams {
+                serial_cutoff: cutoff,
+                leaf,
+                max_ways: ways,
+            };
+            for case in 0..8 {
+                let n = 1 + if case < 4 {
+                    leaf * ways + case
+                } else {
+                    rng.below(2000) as usize
+                };
+                let mut data = rng.vec(n, 64); // heavy duplicates
+                let mut scratch = vec![0u64; n];
+                let mut want = data.clone();
+                want.sort_unstable();
+                pool.run(|ctx| spms_with_params(ctx, &mut data, &mut scratch, &params));
+                assert_eq!(
+                    data, want,
+                    "spms cores={cores} n={n} leaf={leaf} ways={ways}"
+                );
+            }
+        }
+    }
+}
+
 /// NO machine invariant: communication complexity is monotone
 /// non-increasing in B and the output is sorted.
 #[test]
