@@ -10,8 +10,15 @@
 //!   --ngep-n N     N-GEP matrix side                   [default 32]
 //!   --kappa K      N-GEP block side                    [default 4]
 //!   --out FILE     write the merged fleet /metrics artifact here
+//!   --trace        fleet tracing: calibrate worker clocks, collect
+//!                  and merge every worker's trace, write a Perfetto
+//!                  artifact, print the observed-vs-analytic per-level
+//!                  table and the straggler report, and gate trace
+//!                  overhead against an untraced fleet (<5% + floor)
+//!   --trace-out F  fleet trace artifact path (implies --trace)
+//!                  [default mo_dist_fleet_trace.json]
 //!
-//!   worker --index I --workers W --coord ADDR
+//!   worker --index I --workers W --coord ADDR [--trace 0|1]
 //!                  internal: run one shard process (the parent
 //!                  re-execs itself with this subcommand)
 //! ```
@@ -47,12 +54,15 @@ struct Args {
     ngep_n: usize,
     kappa: usize,
     out: Option<String>,
+    trace: bool,
+    trace_out: String,
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("mo_dist: {err}");
     eprintln!(
-        "usage: mo_dist [--smoke] [--workers W] [--sort-n N] [--ngep-n N] [--kappa K] [--out FILE]"
+        "usage: mo_dist [--smoke] [--workers W] [--sort-n N] [--ngep-n N] [--kappa K] \
+         [--out FILE] [--trace] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -65,6 +75,8 @@ fn parse_args(argv: &[String]) -> Args {
         ngep_n: 32,
         kappa: 4,
         out: None,
+        trace: false,
+        trace_out: "mo_dist_fleet_trace.json".to_string(),
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -100,6 +112,11 @@ fn parse_args(argv: &[String]) -> Args {
                     .unwrap_or_else(|_| usage("bad --kappa"))
             }
             "--out" => args.out = Some(val("--out")),
+            "--trace" => args.trace = true,
+            "--trace-out" => {
+                args.trace = true;
+                args.trace_out = val("--trace-out");
+            }
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -111,7 +128,7 @@ fn parse_args(argv: &[String]) -> Args {
 
 /// The `worker` subcommand: one shard process.
 fn run_worker_proc(argv: &[String]) -> ! {
-    let (mut index, mut workers, mut coord) = (None, None, None);
+    let (mut index, mut workers, mut coord, mut trace) = (None, None, None, false);
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let v = it
@@ -121,13 +138,16 @@ fn run_worker_proc(argv: &[String]) -> ! {
             "--index" => index = v.parse().ok(),
             "--workers" => workers = v.parse().ok(),
             "--coord" => coord = Some(v.clone()),
+            "--trace" => trace = v == "1",
             other => usage(&format!("unknown worker flag {other}")),
         }
     }
     let (Some(index), Some(workers), Some(coord)) = (index, workers, coord) else {
         usage("worker needs --index, --workers, --coord");
     };
-    match mo_dist::run_worker(WorkerConfig::new(index, workers, coord)) {
+    let mut cfg = WorkerConfig::new(index, workers, coord);
+    cfg.trace = trace;
+    match mo_dist::run_worker(cfg) {
         Ok(()) => std::process::exit(0),
         Err(e) => {
             eprintln!("worker {index}: {e}");
@@ -136,7 +156,7 @@ fn run_worker_proc(argv: &[String]) -> ! {
     }
 }
 
-fn spawn_fleet(workers: usize) -> (Router, Vec<Child>) {
+fn spawn_fleet(workers: usize, trace: bool) -> (Router, Vec<Child>) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
     let coord = listener.local_addr().expect("router addr").to_string();
     let exe = std::env::current_exe().expect("current_exe");
@@ -151,6 +171,8 @@ fn spawn_fleet(workers: usize) -> (Router, Vec<Child>) {
                     &workers.to_string(),
                     "--coord",
                     &coord,
+                    "--trace",
+                    if trace { "1" } else { "0" },
                 ])
                 .spawn()
                 .expect("spawn worker process")
@@ -158,6 +180,20 @@ fn spawn_fleet(workers: usize) -> (Router, Vec<Child>) {
         .collect();
     let router = Router::accept_fleet(&listener, workers).expect("fleet bootstrap");
     (router, children)
+}
+
+/// Median wall time of `reps` fleet sorts — the traced-vs-untraced
+/// overhead probe (median, not mean: loopback TCP runs jitter).
+fn median_sort_ns(router: &Router, n: usize, reps: usize) -> u64 {
+    let mut t: Vec<u64> = (0..reps.max(1))
+        .map(|i| {
+            let start = std::time::Instant::now();
+            router.run_sort(n, 0x7ace + i as u64).expect("timed sort");
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    t.sort_unstable();
+    t[t.len() / 2]
 }
 
 /// Plain HTTP GET (loopback, one shot).
@@ -302,12 +338,22 @@ fn main() {
         "mo_dist: spawning {} worker processes (sort n={}, ngep n={} kappa={})",
         args.workers, args.sort_n, args.ngep_n, args.kappa
     );
-    let (router, mut children) = spawn_fleet(args.workers);
+    let (router, mut children) = spawn_fleet(args.workers, args.trace);
     let metrics = router
         .serve_fleet_metrics("127.0.0.1:0")
         .expect("fleet metrics endpoint");
+    if args.trace {
+        let cals = router.calibrate_clocks(8).expect("clock calibration");
+        for (w, c) in cals.iter().enumerate() {
+            println!(
+                "clock: worker {w} offset {} ns (min rtt {} ns)",
+                c.offset_ns, c.rtt_ns
+            );
+        }
+    }
 
     let mut verdicts = Vec::new();
+    let mut outcomes: Vec<(&'static str, DistOutcome, usize)> = Vec::new();
 
     // Distributed NO sort vs simulator.
     {
@@ -324,6 +370,7 @@ fn main() {
             args.sort_n,
             args.workers,
         ));
+        outcomes.push(("no_sort", got, args.sort_n));
     }
 
     // Distributed N-GEP (Floyd–Warshall) vs simulator.
@@ -361,10 +408,69 @@ fn main() {
             nb * nb,
             args.workers,
         ));
+        outcomes.push(("ngep", got, nb * nb));
     }
 
     for v in &verdicts {
         println!("{}", v.report);
+    }
+
+    // --trace: the fleet observability pass — live per-level tables,
+    // the overhead gate, and the merged Perfetto artifact.
+    let mut trace_ok = true;
+    if args.trace {
+        for (label, got, n_pes) in &outcomes {
+            let rows = mo_dist::level_table(got, *n_pes, args.workers);
+            if rows.iter().any(|r| r.divergent) {
+                eprintln!("{label}: measured wire words diverge from the signature");
+                trace_ok = false;
+            }
+            println!(
+                "{label}: observed vs analytic per cluster level:\n{}",
+                mo_dist::format_level_table(&rows)
+            );
+        }
+
+        // Overhead gate, in the obs_report mold: tracing must cost the
+        // fleet < 5% wall time plus a fixed floor for loopback jitter.
+        let reps = if args.smoke { 5 } else { 3 };
+        let traced_ns = median_sort_ns(&router, args.sort_n, reps);
+        let (plain_router, mut plain_children) = spawn_fleet(args.workers, false);
+        let plain_ns = median_sort_ns(&plain_router, args.sort_n, reps);
+        plain_router.shutdown();
+        for child in &mut plain_children {
+            let _ = child.wait();
+        }
+        let limit_ns = plain_ns + plain_ns / 20 + 25_000_000;
+        println!(
+            "trace overhead: traced {:.3} ms vs plain {:.3} ms (limit {:.3} ms)",
+            traced_ns as f64 / 1e6,
+            plain_ns as f64 / 1e6,
+            limit_ns as f64 / 1e6
+        );
+        if traced_ns > limit_ns {
+            eprintln!("trace overhead gate FAILED: tracing perturbs the fleet");
+            trace_ok = false;
+        }
+
+        // Collect, merge, validate, and persist the fleet timeline.
+        let streams = router.collect_trace().expect("collect fleet trace");
+        let json = mo_obs::fleet::to_chrome_json(&streams);
+        if let Err(e) = mo_obs::chrome::validate(&json) {
+            eprintln!("fleet trace artifact does not validate: {e}");
+            trace_ok = false;
+        }
+        std::fs::write(&args.trace_out, &json).expect("write fleet trace artifact");
+        println!(
+            "fleet trace: {} events from {} workers written to {}",
+            streams.iter().map(|s| s.events.len()).sum::<usize>(),
+            streams.len(),
+            args.trace_out
+        );
+        print!(
+            "{}",
+            mo_dist::straggler_report(&mo_obs::fleet::summarize(&streams))
+        );
     }
 
     // The merged fleet view over HTTP, with per-shard sanity checks.
@@ -377,11 +483,19 @@ fn main() {
             metrics_ok = false;
         }
     }
-    for family in [
+    let mut families = vec![
         "modist_fleet_workers",
         "modist_socket_words_total",
+        "modist_recv_words_total",
         "moserve_jobs_submitted_total",
-    ] {
+    ];
+    if args.trace {
+        // The trace collection ran, so the merged view must carry the
+        // barrier-wait histograms and per-shard ring-drop counters.
+        families.push("modist_barrier_wait_seconds_bucket");
+        families.push("modist_trace_ring_dropped_total");
+    }
+    for family in families {
         if !fleet_text.contains(family) {
             eprintln!("fleet view: missing family {family}");
             metrics_ok = false;
@@ -411,7 +525,7 @@ fn main() {
         }
     }
 
-    let all_ok = verdicts.iter().all(|v| v.ok) && metrics_ok && clean;
+    let all_ok = verdicts.iter().all(|v| v.ok) && metrics_ok && clean && trace_ok;
     for v in &verdicts {
         println!(
             "{}: {}",

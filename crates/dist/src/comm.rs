@@ -27,7 +27,9 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
+use std::sync::Arc;
 
+use mo_obs::{pack_step_level, EventKind, TraceSink};
 use no_framework::{Comm, Pe};
 
 use crate::frame::{recv_data, send_data, Msg};
@@ -49,6 +51,13 @@ pub struct SocketComm<'a> {
     traffic: Vec<Vec<Msg>>,
     /// Payload words framed to each cluster level (sender-side).
     socket_words_per_level: Vec<u64>,
+    /// Payload words delivered from each cluster level (receiver-side).
+    /// Fleet-wide the per-level sums must equal the sender-side ones —
+    /// every frame's level stamp is validated on receipt.
+    recv_words_per_level: Vec<u64>,
+    /// When tracing: the dist sink plus the fleet job id stamped into
+    /// every event. `None` costs nothing on the superstep path.
+    trace: Option<(Arc<TraceSink>, u64)>,
     ops: u64,
 }
 
@@ -69,8 +78,20 @@ impl<'a> SocketComm<'a> {
             superstep: 0,
             traffic: Vec::new(),
             socket_words_per_level: vec![0; num_levels(part.workers).max(1)],
+            recv_words_per_level: vec![0; num_levels(part.workers).max(1)],
+            trace: None,
             ops: 0,
         }
+    }
+
+    /// Enable tracing: every superstep, exchange round, and barrier
+    /// wait of this run is emitted into `sink` stamped with the
+    /// fleet-unique `job` id. Tracing reads the sink clock but never
+    /// touches the data path, so kernel outputs and traffic signatures
+    /// are bit-identical to an untraced run.
+    pub fn with_trace(mut self, sink: Arc<TraceSink>, job: u64) -> Self {
+        self.trace = Some((sink, job));
+        self
     }
 
     /// First owned PE.
@@ -103,6 +124,11 @@ impl<'a> SocketComm<'a> {
         &self.socket_words_per_level
     }
 
+    /// Receiver-side payload words delivered per cluster level.
+    pub fn recv_words_per_level(&self) -> &[u64] {
+        &self.recv_words_per_level
+    }
+
     /// Consume the machine, returning the owned PE memories trimmed to
     /// `keep` words each (the kernel's per-PE output size).
     pub fn into_mems(mut self, keep: usize) -> Vec<Vec<u64>> {
@@ -122,15 +148,61 @@ impl<'a> SocketComm<'a> {
             let stream = self.peers[peer]
                 .as_mut()
                 .expect("mesh stream missing for peer");
+            let stamp = pack_step_level(self.superstep, level);
             // The lower index of each XOR pair talks first; the higher
             // one listens first. Every round is a perfect matching, so
-            // no cyclic wait can form regardless of frame sizes.
+            // no cyclic wait can form regardless of frame sizes. The
+            // blocking `recv_data` *is* the per-round barrier, so its
+            // duration is the lateness charged to this pair.
             let (step, got_level, msgs) = if self.me < peer {
                 send_data(stream, self.superstep, level, &out)?;
-                recv_data(stream)?
-            } else {
+                if let Some((sink, _)) = &self.trace {
+                    sink.emit(
+                        None,
+                        EventKind::ExchangeSend,
+                        peer as u64,
+                        stamp,
+                        out.len() as u64,
+                    );
+                }
+                let wait_from = self.trace.as_ref().map(|(sink, _)| sink.now_ns());
                 let got = recv_data(stream)?;
+                if let Some((sink, _)) = &self.trace {
+                    let waited = sink.now_ns().saturating_sub(wait_from.unwrap_or(0));
+                    sink.emit(None, EventKind::BarrierWait, peer as u64, stamp, waited);
+                    sink.emit(
+                        None,
+                        EventKind::ExchangeRecv,
+                        peer as u64,
+                        stamp,
+                        got.2.len() as u64,
+                    );
+                }
+                got
+            } else {
+                let wait_from = self.trace.as_ref().map(|(sink, _)| sink.now_ns());
+                let got = recv_data(stream)?;
+                if let Some((sink, _)) = &self.trace {
+                    let waited = sink.now_ns().saturating_sub(wait_from.unwrap_or(0));
+                    sink.emit(None, EventKind::BarrierWait, peer as u64, stamp, waited);
+                    sink.emit(
+                        None,
+                        EventKind::ExchangeRecv,
+                        peer as u64,
+                        stamp,
+                        got.2.len() as u64,
+                    );
+                }
                 send_data(stream, self.superstep, level, &out)?;
+                if let Some((sink, _)) = &self.trace {
+                    sink.emit(
+                        None,
+                        EventKind::ExchangeSend,
+                        peer as u64,
+                        stamp,
+                        out.len() as u64,
+                    );
+                }
                 got
             };
             if step != self.superstep {
@@ -152,6 +224,7 @@ impl<'a> SocketComm<'a> {
                 ));
             }
             self.socket_words_per_level[level as usize] += out.len() as u64;
+            self.recv_words_per_level[level as usize] += msgs.len() as u64;
             incoming.extend(msgs);
         }
         Ok(incoming)
@@ -167,6 +240,15 @@ impl<'a> SocketComm<'a> {
         let (lo, hi) = (self.lo(), self.hi());
         let n = self.part.n_pes;
         let share = self.part.share();
+        if let Some((sink, job)) = &self.trace {
+            sink.emit(
+                None,
+                EventKind::SuperstepBegin,
+                *job,
+                self.superstep as u64,
+                0,
+            );
+        }
 
         // Phase 1: compute.
         let mut outboxes: Vec<Vec<(u32, u64)>> = vec![Vec::new(); share];
@@ -224,6 +306,15 @@ impl<'a> SocketComm<'a> {
         }
         for ib in &mut self.inbox {
             ib.sort_by_key(|m| m.0);
+        }
+        if let Some((sink, job)) = &self.trace {
+            sink.emit(
+                None,
+                EventKind::SuperstepEnd,
+                *job,
+                self.superstep as u64,
+                0,
+            );
         }
         self.superstep += 1;
         Ok(())

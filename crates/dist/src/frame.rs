@@ -168,7 +168,7 @@ pub enum DistAlg {
 }
 
 impl DistAlg {
-    fn code(self) -> u8 {
+    pub(crate) fn code(self) -> u8 {
         match self {
             DistAlg::Ngep => 0,
             DistAlg::Sort => 1,
@@ -211,11 +211,22 @@ pub struct DistDone {
     /// `(src, dst, words)` with same-PE messages excluded — the local
     /// slice of the machine-wide traffic signature.
     pub traffic: Vec<Vec<Msg>>,
-    /// Payload words actually framed to each D-BSP cluster level.
+    /// Payload words actually framed to each D-BSP cluster level
+    /// (sender side).
     pub socket_words_per_level: Vec<u64>,
+    /// Payload words actually *delivered* from each D-BSP cluster
+    /// level (receiver side). Fleet-wide, the per-level sums of this
+    /// and `socket_words_per_level` must agree — the conservation
+    /// invariant the equivalence tests assert.
+    pub recv_words_per_level: Vec<u64>,
     /// Local operations charged through `Pe::work`.
     pub ops: u64,
 }
+
+/// One trace event on the wire: `(ts_ns, kind, a, b, c)` — the same
+/// five words as [`mo_obs::Event`] with the kind as its discriminant
+/// byte (worker attribution is implied by which shard shipped it).
+pub type WireEvent = (u64, u8, u64, u64, u64);
 
 /// Control messages on the router ↔ worker connection.
 #[derive(Debug, Clone, PartialEq)]
@@ -259,6 +270,9 @@ pub enum Ctl {
         kappa: u32,
         /// Deterministic input seed.
         seed: u64,
+        /// Fleet-unique job id (router-assigned), threaded through the
+        /// worker into every dist trace event the job emits.
+        job: u64,
     },
     /// Reply to [`Ctl::RunDist`].
     DistDone(DistDone),
@@ -268,6 +282,31 @@ pub enum Ctl {
     MetricsText {
         /// The exposition document.
         text: String,
+    },
+    /// Clock-calibration probe: the router stamps its send time locally
+    /// and expects a [`Ctl::ClockReply`] echoing `seq`.
+    ClockProbe {
+        /// Probe sequence number (guards against reordered replies).
+        seq: u32,
+    },
+    /// Worker's answer to [`Ctl::ClockProbe`]: its trace-sink clock
+    /// reading at receipt, on the same clock every event it ships is
+    /// stamped with.
+    ClockReply {
+        /// Echo of the probe's sequence number.
+        seq: u32,
+        /// Worker sink time in nanoseconds since its epoch.
+        t_ns: u64,
+    },
+    /// Drain the worker's dist trace sink and ship the events home.
+    CollectTrace,
+    /// Reply to [`Ctl::CollectTrace`]: the drained stream (empty when
+    /// the worker runs untraced).
+    TraceData {
+        /// Events dropped at the worker's full trace ring.
+        dropped: u64,
+        /// Drained events in ring (time) order.
+        events: Vec<WireEvent>,
     },
     /// Stop the worker process.
     Shutdown,
@@ -282,6 +321,10 @@ const T_DIST_DONE: u8 = 6;
 const T_METRICS_REQ: u8 = 7;
 const T_METRICS_TEXT: u8 = 8;
 const T_SHUTDOWN: u8 = 9;
+const T_CLOCK_PROBE: u8 = 10;
+const T_CLOCK_REPLY: u8 = 11;
+const T_COLLECT_TRACE: u8 = 12;
+const T_TRACE_DATA: u8 = 13;
 
 /// Send one control message.
 pub fn send_ctl(w: &mut impl Write, msg: &Ctl) -> io::Result<()> {
@@ -315,12 +358,14 @@ pub fn send_ctl(w: &mut impl Write, msg: &Ctl) -> io::Result<()> {
             n,
             kappa,
             seed,
+            job,
         } => {
             e.u8(T_RUN_DIST)
                 .u8(alg.code())
                 .u64(*n)
                 .u32(*kappa)
-                .u64(*seed);
+                .u64(*seed)
+                .u64(*job);
         }
         Ctl::DistDone(d) => {
             e.u8(T_DIST_DONE)
@@ -346,12 +391,31 @@ pub fn send_ctl(w: &mut impl Write, msg: &Ctl) -> io::Result<()> {
             for &w in &d.socket_words_per_level {
                 e.u64(w);
             }
+            e.u32(d.recv_words_per_level.len() as u32);
+            for &w in &d.recv_words_per_level {
+                e.u64(w);
+            }
         }
         Ctl::MetricsReq => {
             e.u8(T_METRICS_REQ);
         }
         Ctl::MetricsText { text } => {
             e.u8(T_METRICS_TEXT).str(text);
+        }
+        Ctl::ClockProbe { seq } => {
+            e.u8(T_CLOCK_PROBE).u32(*seq);
+        }
+        Ctl::ClockReply { seq, t_ns } => {
+            e.u8(T_CLOCK_REPLY).u32(*seq).u64(*t_ns);
+        }
+        Ctl::CollectTrace => {
+            e.u8(T_COLLECT_TRACE);
+        }
+        Ctl::TraceData { dropped, events } => {
+            e.u8(T_TRACE_DATA).u64(*dropped).u32(events.len() as u32);
+            for &(ts, kind, a, b, c) in events {
+                e.u64(ts).u8(kind).u64(a).u64(b).u64(c);
+            }
         }
         Ctl::Shutdown => {
             e.u8(T_SHUTDOWN);
@@ -392,6 +456,7 @@ pub fn recv_ctl(r: &mut impl Read) -> io::Result<Ctl> {
             n: d.u64()?,
             kappa: d.u32()?,
             seed: d.u64()?,
+            job: d.u64()?,
         }),
         T_DIST_DONE => {
             let supersteps = d.u32()?;
@@ -423,6 +488,11 @@ pub fn recv_ctl(r: &mut impl Read) -> io::Result<Ctl> {
             for _ in 0..nlevels {
                 socket_words_per_level.push(d.u64()?);
             }
+            let nlevels = d.u32()? as usize;
+            let mut recv_words_per_level = Vec::with_capacity(nlevels);
+            for _ in 0..nlevels {
+                recv_words_per_level.push(d.u64()?);
+            }
             Ok(Ctl::DistDone(DistDone {
                 supersteps,
                 lo,
@@ -430,11 +500,27 @@ pub fn recv_ctl(r: &mut impl Read) -> io::Result<Ctl> {
                 mems,
                 traffic,
                 socket_words_per_level,
+                recv_words_per_level,
                 ops,
             }))
         }
         T_METRICS_REQ => Ok(Ctl::MetricsReq),
         T_METRICS_TEXT => Ok(Ctl::MetricsText { text: d.str()? }),
+        T_CLOCK_PROBE => Ok(Ctl::ClockProbe { seq: d.u32()? }),
+        T_CLOCK_REPLY => Ok(Ctl::ClockReply {
+            seq: d.u32()?,
+            t_ns: d.u64()?,
+        }),
+        T_COLLECT_TRACE => Ok(Ctl::CollectTrace),
+        T_TRACE_DATA => {
+            let dropped = d.u64()?;
+            let count = d.u32()? as usize;
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                events.push((d.u64()?, d.u8()?, d.u64()?, d.u64()?, d.u64()?));
+            }
+            Ok(Ctl::TraceData { dropped, events })
+        }
         T_SHUTDOWN => Ok(Ctl::Shutdown),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -478,6 +564,7 @@ mod tests {
             n: 32,
             kappa: 4,
             seed: 1,
+            job: 77,
         });
         roundtrip(Ctl::DistDone(DistDone {
             supersteps: 2,
@@ -486,8 +573,23 @@ mod tests {
             mems: vec![vec![1, 2], vec![], vec![3], vec![4]],
             traffic: vec![vec![(0, 1, 5)], vec![]],
             socket_words_per_level: vec![10, 20],
+            recv_words_per_level: vec![20, 10],
             ops: 99,
         }));
+        roundtrip(Ctl::ClockProbe { seq: 4 });
+        roundtrip(Ctl::ClockReply {
+            seq: 4,
+            t_ns: 123_456_789,
+        });
+        roundtrip(Ctl::CollectTrace);
+        roundtrip(Ctl::TraceData {
+            dropped: 0,
+            events: vec![],
+        });
+        roundtrip(Ctl::TraceData {
+            dropped: 3,
+            events: vec![(100, 12, 7, 0, 0), (200, 14, 1, 0x301, 64)],
+        });
         roundtrip(Ctl::MetricsReq);
         roundtrip(Ctl::MetricsText {
             text: "# HELP x y\n".into(),

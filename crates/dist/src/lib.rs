@@ -24,6 +24,14 @@
 //! full `mo-serve` server (SB admission, batching, typed shedding) and
 //! a Prometheus endpoint; the [`Router`] consistent-hashes single-shard
 //! jobs over a [`HashRing`] and serves a merged fleet `/metrics` view.
+//!
+//! With tracing on ([`WorkerConfig::trace`]) every worker stamps its
+//! supersteps, XOR-round exchanges, and barrier waits into a local
+//! `mo-obs` sink; the router calibrates each worker's clock NTP-style
+//! ([`Router::calibrate_clocks`]), ships the streams home
+//! ([`Router::collect_trace`]), and the [`trace`] module sets the
+//! measured per-level wire traffic against the analytic D-BSP
+//! `h`-relation charge.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,12 +41,14 @@ pub mod data;
 pub mod frame;
 pub mod router;
 pub mod topology;
+pub mod trace;
 pub mod worker;
 
 pub use comm::SocketComm;
 pub use frame::{Ctl, DistAlg, DistDone, Msg};
-pub use router::{DistOutcome, FleetExposition, Router};
+pub use router::{ClockCal, DistOutcome, FleetExposition, Router};
 pub use topology::{job_key, pair_level, HashRing, Partition};
+pub use trace::{format_level_table, level_table, straggler_report, LevelRow};
 pub use worker::{run_worker, WorkerConfig};
 
 use std::io;

@@ -14,7 +14,10 @@ use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use mo_obs::fleet::WorkerStream;
+use mo_obs::{Event, EventKind, WORKER_EXTERNAL};
 
 use crate::data;
 use crate::frame::{recv_ctl, send_ctl, Ctl, DistAlg, DistDone, Msg};
@@ -27,11 +30,33 @@ struct Shard {
     metrics_addr: String,
 }
 
+/// One worker's clock calibration, estimated NTP-style over the
+/// control channel: `offset_ns` is the worker's sink clock minus the
+/// router's reference clock at the minimum-RTT probe (the sample whose
+/// symmetric-delay assumption is tightest — its error is bounded by
+/// `rtt_ns / 2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockCal {
+    /// Worker clock minus router reference clock, nanoseconds.
+    pub offset_ns: i64,
+    /// Round-trip time of the winning probe, nanoseconds.
+    pub rtt_ns: u64,
+}
+
 struct Inner {
     shards: Vec<Shard>,
     ring: HashRing,
     jobs_routed: Vec<u64>,
     dist_jobs: u64,
+    /// The router's reference clock (all corrected fleet timestamps are
+    /// nanoseconds since this instant). Monotonic — never wall clock.
+    epoch: Instant,
+    /// Per-worker calibration from [`Router::calibrate_clocks`]; empty
+    /// until calibrated (trace merges then assume zero offset).
+    calibration: Vec<ClockCal>,
+    /// Lateness aggregates of the last collected fleet trace, exported
+    /// as barrier-wait histogram families in the merged fleet view.
+    last_trace: Option<mo_obs::fleet::FleetSummary>,
 }
 
 /// The assembled result of one fleet-wide kernel run.
@@ -51,8 +76,15 @@ pub struct DistOutcome {
     /// Payload words actually framed between workers, by D-BSP cluster
     /// level, summed over senders.
     pub socket_words_per_level: Vec<u64>,
+    /// Payload words actually delivered, by D-BSP cluster level, summed
+    /// over receivers. [`assemble`] enforces per-level equality with
+    /// `socket_words_per_level` (the fleet conservation invariant).
+    pub recv_words_per_level: Vec<u64>,
     /// Total PE operations charged across the fleet.
     pub ops: u64,
+    /// The router-assigned fleet-unique job id this run carried (the
+    /// `job` stamp on every dist trace event it produced).
+    pub job: u64,
 }
 
 /// The fleet front-end. All methods take `&self`; control-channel I/O
@@ -118,6 +150,9 @@ impl Router {
                 ring: HashRing::new(0..workers as u32, 64),
                 jobs_routed: vec![0; workers],
                 dist_jobs: 0,
+                epoch: Instant::now(),
+                calibration: Vec::new(),
+                last_trace: None,
                 shards,
             })),
             workers,
@@ -172,11 +207,13 @@ impl Router {
     fn run_dist(&self, alg: DistAlg, n: usize, kappa: usize, seed: u64) -> io::Result<DistOutcome> {
         let mut inner = self.inner.lock().unwrap();
         inner.dist_jobs += 1;
+        let job = inner.dist_jobs;
         let msg = Ctl::RunDist {
             alg,
             n: n as u64,
             kappa: kappa as u32,
             seed,
+            job,
         };
         for shard in &mut inner.shards {
             send_ctl(&mut shard.ctrl, &msg)?;
@@ -194,7 +231,106 @@ impl Router {
             }
         }
         drop(inner);
-        assemble(alg, n, kappa, self.workers, dones)
+        assemble(alg, n, kappa, self.workers, dones, job)
+    }
+
+    /// Estimate every worker's sink-clock offset against the router's
+    /// reference clock, NTP-style: `probes` round trips per worker over
+    /// the control channel, keeping the minimum-RTT sample (offset =
+    /// worker time minus the probe's send/receive midpoint). All clocks
+    /// are monotonic `Instant`s — calibration neither reads wall time
+    /// nor perturbs the data mesh. The result is also retained for
+    /// [`collect_trace`](Self::collect_trace).
+    pub fn calibrate_clocks(&self, probes: u32) -> io::Result<Vec<ClockCal>> {
+        let mut inner = self.inner.lock().unwrap();
+        let epoch = inner.epoch;
+        let mut cals = Vec::with_capacity(inner.shards.len());
+        for shard in &mut inner.shards {
+            let mut best = ClockCal {
+                offset_ns: 0,
+                rtt_ns: u64::MAX,
+            };
+            for seq in 0..probes.max(1) {
+                let t0 = epoch.elapsed().as_nanos() as u64;
+                send_ctl(&mut shard.ctrl, &Ctl::ClockProbe { seq })?;
+                let t_ns = match recv_ctl(&mut shard.ctrl)? {
+                    Ctl::ClockReply { seq: got, t_ns } if got == seq => t_ns,
+                    other => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("expected ClockReply({seq}), got {other:?}"),
+                        ))
+                    }
+                };
+                let t3 = epoch.elapsed().as_nanos() as u64;
+                let rtt = t3.saturating_sub(t0);
+                if rtt < best.rtt_ns {
+                    best = ClockCal {
+                        offset_ns: t_ns as i64 - ((t0 + t3) / 2) as i64,
+                        rtt_ns: rtt,
+                    };
+                }
+            }
+            cals.push(best);
+        }
+        inner.calibration = cals.clone();
+        Ok(cals)
+    }
+
+    /// Drain every worker's dist trace sink and ship the streams home,
+    /// tagged with the calibration from the last
+    /// [`calibrate_clocks`](Self::calibrate_clocks) (zero offsets when
+    /// never calibrated). Prints a warning to stderr for any stream
+    /// that reports ring drops — a merged timeline with silent holes is
+    /// worse than a noisy one.
+    pub fn collect_trace(&self) -> io::Result<Vec<WorkerStream>> {
+        let mut inner = self.inner.lock().unwrap();
+        let cals = inner.calibration.clone();
+        let mut streams = Vec::with_capacity(inner.shards.len());
+        for (w, shard) in inner.shards.iter_mut().enumerate() {
+            send_ctl(&mut shard.ctrl, &Ctl::CollectTrace)?;
+            let (dropped, wire) = match recv_ctl(&mut shard.ctrl)? {
+                Ctl::TraceData { dropped, events } => (dropped, events),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected TraceData, got {other:?}"),
+                    ))
+                }
+            };
+            if dropped > 0 {
+                eprintln!(
+                    "mo-dist: warning: worker {w} trace stream reports {dropped} dropped \
+                     event(s); the merged timeline has holes"
+                );
+            }
+            let events: Vec<Event> = wire
+                .into_iter()
+                .filter_map(|(ts_ns, kind, a, b, c)| {
+                    Some(Event {
+                        ts_ns,
+                        kind: EventKind::from_u8(kind)?,
+                        worker: WORKER_EXTERNAL,
+                        a,
+                        b,
+                        c,
+                    })
+                })
+                .collect();
+            let cal = cals.get(w).copied().unwrap_or(ClockCal {
+                offset_ns: 0,
+                rtt_ns: 0,
+            });
+            streams.push(WorkerStream {
+                worker: w as u32,
+                offset_ns: cal.offset_ns,
+                rtt_ns: cal.rtt_ns,
+                dropped,
+                events,
+            });
+        }
+        inner.last_trace = Some(mo_obs::fleet::summarize(&streams));
+        Ok(streams)
     }
 
     /// Run the distributed N-GEP (Floyd–Warshall instance, `𝒟*` order)
@@ -249,6 +385,24 @@ impl Router {
             "counter",
         );
         p.sample_u64("modist_fleet_dist_jobs_total", &[], inner.dist_jobs);
+        if let Some(tr) = &inner.last_trace {
+            p.header(
+                "modist_barrier_wait_seconds",
+                "Per-round barrier wait (lateness) per worker, from the last collected fleet trace.",
+                "histogram",
+            );
+            for (w, hist) in &tr.barrier_hist {
+                let worker = w.to_string();
+                let sum = tr.barrier_wait_ns.get(w).copied().unwrap_or(0);
+                p.histogram_log2(
+                    "modist_barrier_wait_seconds",
+                    &[("worker", &worker)],
+                    hist,
+                    sum,
+                    1e9,
+                );
+            }
+        }
         let mut out = p.finish();
         for (i, text) in texts.iter().enumerate() {
             let shard = i.to_string();
@@ -295,6 +449,7 @@ fn assemble(
     kappa: usize,
     workers: usize,
     dones: Vec<DistDone>,
+    job: u64,
 ) -> io::Result<DistOutcome> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let supersteps = dones[0].supersteps;
@@ -355,10 +510,24 @@ fn assemble(
         rows.sort_unstable();
     }
     let mut socket_words_per_level = vec![0u64; num_levels(workers).max(1)];
+    let mut recv_words_per_level = vec![0u64; num_levels(workers).max(1)];
     for d in &dones {
         for (l, &w) in d.socket_words_per_level.iter().enumerate() {
             socket_words_per_level[l] += w;
         }
+        for (l, &w) in d.recv_words_per_level.iter().enumerate() {
+            recv_words_per_level[l] += w;
+        }
+    }
+    // Conservation: every word framed to a level must have been
+    // delivered from that level somewhere in the fleet (frames carry
+    // their level stamp and receivers validate it, so a mismatch means
+    // a lost or double-counted frame).
+    if socket_words_per_level != recv_words_per_level {
+        return Err(bad(format!(
+            "send/recv word conservation violated: sent {socket_words_per_level:?}, \
+             delivered {recv_words_per_level:?}"
+        )));
     }
     Ok(DistOutcome {
         checksum: data::checksum_words(output.iter().copied()),
@@ -366,7 +535,9 @@ fn assemble(
         signature,
         output,
         socket_words_per_level,
+        recv_words_per_level,
         ops: dones.iter().map(|d| d.ops).sum(),
+        job,
     })
 }
 

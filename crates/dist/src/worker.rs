@@ -22,14 +22,16 @@
 
 use std::io;
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
+use mo_obs::{EventKind, TraceSink};
 use mo_serve::{HwHierarchy, JobSpec, Kernel, Outcome, Rejected, ServeConfig, Server};
 use no_framework::algs::{ngep, sort};
 
 use crate::comm::SocketComm;
 use crate::data;
-use crate::frame::{recv_ctl, send_ctl, Ctl, DistAlg, DistDone};
+use crate::frame::{recv_ctl, send_ctl, Ctl, DistAlg, DistDone, WireEvent};
 use crate::topology::{num_levels, Partition};
 
 /// Worker process configuration.
@@ -45,6 +47,12 @@ pub struct WorkerConfig {
     pub hierarchy: Option<HwHierarchy>,
     /// Serving configuration for the embedded `mo-serve` server.
     pub serve: ServeConfig,
+    /// Enable dist tracing: allocate a trace sink, stamp every fleet
+    /// job's supersteps/exchanges/barrier waits into it, and answer
+    /// clock-calibration probes and [`Ctl::CollectTrace`] from the
+    /// router. Off (the default) the sink is never allocated and the
+    /// superstep path carries zero tracing cost.
+    pub trace: bool,
 }
 
 impl WorkerConfig {
@@ -56,6 +64,7 @@ impl WorkerConfig {
             coord: coord.into(),
             hierarchy: None,
             serve: ServeConfig::default(),
+            trace: false,
         }
     }
 }
@@ -66,6 +75,9 @@ struct DistStats {
     jobs: u64,
     supersteps: u64,
     socket_words_per_level: Vec<u64>,
+    recv_words_per_level: Vec<u64>,
+    /// Events dropped at the dist trace ring (0 when untraced).
+    trace_dropped: u64,
 }
 
 impl DistStats {
@@ -98,6 +110,25 @@ impl DistStats {
                 words,
             );
         }
+        p.header(
+            "modist_recv_words_total",
+            "Payload words delivered from peers, by D-BSP cluster level.",
+            "counter",
+        );
+        for (level, &words) in self.recv_words_per_level.iter().enumerate() {
+            let level = level.to_string();
+            p.sample_u64(
+                "modist_recv_words_total",
+                &[("worker", &worker), ("level", &level)],
+                words,
+            );
+        }
+        p.header(
+            "modist_trace_ring_dropped_total",
+            "Dist trace events dropped at this shard's full ring.",
+            "counter",
+        );
+        p.sample_u64("modist_trace_ring_dropped_total", wl, self.trace_dropped);
         p.finish()
     }
 }
@@ -157,21 +188,36 @@ fn reject_name(r: &Rejected) -> String {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_dist_job(
     alg: DistAlg,
     n: usize,
     kappa: usize,
     seed: u64,
+    job: u64,
     index: usize,
     workers: usize,
     peers: &mut [Option<TcpStream>],
+    sink: Option<&Arc<TraceSink>>,
 ) -> DistDone {
     let (n_pes, keep) = match alg {
         DistAlg::Ngep => ((n / kappa) * (n / kappa), kappa * kappa),
         DistAlg::Sort => (n, 1),
     };
     let part = Partition::new(n_pes, workers);
+    if let Some(sink) = sink {
+        sink.emit(
+            None,
+            EventKind::DistJobBegin,
+            job,
+            alg.code() as u64,
+            n as u64,
+        );
+    }
     let mut comm = SocketComm::new(part, index, peers);
+    if let Some(sink) = sink {
+        comm = comm.with_trace(Arc::clone(sink), job);
+    }
     match alg {
         DistAlg::Ngep => {
             let input = data::ngep_input(n, seed);
@@ -194,7 +240,11 @@ fn run_dist_job(
     let supersteps = comm.supersteps();
     let traffic = comm.traffic().to_vec();
     let socket_words_per_level = comm.socket_words_per_level().to_vec();
+    let recv_words_per_level = comm.recv_words_per_level().to_vec();
     let ops = comm.ops();
+    if let Some(sink) = sink {
+        sink.emit(None, EventKind::DistJobEnd, job, supersteps as u64, 0);
+    }
     DistDone {
         supersteps,
         lo,
@@ -202,6 +252,7 @@ fn run_dist_job(
         mems: comm.into_mems(keep),
         traffic,
         socket_words_per_level,
+        recv_words_per_level,
         ops,
     }
 }
@@ -244,11 +295,18 @@ pub fn run_worker(cfg: WorkerConfig) -> io::Result<()> {
         ));
     }
     let mut peers = establish_mesh(cfg.index, &addrs, &data_listener)?;
+    // The dist trace sink: everything on this worker lands in the
+    // external ring (the control loop is the only dist-event producer),
+    // and its monotonic epoch clock is what clock probes read — no wall
+    // clock anywhere, so tracing cannot perturb kernel determinism.
+    let sink: Option<Arc<TraceSink>> = cfg.trace.then(|| Arc::new(TraceSink::new(0)));
     let mut stats = DistStats {
         worker: cfg.index,
         jobs: 0,
         supersteps: 0,
         socket_words_per_level: vec![0; num_levels(cfg.workers).max(1)],
+        recv_words_per_level: vec![0; num_levels(cfg.workers).max(1)],
+        trace_dropped: 0,
     };
     loop {
         let msg = match recv_ctl(&mut ctrl) {
@@ -276,22 +334,53 @@ pub fn run_worker(cfg: WorkerConfig) -> io::Result<()> {
                 n,
                 kappa,
                 seed,
+                job,
             } => {
                 let done = run_dist_job(
                     alg,
                     n as usize,
                     kappa as usize,
                     seed,
+                    job,
                     cfg.index,
                     cfg.workers,
                     &mut peers,
+                    sink.as_ref(),
                 );
                 stats.jobs += 1;
                 stats.supersteps += done.supersteps as u64;
                 for (l, &w) in done.socket_words_per_level.iter().enumerate() {
                     stats.socket_words_per_level[l] += w;
                 }
+                for (l, &w) in done.recv_words_per_level.iter().enumerate() {
+                    stats.recv_words_per_level[l] += w;
+                }
+                if let Some(sink) = &sink {
+                    stats.trace_dropped = sink.dropped();
+                }
                 send_ctl(&mut ctrl, &Ctl::DistDone(done))?;
+            }
+            Ctl::ClockProbe { seq } => {
+                // Reply with the sink clock — the clock every shipped
+                // event is stamped with. Untraced workers answer 0 (the
+                // router never probes them).
+                let t_ns = sink.as_ref().map_or(0, |s| s.now_ns());
+                send_ctl(&mut ctrl, &Ctl::ClockReply { seq, t_ns })?;
+            }
+            Ctl::CollectTrace => {
+                let (dropped, events) = match &sink {
+                    None => (0, Vec::new()),
+                    Some(s) => {
+                        let evs: Vec<WireEvent> = s
+                            .drain()
+                            .into_iter()
+                            .map(|e| (e.ts_ns, e.kind as u8, e.a, e.b, e.c))
+                            .collect();
+                        (s.dropped(), evs)
+                    }
+                };
+                stats.trace_dropped = dropped;
+                send_ctl(&mut ctrl, &Ctl::TraceData { dropped, events })?;
             }
             Ctl::MetricsReq => {
                 let text = format!(

@@ -79,6 +79,13 @@ fn assert_outcome_matches(
     for (s, (a, b)) in got.signature.iter().zip(sig).enumerate() {
         assert_eq!(a, b, "{label}: traffic rows diverge at superstep {s}");
     }
+    // Conservation invariant: every word framed to a cluster level was
+    // delivered from that level somewhere in the fleet (mirrors serve's
+    // submitted ≥ completed + shed accounting).
+    assert_eq!(
+        got.socket_words_per_level, got.recv_words_per_level,
+        "{label}: fleet-wide send/recv word totals must match per level"
+    );
 }
 
 /// Satellite: NO sort over sockets is bit-identical to the simulator —
@@ -131,6 +138,10 @@ fn socket_signature_depends_only_on_input_size() {
     assert_eq!(
         a.socket_words_per_level, b.socket_words_per_level,
         "socket traffic per cluster level must ignore values"
+    );
+    assert_eq!(
+        a.recv_words_per_level, a.socket_words_per_level,
+        "delivered words must conserve framed words per level"
     );
     fleet.shutdown().expect("clean shutdown");
 }

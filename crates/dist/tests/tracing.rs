@@ -1,0 +1,193 @@
+//! Fleet tracing over a real loopback fleet: the merged Perfetto
+//! timeline validates with one process track per worker, the clock
+//! correction keeps every track monotone, every send flow has exactly
+//! one matching recv flow, and — the zero-perturbation bar — a traced
+//! run is bit-identical to an untraced one.
+
+use mo_dist::{format_level_table, level_table, straggler_report, LocalFleet};
+use mo_obs::fleet::{align, summarize, to_chrome_json};
+use mo_serve::HwHierarchy;
+
+const WORKERS: usize = 4;
+
+fn fleet(trace: bool) -> LocalFleet {
+    LocalFleet::spawn_with(WORKERS, |cfg| {
+        cfg.hierarchy = Some(HwHierarchy::flat(2, 1 << 14, 1 << 22));
+        cfg.trace = trace;
+    })
+    .expect("spawn local fleet")
+}
+
+/// Flow-event ids of phase `ph` ('s' = flow start, 'f' = flow finish).
+fn flow_ids(json: &str, ph: char) -> Vec<String> {
+    json.split(&format!("\"ph\":\"{ph}\",\"pid\":"))
+        .skip(1)
+        .filter_map(|s| s.split("\"id\":\"").nth(1))
+        .filter_map(|s| s.split('"').next())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Satellite: the merged fleet trace passes the chrome validator, has
+/// exactly `W` process tracks, stays monotone per track after offset
+/// correction, and pairs every send flow with exactly one recv flow.
+#[test]
+fn merged_fleet_trace_validates_with_matched_flows() {
+    let fleet = fleet(true);
+    fleet
+        .router()
+        .calibrate_clocks(8)
+        .expect("clock calibration");
+    let got = fleet.router().run_sort(64, 5).expect("fleet sort");
+    let streams = fleet.router().collect_trace().expect("collect trace");
+    assert_eq!(streams.len(), WORKERS, "one stream per worker");
+
+    let json = to_chrome_json(&streams);
+    mo_obs::chrome::validate(&json).expect("merged fleet trace must validate");
+    for w in 0..WORKERS {
+        let track = format!("{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{w}");
+        assert_eq!(
+            json.matches(&track).count(),
+            1,
+            "exactly one process track for worker {w}"
+        );
+    }
+
+    // Per-track timestamps stay monotone after the offset correction
+    // (the correction is a per-worker shift, so ring order survives).
+    let merged = align(&streams);
+    for w in 0..WORKERS as u32 {
+        let ts: Vec<u64> = merged
+            .iter()
+            .filter(|(x, _)| *x == w)
+            .map(|(_, e)| e.ts_ns)
+            .collect();
+        assert!(!ts.is_empty(), "worker {w} produced no events");
+        assert!(
+            ts.windows(2).all(|p| p[0] <= p[1]),
+            "worker {w} track not monotone after correction"
+        );
+    }
+
+    // Each (job, superstep, src, dst) exchange appears as one flow
+    // start on the sender and one flow finish on the receiver.
+    let (mut starts, mut ends) = (flow_ids(&json, 's'), flow_ids(&json, 'f'));
+    assert!(!starts.is_empty(), "trace carries no exchange flows");
+    starts.sort_unstable();
+    ends.sort_unstable();
+    assert_eq!(starts, ends, "every send flow needs exactly one recv flow");
+
+    // The trace's own word counts reconcile with the wire counters.
+    let summary = summarize(&streams);
+    let mut traced_send = vec![0u64; got.socket_words_per_level.len()];
+    let mut traced_recv = vec![0u64; got.recv_words_per_level.len()];
+    for (&(_, level), &w) in &summary.send_words {
+        traced_send[level as usize] += w;
+    }
+    for (&(_, level), &w) in &summary.recv_words {
+        traced_recv[level as usize] += w;
+    }
+    assert_eq!(traced_send, got.socket_words_per_level);
+    assert_eq!(traced_recv, got.recv_words_per_level);
+
+    fleet.shutdown().expect("clean shutdown");
+}
+
+/// Satellite: tracing must not perturb the computation — a traced
+/// fleet's outputs, checksum, traffic signature, and per-level socket
+/// words are bit-identical to an untraced fleet's.
+#[test]
+fn traced_run_is_bit_identical_to_untraced() {
+    let traced = fleet(true);
+    let plain = fleet(false);
+    traced.router().calibrate_clocks(4).expect("calibration");
+    for (n, seed) in [(64usize, 21u64), (256, 22)] {
+        let a = traced.router().run_sort(n, seed).expect("traced sort");
+        let b = plain.router().run_sort(n, seed).expect("plain sort");
+        assert_eq!(a.output, b.output, "n={n}: outputs diverge under tracing");
+        assert_eq!(a.checksum, b.checksum, "n={n}: checksums diverge");
+        assert_eq!(a.signature, b.signature, "n={n}: signatures diverge");
+        assert_eq!(
+            a.socket_words_per_level, b.socket_words_per_level,
+            "n={n}: wire traffic diverges under tracing"
+        );
+        assert_eq!(
+            a.supersteps, b.supersteps,
+            "n={n}: superstep counts diverge"
+        );
+    }
+    traced.router().collect_trace().expect("collect trace");
+    traced.shutdown().expect("clean shutdown");
+    plain.shutdown().expect("clean shutdown");
+}
+
+/// Satellite: after a trace collection the merged fleet Prometheus view
+/// carries a barrier-wait histogram per worker and each shard's
+/// ring-drop counter.
+#[test]
+fn fleet_metrics_expose_barrier_wait_and_ring_drops() {
+    let fleet = fleet(true);
+    fleet.router().calibrate_clocks(4).expect("calibration");
+    fleet.router().run_sort(64, 3).expect("fleet sort");
+    fleet.router().collect_trace().expect("collect trace");
+    let text = fleet.router().fleet_metrics().expect("fleet metrics");
+    let samples = mo_obs::prom::parse(&text).expect("fleet view parses");
+    for w in 0..WORKERS {
+        let w = w.to_string();
+        assert!(
+            samples.iter().any(|s| {
+                s.name == "modist_barrier_wait_seconds_bucket" && s.label("worker") == Some(&w)
+            }),
+            "missing barrier-wait histogram for worker {w}"
+        );
+        assert!(
+            samples.iter().any(|s| {
+                s.name == "modist_barrier_wait_seconds_count" && s.label("worker") == Some(&w)
+            }),
+            "missing barrier-wait count for worker {w}"
+        );
+        assert!(
+            samples.iter().any(|s| {
+                s.name == "modist_trace_ring_dropped_total" && s.label("shard") == Some(&w)
+            }),
+            "missing ring-drop counter for shard {w}"
+        );
+    }
+    fleet.shutdown().expect("clean shutdown");
+}
+
+/// The live observed-vs-analytic report on a real run: measured wire
+/// words match the signature at every level (no divergence flags) and
+/// the straggler report names a slowest pair for the run's rounds.
+#[test]
+fn level_table_and_straggler_report_on_live_run() {
+    let fleet = fleet(true);
+    fleet.router().calibrate_clocks(4).expect("calibration");
+    let got = fleet.router().run_sort(64, 7).expect("fleet sort");
+    let rows = level_table(&got, 64, WORKERS);
+    assert_eq!(rows.len(), 2, "W=4 has two cluster levels");
+    for r in &rows {
+        assert!(
+            !r.divergent,
+            "level {}: wire ({} sent / {} recv) diverges from signature ({})",
+            r.level, r.send_words, r.recv_words, r.signature_words
+        );
+        assert!(
+            r.h_relation <= r.signature_words,
+            "h-relation is a max over workers, never above the level total"
+        );
+    }
+    let table = format_level_table(&rows);
+    assert!(
+        table.contains("ok") && !table.contains("DIVERGENT"),
+        "{table}"
+    );
+
+    let streams = fleet.router().collect_trace().expect("collect trace");
+    let report = straggler_report(&summarize(&streams));
+    assert!(
+        report.contains("slowest pair") && report.contains("worker 0"),
+        "{report}"
+    );
+    fleet.shutdown().expect("clean shutdown");
+}

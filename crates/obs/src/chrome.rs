@@ -46,8 +46,29 @@ fn push_common(out: &mut String, name: &str, ph: char, e: &Event) {
 fn slice_name(kind: EventKind) -> &'static str {
     match kind {
         EventKind::TaskEnter | EventKind::TaskExit => "task",
+        EventKind::SuperstepBegin | EventKind::SuperstepEnd => "superstep",
+        EventKind::DistJobBegin | EventKind::DistJobEnd => "dist_job",
         _ => "parked",
     }
+}
+
+/// `true` for kinds that open a `"B"` slice.
+fn is_begin(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::TaskEnter
+            | EventKind::Park
+            | EventKind::SuperstepBegin
+            | EventKind::DistJobBegin
+    )
+}
+
+/// `true` for kinds that close a `"B"` slice.
+fn is_end(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::TaskExit | EventKind::Unpark | EventKind::SuperstepEnd | EventKind::DistJobEnd
+    )
 }
 
 /// Render a drained, time-ordered event stream as a chrome-trace JSON
@@ -70,18 +91,14 @@ pub fn to_chrome_json(events: &[Event]) -> String {
     let mut first = true;
     for e in events {
         last_ts = last_ts.max(e.ts_ns);
-        match e.kind {
-            EventKind::TaskEnter | EventKind::Park => {
-                *open.entry((tid(e.worker), slice_name(e.kind))).or_insert(0) += 1;
+        if is_begin(e.kind) {
+            *open.entry((tid(e.worker), slice_name(e.kind))).or_insert(0) += 1;
+        } else if is_end(e.kind) {
+            let depth = open.entry((tid(e.worker), slice_name(e.kind))).or_insert(0);
+            if *depth == 0 {
+                continue; // orphan end: its begin was dropped at the ring
             }
-            EventKind::TaskExit | EventKind::Unpark => {
-                let depth = open.entry((tid(e.worker), slice_name(e.kind))).or_insert(0);
-                if *depth == 0 {
-                    continue; // orphan end: its begin was dropped at the ring
-                }
-                *depth -= 1;
-            }
-            _ => {}
+            *depth -= 1;
         }
         if !first {
             out.push(',');
@@ -141,6 +158,50 @@ pub fn to_chrome_json(events: &[Event]) -> String {
             EventKind::CacheWitness => {
                 push_common(&mut out, crate::witness::counter_name(e.a), 'C', e);
                 out.push_str(&format!(",\"args\":{{\"value\":{}}}}}", e.b));
+            }
+            EventKind::SuperstepBegin => {
+                push_common(&mut out, "superstep", 'B', e);
+                out.push_str(&format!(
+                    ",\"args\":{{\"job\":{},\"superstep\":{}}}}}",
+                    e.a, e.b
+                ));
+            }
+            EventKind::SuperstepEnd => {
+                push_common(&mut out, "superstep", 'E', e);
+                out.push('}');
+            }
+            EventKind::DistJobBegin => {
+                push_common(&mut out, "dist_job", 'B', e);
+                out.push_str(&format!(",\"args\":{{\"job\":{},\"n\":{}}}}}", e.a, e.c));
+            }
+            EventKind::DistJobEnd => {
+                push_common(&mut out, "dist_job", 'E', e);
+                out.push('}');
+            }
+            EventKind::ExchangeSend | EventKind::ExchangeRecv => {
+                let (step, level) = crate::event::unpack_step_level(e.b);
+                push_common(&mut out, e.kind.name(), 'i', e);
+                out.push_str(&format!(
+                    ",\"s\":\"t\",\"args\":{{\"peer\":{},\"superstep\":{step},\"level\":{level},\"words\":{}}}}}",
+                    e.a, e.c
+                ));
+            }
+            EventKind::BarrierWait => {
+                // A complete ("X") event: renders as a slice of the wait
+                // duration without needing B/E balancing. The event is
+                // stamped when the wait *ends*, so the slice starts
+                // `dur` earlier.
+                let (step, level) = crate::event::unpack_step_level(e.b);
+                let start = e.ts_ns.saturating_sub(e.c);
+                out.push_str(&format!(
+                    "{{\"name\":\"barrier_wait\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"peer\":{},\"superstep\":{step},\"level\":{level}}}}}",
+                    tid(e.worker),
+                    start / 1000,
+                    start % 1000,
+                    e.c / 1000,
+                    e.c % 1000,
+                    e.a
+                ));
             }
         }
     }
@@ -306,6 +367,34 @@ mod tests {
         assert!(!json.contains("\"tid\":2"));
         assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
         assert_eq!(json.matches("\"ts\":0.030").count(), 3);
+    }
+
+    #[test]
+    fn dist_kinds_render_and_validate() {
+        let sl = crate::event::pack_step_level(3, 1);
+        let evs = vec![
+            ev(100, EventKind::DistJobBegin, 0, 42, 1, 4096),
+            ev(200, EventKind::SuperstepBegin, 0, 42, 3, 0),
+            ev(300, EventKind::ExchangeSend, 0, 2, sl, 128),
+            ev(900, EventKind::BarrierWait, 0, 2, sl, 500),
+            ev(900, EventKind::ExchangeRecv, 0, 2, sl, 96),
+            ev(1000, EventKind::SuperstepEnd, 0, 42, 3, 0),
+            ev(1100, EventKind::DistJobEnd, 0, 42, 4, 0),
+        ];
+        let json = to_chrome_json(&evs);
+        validate(&json).unwrap();
+        assert!(json.contains("{\"name\":\"dist_job\",\"ph\":\"B\""));
+        assert!(json.contains("\"args\":{\"job\":42,\"n\":4096}"));
+        assert!(json.contains("{\"name\":\"superstep\",\"ph\":\"B\""));
+        assert!(json.contains("\"args\":{\"job\":42,\"superstep\":3}"));
+        // Exchange instants carry the unpacked superstep + level stamp.
+        assert!(json.contains("\"args\":{\"peer\":2,\"superstep\":3,\"level\":1,\"words\":128}"));
+        assert!(json.contains("\"args\":{\"peer\":2,\"superstep\":3,\"level\":1,\"words\":96}"));
+        // The barrier wait is an "X" slice back-dated by its duration:
+        // stamped at 900 ns with 500 ns of wait => starts at 400 ns.
+        assert!(json.contains(
+            "{\"name\":\"barrier_wait\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.400,\"dur\":0.500"
+        ));
     }
 
     #[test]

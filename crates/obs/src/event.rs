@@ -26,10 +26,24 @@ pub const WORKER_EXTERNAL: u32 = u32::MAX;
 /// | [`Park`](Self::Park) / [`Unpark`](Self::Unpark) | — | — | — |
 /// | [`CgcSegment`](Self::CgcSegment) | segment `lo` | segment `hi` | grain |
 /// | [`CacheWitness`](Self::CacheWitness) | counter id (see [`crate::witness`]) | measured delta | job id (`0` = root scope) |
+/// | [`SuperstepBegin`](Self::SuperstepBegin) / [`SuperstepEnd`](Self::SuperstepEnd) | fleet job id | superstep index | — |
+/// | [`ExchangeSend`](Self::ExchangeSend) / [`ExchangeRecv`](Self::ExchangeRecv) | peer worker | [`pack_step_level`] | payload words |
+/// | [`BarrierWait`](Self::BarrierWait) | peer worker | [`pack_step_level`] | wait ns |
+/// | [`DistJobBegin`](Self::DistJobBegin) | fleet job id | kernel code | problem size `n` |
+/// | [`DistJobEnd`](Self::DistJobEnd) | fleet job id | supersteps executed | — |
 ///
 /// The three fork kinds *are* the SB anchor decisions: the kind records
 /// the decision taken, `a` the declared space bound and `b` the level
 /// the space bound anchors at (`u64::MAX` when it exceeds every cache).
+///
+/// The seven dist kinds are the D-BSP cost model made observable: a
+/// superstep begin/end pair brackets one BSP superstep on one worker
+/// process; each exchange send/recv is one XOR-round frame to/from
+/// `peer`, stamped with the superstep and the pair's cluster level so a
+/// fleet merge can draw the send→recv flow across process tracks; a
+/// barrier-wait records how long the worker blocked on `peer`'s frame
+/// (load imbalance — the lateness the paper's per-level `H(n,p,B)`
+/// charge abstracts away).
 #[repr(u8)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
@@ -63,10 +77,40 @@ pub enum EventKind {
     /// the task's execution (exclusive of nested tasks it help-executed),
     /// `c` the job id (`0` for the root scope of an `enter`).
     CacheWitness = 11,
+    /// A D-BSP superstep started on this worker process (`a` = fleet
+    /// job id, `b` = superstep index).
+    SuperstepBegin = 12,
+    /// That superstep's compute + exchange + deliver finished.
+    SuperstepEnd = 13,
+    /// One XOR-round data frame was sent to `a` = peer worker;
+    /// `b` = [`pack_step_level`], `c` = payload words framed.
+    ExchangeSend = 14,
+    /// One XOR-round data frame arrived from `a` = peer worker;
+    /// `b` = [`pack_step_level`], `c` = payload words delivered.
+    ExchangeRecv = 15,
+    /// The worker blocked `c` nanoseconds waiting for `a` = peer's
+    /// frame (`b` = [`pack_step_level`]) — per-round barrier lateness.
+    BarrierWait = 16,
+    /// A fleet-wide distributed kernel started on this worker
+    /// (`a` = fleet job id, `b` = kernel code, `c` = problem size).
+    DistJobBegin = 17,
+    /// That kernel finished (`a` = fleet job id, `b` = supersteps).
+    DistJobEnd = 18,
 }
 
 /// Number of distinct [`EventKind`]s (array-index bound for summaries).
-pub const NKINDS: usize = 12;
+pub const NKINDS: usize = 19;
+
+/// Pack a superstep index and a D-BSP cluster level into the single
+/// payload word the exchange/barrier events carry in `b`.
+pub fn pack_step_level(superstep: u32, level: u8) -> u64 {
+    ((superstep as u64) << 8) | level as u64
+}
+
+/// Inverse of [`pack_step_level`]: `(superstep, level)`.
+pub fn unpack_step_level(b: u64) -> (u32, u8) {
+    ((b >> 8) as u32, (b & 0xff) as u8)
+}
 
 impl EventKind {
     /// Every kind, in discriminant order.
@@ -83,6 +127,13 @@ impl EventKind {
         EventKind::Unpark,
         EventKind::CgcSegment,
         EventKind::CacheWitness,
+        EventKind::SuperstepBegin,
+        EventKind::SuperstepEnd,
+        EventKind::ExchangeSend,
+        EventKind::ExchangeRecv,
+        EventKind::BarrierWait,
+        EventKind::DistJobBegin,
+        EventKind::DistJobEnd,
     ];
 
     /// Stable lower-case name (report rows, chrome-trace event names).
@@ -100,6 +151,13 @@ impl EventKind {
             EventKind::Unpark => "unpark",
             EventKind::CgcSegment => "cgc_segment",
             EventKind::CacheWitness => "cache_witness",
+            EventKind::SuperstepBegin => "superstep_begin",
+            EventKind::SuperstepEnd => "superstep_end",
+            EventKind::ExchangeSend => "exchange_send",
+            EventKind::ExchangeRecv => "exchange_recv",
+            EventKind::BarrierWait => "barrier_wait",
+            EventKind::DistJobBegin => "dist_job_begin",
+            EventKind::DistJobEnd => "dist_job_end",
         }
     }
 
@@ -179,5 +237,15 @@ mod tests {
         };
         let back = Event::unpack(e.ts_ns, e.kw(), e.a, e.b, e.c).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn step_level_round_trips() {
+        for (step, level) in [(0u32, 0u8), (1, 3), (u32::MAX, 255)] {
+            assert_eq!(
+                unpack_step_level(pack_step_level(step, level)),
+                (step, level)
+            );
+        }
     }
 }

@@ -24,6 +24,10 @@
 //!   distributions, segment-size histograms — consumed by the
 //!   `obs_report` bench binary to compare measured scheduler behaviour
 //!   against the analytic predictions;
+//! * a **fleet trace merger** ([`fleet`]) turning per-process event
+//!   streams shipped by the distributed tier into one clock-aligned
+//!   Perfetto timeline (one process track per worker, send→recv flow
+//!   arrows per XOR round) plus straggler/lateness aggregates;
 //! * a **cache witness** ([`witness`]) attaching *measured* per-level
 //!   cache traffic to traced runs: a Linux `perf_event_open` backend
 //!   scoped around task enter/exit, and a portable simulator-replay
@@ -47,12 +51,13 @@
 
 pub mod chrome;
 mod event;
+pub mod fleet;
 pub mod prom;
 mod ring;
 mod sink;
 pub mod summary;
 pub mod witness;
 
-pub use event::{Event, EventKind, WORKER_EXTERNAL};
+pub use event::{pack_step_level, unpack_step_level, Event, EventKind, WORKER_EXTERNAL};
 pub use ring::Ring;
 pub use sink::TraceSink;

@@ -57,6 +57,45 @@ impl PromText {
         }
     }
 
+    /// Emit one full histogram series (`_bucket` lines, `_sum`,
+    /// `_count`) from *non-cumulative* log₂ buckets: bucket `i` counts
+    /// observations in `(2^(i-1), 2^i]` native units, the last bucket
+    /// is open-ended (`+Inf`), and `le` is rendered in seconds by
+    /// dividing through `units_per_second` (`1e6` for µs buckets,
+    /// `1e9` for ns). `sum` is in the same native unit. The caller
+    /// emits the family [`header`](Self::header) once before its
+    /// series. Used by `mo-serve`'s latency families and the fleet
+    /// barrier-wait families so every log₂ histogram in the tree
+    /// renders (and validates) identically.
+    pub fn histogram_log2(
+        &mut self,
+        family: &str,
+        labels: &[(&str, &str)],
+        buckets: &[u64],
+        sum: u64,
+        units_per_second: f64,
+    ) {
+        let bucket_name = format!("{family}_bucket");
+        let mut cum = 0u64;
+        for (i, c) in buckets.iter().enumerate() {
+            cum += c;
+            let le = if i + 1 < buckets.len() {
+                format!("{}", (1u64 << i.min(62)) as f64 / units_per_second)
+            } else {
+                "+Inf".to_string()
+            };
+            let mut ls: Vec<(&str, &str)> = labels.to_vec();
+            ls.push(("le", &le));
+            self.sample_u64(&bucket_name, &ls, cum);
+        }
+        self.sample_f64(
+            &format!("{family}_sum"),
+            labels,
+            sum as f64 / units_per_second,
+        );
+        self.sample_u64(&format!("{family}_count"), labels, cum);
+    }
+
     /// The finished document.
     pub fn finish(self) -> String {
         self.buf
@@ -255,6 +294,21 @@ mod tests {
         assert_eq!(samples[0].label("kernel"), Some("sort"));
         assert_eq!(samples[0].value, 41.0);
         assert_eq!(samples[2].value, 3.5);
+    }
+
+    #[test]
+    fn histogram_log2_writer_validates() {
+        let mut w = PromText::new();
+        w.header("lat_seconds", "Latency.", "histogram");
+        // 4 non-cumulative buckets: (..1], (1,2], (2,4], +Inf native µs.
+        w.histogram_log2("lat_seconds", &[("k", "sort")], &[1, 0, 2, 1], 42, 1e6);
+        let text = w.finish();
+        let samples = parse(&text).unwrap();
+        assert_eq!(check_histograms(&samples).unwrap(), 1);
+        assert!(text.contains("lat_seconds_bucket{k=\"sort\",le=\"0.000001\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{k=\"sort\",le=\"+Inf\"} 4"));
+        assert!(text.contains("lat_seconds_count{k=\"sort\"} 4"));
+        assert!(text.contains("lat_seconds_sum{k=\"sort\"} 0.000042"));
     }
 
     #[test]

@@ -47,12 +47,6 @@ impl LatencyHist {
     }
 }
 
-/// Upper bound of log₂-µs bucket `idx` in microseconds (the last bucket
-/// is open-ended).
-pub(crate) fn bucket_upper_us(idx: usize) -> Option<u64> {
-    (idx + 1 < NBUCKETS).then(|| 1u64 << idx)
-}
-
 /// Quantile over a log₂ histogram: upper bound (in ms) of the bucket
 /// where the cumulative count crosses `q`. `None` without samples.
 fn quantile_ms(buckets: &[u64], q: f64) -> Option<f64> {
@@ -514,29 +508,12 @@ impl MetricsSnapshot {
             "histogram",
         );
         for k in &self.kernels {
-            let name = k.kernel.name();
-            let mut cum = 0u64;
-            for (i, c) in k.latency_buckets.iter().enumerate() {
-                cum += c;
-                let le = match bucket_upper_us(i) {
-                    Some(us) => format!("{}", us as f64 / 1e6),
-                    None => "+Inf".to_string(),
-                };
-                w.sample_u64(
-                    "moserve_latency_seconds_bucket",
-                    &[("kernel", name), ("le", &le)],
-                    cum,
-                );
-            }
-            w.sample_f64(
-                "moserve_latency_seconds_sum",
-                &[("kernel", name)],
-                k.latency_sum_us as f64 / 1e6,
-            );
-            w.sample_u64(
-                "moserve_latency_seconds_count",
-                &[("kernel", name)],
-                k.latency_count(),
+            w.histogram_log2(
+                "moserve_latency_seconds",
+                &[("kernel", k.kernel.name())],
+                &k.latency_buckets,
+                k.latency_sum_us,
+                1e6,
             );
         }
         w.header("moserve_queue_depth", "Jobs waiting in the queue.", "gauge");
