@@ -138,6 +138,57 @@ pub fn footprint_words(kernel: Kernel, n: usize) -> usize {
     }
 }
 
+/// Cache-line size in words (64-byte lines of `u64` words) assumed by
+/// [`analytic_transfers`] when the caller has no measured block size.
+pub const BLOCK_WORDS: usize = 8;
+
+/// Analytic sequential cache-transfer bound `Q(n; C, B)` of one
+/// size-`n` job against a single cache of `capacity_words` words with
+/// `block_words`-word lines: the paper's per-kernel cache complexity
+/// (Theorems 1–4 shapes), with the same deliberately generous constants
+/// the obs-report witness gate uses. `mo-serve` multiplies this by the
+/// batch size to form the *expected* transfers behind its
+/// `moserve_witness_divergence` gauges — the point is the shape and
+/// catching order-of-magnitude divergence, not tight constants.
+pub fn analytic_transfers(
+    kernel: Kernel,
+    n: usize,
+    capacity_words: usize,
+    block_words: usize,
+) -> f64 {
+    let b = block_words.max(1) as f64;
+    let c = capacity_words.max(2) as f64;
+    let n = n.max(2) as f64;
+    match kernel {
+        // Q(n²; C, B) = O(n²/B): scan-bound (n is the matrix side).
+        Kernel::Transpose => 8.0 * (2.0 * n * n / b + b + 1.0),
+        // Q = O((n/B)·log_C n) with at least one pass.
+        Kernel::Fft => {
+            let m = (n as usize).next_power_of_two() as f64;
+            let passes = (m.log2() / c.log2()).max(1.0);
+            16.0 * ((m / b) * passes + m / b + b + 1.0)
+        }
+        // Q = O(n³/(B·√C)) + the 3n²/B compulsory tile reads.
+        Kernel::Matmul => 16.0 * (n * n * n / (b * c.sqrt()) + 3.0 * n * n / b + b + 1.0),
+        // Same recurrence shape as FFT; sample sort's constant is larger.
+        Kernel::Sort => {
+            let passes = (n.log2() / c.log2()).max(1.0);
+            48.0 * ((n / b) * passes + n / b + b + 1.0)
+        }
+        // Q = O(nnz/B + n/√C); the generator averages SPMDV_DEG
+        // nonzeros per row.
+        Kernel::SpmDv => {
+            let nnz = SPMDV_DEG as f64 * n;
+            16.0 * (2.0 * nnz / b + n / c.sqrt() + b + 1.0)
+        }
+        // Scan-bound like transpose: two tree sweeps over the array.
+        Kernel::Scan => {
+            let m = (n as usize).next_power_of_two() as f64;
+            8.0 * (2.0 * m / b + b + 1.0)
+        }
+    }
+}
+
 /// Splitmix-style generator so inputs are cheap and deterministic.
 pub(crate) struct Gen(pub(crate) u64);
 

@@ -46,13 +46,29 @@
 //! stay within 5% (plus a fixed noise floor) of the same build with no
 //! sink, so an `obs`-enabled binary that never attaches a sink pays
 //! nothing measurable.
+//!
+//! **Serve mode** (`--serve`): instead of tracing the pool directly,
+//! boot an in-process `mo-serve` server with a trace sink attached,
+//! burst-submit every registry kernel so the bounded queue and the
+//! CGC⇒SB batcher engage, and print the request-path **phase
+//! attribution table** — per-kernel p50/p95/p99 for the
+//! admission/queue/batch/execute phases with the dominant phase named
+//! at each quantile (`mo_obs::span`). For each kernel the report
+//! compares queue p99 against what the analytic batch cost explains —
+//! the burst drains in `per/batch` waves, so queueing beyond
+//! `waves × execute p99` is divergence the batching model cannot
+//! account for — and `--gate <factor>` turns that comparison into an
+//! acceptance check. The span timeline is written to `--out` as
+//! validated chrome-trace JSON.
 
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
 use hm_model::{spec_from_host, MachineSpec};
-use mo_algorithms::real::registry::{footprint_words, run_kernel, Kernel};
+use mo_algorithms::real::registry::{
+    analytic_transfers, footprint_words, run_kernel, Kernel, BLOCK_WORDS,
+};
 use mo_core::rt::{HwHierarchy, SbPool};
 use mo_core::sched::{simulate, Policy};
 use mo_obs::witness::{
@@ -608,6 +624,200 @@ fn print_certificate_summary(path: &str) {
     println!();
 }
 
+// ---------------------------------------------------------------------------
+// Serve mode: request-path phase attribution for every registry kernel.
+// ---------------------------------------------------------------------------
+
+/// Problem size for the serve-mode phase report: big enough that
+/// execution is visible in the spans, small enough that a burst of
+/// jobs drains in well under the queue deadline.
+fn serve_size(k: Kernel, smoke: bool) -> usize {
+    match k {
+        Kernel::Transpose => {
+            if smoke {
+                64
+            } else {
+                128
+            }
+        }
+        Kernel::Matmul => {
+            if smoke {
+                48
+            } else {
+                96
+            }
+        }
+        Kernel::Fft | Kernel::Sort | Kernel::Scan => {
+            if smoke {
+                1 << 10
+            } else {
+                1 << 12
+            }
+        }
+        Kernel::SpmDv => {
+            if smoke {
+                1_000
+            } else {
+                2_048
+            }
+        }
+    }
+}
+
+/// `--serve` mode: burst-submit every registry kernel through an
+/// in-process server, reassemble the request spans, print the phase
+/// attribution table, and gate queueing latency against what the
+/// analytic batch cost explains. Never returns.
+fn serve_phase_report(smoke: bool, gate: Option<f64>, out_path: &str) -> ! {
+    use mo_obs::span::{self, Phase};
+    use mo_serve::{JobSpec, ServeConfig, Server};
+
+    let hier = HwHierarchy::detect();
+    let cores = hier.cores();
+    let l1 = hier.l1_capacity();
+    let llc = hier
+        .level_capacity(hier.levels().len().saturating_sub(1))
+        .unwrap_or(l1);
+    let batch_max = 8;
+    let per: usize = if smoke { 12 } else { 48 };
+    let server = Server::start(
+        hier,
+        ServeConfig {
+            queue_cap: per.max(64),
+            default_deadline: std::time::Duration::from_secs(30),
+            batch_max,
+            ..ServeConfig::default()
+        },
+    );
+    let sink = Arc::new(TraceSink::new(cores));
+    assert!(server.attach_sink(Arc::clone(&sink)));
+    println!(
+        "== serve phase attribution: burst of {per} jobs per kernel, batch_max {batch_max} ==\n"
+    );
+    for k in Kernel::ALL {
+        let n = serve_size(k, smoke);
+        let tickets: Vec<_> = (0..per)
+            .map(|i| {
+                server
+                    .submit(JobSpec::new(k, n, 0x5eed ^ i as u64))
+                    .unwrap_or_else(|r| panic!("{k} n={n} refused at submit: {r:?}"))
+            })
+            .collect();
+        for t in tickets {
+            let _ = t.wait();
+        }
+    }
+    let snapshot = server.drain();
+    let events = sink.drain();
+    let set = span::assemble(&events);
+    let stats = span::phase_stats(&set);
+    print!(
+        "{}",
+        span::format_phase_table(&stats, |code| {
+            Kernel::ALL
+                .get(code as usize)
+                .map(|k| k.name().to_string())
+                .unwrap_or_else(|| format!("kernel{code}"))
+        })
+    );
+    let dropped: u64 = sink.dropped_per_worker().iter().sum();
+    println!(
+        "spans: {} opened, {} closed, {} orphan closes, {} ring events dropped",
+        set.opened, set.closed, set.orphan_closes, dropped
+    );
+    if dropped == 0 && !set.conserved() {
+        eprintln!("serve report: span conservation failed on a drop-free run");
+        std::process::exit(1);
+    }
+
+    println!("\n== queueing vs analytic batch cost ==");
+    let mut breaches = Vec::new();
+    for k in Kernel::ALL {
+        let code = k.index() as u64;
+        let Some(kp) = stats.get(&code).filter(|kp| kp.count > 0) else {
+            breaches.push(format!(
+                "{k}: no complete spans — phase attribution impossible"
+            ));
+            continue;
+        };
+        let (dom, dom_ns) = kp.dominant_phase(0.99);
+        let q99 = kp.phases[Phase::Queue as usize].quantile_ns(0.99);
+        let x99 = kp.phases[Phase::Execute as usize].quantile_ns(0.99);
+        let sizes: Vec<u64> = set
+            .spans
+            .iter()
+            .filter(|s| s.kernel == code && s.shed.is_none() && s.complete())
+            .map(|s| s.batch_size.max(1))
+            .collect();
+        let avg_batch = sizes.iter().sum::<u64>() as f64 / sizes.len().max(1) as f64;
+        // A burst of `per` same-kernel jobs drains in `per / batch`
+        // waves, so the last arrival queues for at most that many batch
+        // services — queueing beyond it is latency the analytic batch
+        // cost cannot explain. The 1 ms floor absorbs wakeup jitter.
+        let waves = (per as f64 / avg_batch.max(1.0)).ceil();
+        let explained = waves * x99 as f64 + 1_000_000.0;
+        let n = serve_size(k, smoke);
+        let q_l1 = analytic_transfers(k, n, l1, BLOCK_WORDS) * avg_batch;
+        let q_llc = analytic_transfers(k, n, llc, BLOCK_WORDS) * avg_batch;
+        println!(
+            "{k}: p99 dominant {} ({dom_ns} ns); queue p99 {q99} ns vs {waves:.0} waves of ~{avg_batch:.1}-job \
+             batches x execute p99 {x99} ns; analytic batch cost L1 {q_l1:.0} / LLC {q_llc:.0} transfers",
+            dom.name()
+        );
+        if let Some(factor) = gate {
+            if q99 as f64 > factor * explained {
+                breaches.push(format!(
+                    "{k}: queue p99 {q99} ns > {factor} x batch-explained {explained:.0} ns — \
+                     queueing diverges from the analytic batch cost"
+                ));
+            }
+        }
+    }
+    // Hardware-witness divergence (measured/analytic transfers per
+    // batch) rides along when `perf_event_open` is available; the same
+    // ratios back the `moserve_witness_divergence` gauges.
+    let divs: Vec<String> = snapshot
+        .kernels
+        .iter()
+        .filter_map(|row| {
+            let [d1, dl] = row.witness_divergence();
+            (d1.is_some() || dl.is_some()).then(|| {
+                let fmt = |d: Option<f64>| {
+                    d.map(|d| format!("{d:.2}"))
+                        .unwrap_or_else(|| "-".to_string())
+                };
+                format!("{} L1 {} LLC {}", row.kernel, fmt(d1), fmt(dl))
+            })
+        })
+        .collect();
+    if divs.is_empty() {
+        println!("witness divergence: hardware witness unavailable (perf_event_open)");
+    } else {
+        println!(
+            "witness divergence (measured/analytic): {}",
+            divs.join("; ")
+        );
+    }
+
+    let json = chrome::to_chrome_json(&events);
+    chrome::validate(&json).expect("emitted chrome trace must validate");
+    std::fs::write(out_path, &json).expect("write chrome trace");
+    println!("wrote {out_path}: {} events", events.len());
+
+    if !breaches.is_empty() {
+        for b in &breaches {
+            eprintln!("serve gate BREACH: {b}");
+        }
+        std::process::exit(1);
+    }
+    if let Some(factor) = gate {
+        println!(
+            "serve gate: queue p99 within {factor} x batch-explained latency for every kernel"
+        );
+    }
+    std::process::exit(0);
+}
+
 /// Standalone `--validate <file>` mode: structural chrome-trace check.
 fn validate_file(path: &str) -> ! {
     let json = match std::fs::read_to_string(path) {
@@ -651,6 +861,9 @@ fn main() {
         Some("perf") => Backend::Perf,
         Some(other) => panic!("--backend takes sim|perf|both, got {other:?}"),
     };
+    if args.iter().any(|a| a == "--serve") {
+        serve_phase_report(smoke, gate, &out_path);
+    }
 
     // Tracing a 1-core machine shows no steals and no parallel forks;
     // substitute a flat 4-core shape so the report exercises the

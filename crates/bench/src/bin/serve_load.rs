@@ -22,12 +22,25 @@
 //!                         NotCertified shedding; sort is refused)
 //!   --certs FILE          certificate artifact for --secure
 //!                         [default certify/certificates.json]
+//!   --phases              attach a trace sink and print the per-kernel
+//!                         per-phase p50/p95/p99 attribution table
+//!                         (requires the `obs` feature)
+//!   --trace-out FILE      with --phases: write the request-span
+//!                         timeline as validated chrome-trace JSON
+//!   --report FILE         with --phases: write the closed-loop report
+//!                         (tally, throughput, span accounting, phase
+//!                         quantiles) as JSON
+//!   --overhead-check      run traced-vs-untraced closed-loop controls
+//!                         and exit non-zero if span emission costs
+//!                         more than 5% throughput (requires `obs`)
 //! ```
 //!
 //! Both modes print the server's final [`MetricsSnapshot`] plus a
 //! client-side outcome tally, and exit non-zero if the drain left
 //! anything queued or admitted — so the smoke run doubles as an
-//! end-to-end assertion in CI.
+//! end-to-end assertion in CI. With `--phases` the run additionally
+//! asserts span conservation: every span the rings did not drop must
+//! close exactly once.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -158,6 +171,10 @@ struct Args {
     scenario: Option<String>,
     secure: bool,
     certs: String,
+    phases: bool,
+    trace_out: Option<String>,
+    report: Option<String>,
+    overhead_check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -172,6 +189,10 @@ fn parse_args() -> Result<Args, String> {
         scenario: None,
         secure: false,
         certs: "certify/certificates.json".to_string(),
+        phases: false,
+        trace_out: None,
+        report: None,
+        overhead_check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -213,6 +234,10 @@ fn parse_args() -> Result<Args, String> {
             "--scenario" => args.scenario = Some(val("--scenario")?),
             "--secure" => args.secure = true,
             "--certs" => args.certs = val("--certs")?,
+            "--phases" => args.phases = true,
+            "--trace-out" => args.trace_out = Some(val("--trace-out")?),
+            "--report" => args.report = Some(val("--report")?),
+            "--overhead-check" => args.overhead_check = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -268,6 +293,143 @@ fn open_loop(server: &Server, draw: &mut Draw, tally: &Tally, rate: f64, until: 
         drop(tx);
         let _ = collector.join();
     });
+}
+
+/// Kernel-code → name mapping for the phase table and the JSON report:
+/// the arrive event carries [`Kernel::index`].
+#[cfg(feature = "obs")]
+fn kernel_name_of(code: u64) -> String {
+    Kernel::ALL
+        .get(code as usize)
+        .map(|k| k.name().to_string())
+        .unwrap_or_else(|| format!("kernel{code}"))
+}
+
+#[cfg(feature = "obs")]
+fn phase_json(h: &mo_obs::span::Log2Hist) -> String {
+    format!(
+        "{{\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+        h.count,
+        h.quantile_ns(0.50),
+        h.quantile_ns(0.95),
+        h.quantile_ns(0.99)
+    )
+}
+
+/// `--phases` epilogue: reassemble the drained request spans, print the
+/// per-kernel phase-attribution table, enforce span conservation, and
+/// write the optional chrome-trace / JSON report artifacts. Returns
+/// `false` when a drop-free run failed to conserve its spans.
+#[cfg(feature = "obs")]
+fn phase_report(args: &Args, sink: &mo_obs::TraceSink, tally: &Tally, duration: Duration) -> bool {
+    use mo_obs::span::{self, Phase};
+    let events = sink.drain();
+    let dropped: u64 = sink.dropped_per_worker().iter().sum();
+    let set = span::assemble(&events);
+    let stats = span::phase_stats(&set);
+    println!("== request-path phase attribution ==");
+    print!("{}", span::format_phase_table(&stats, kernel_name_of));
+    println!(
+        "spans: {} opened, {} closed, {} orphan closes, {} ring events dropped ({})",
+        set.opened,
+        set.closed,
+        set.orphan_closes,
+        dropped,
+        if set.conserved() {
+            "conserved"
+        } else {
+            "NOT conserved"
+        },
+    );
+    if let Some(path) = &args.trace_out {
+        let json = mo_obs::chrome::to_chrome_json(&events);
+        mo_obs::chrome::validate(&json).expect("emitted chrome trace must validate");
+        std::fs::write(path, &json).expect("write chrome trace");
+        println!("wrote {path}: {} events", events.len());
+    }
+    if let Some(path) = &args.report {
+        let done = tally.done.load(Ordering::Relaxed);
+        let kernels: Vec<String> = stats
+            .iter()
+            .map(|(code, k)| {
+                let phases: Vec<String> = Phase::ALL
+                    .iter()
+                    .map(|p| format!("\"{}\":{}", p.name(), phase_json(&k.phases[*p as usize])))
+                    .collect();
+                format!(
+                    "{{\"kernel\":\"{}\",\"complete_spans\":{},\"shed\":{},\"dominant_p99\":\"{}\",\"phases\":{{{}}},\"total\":{}}}",
+                    kernel_name_of(*code),
+                    k.count,
+                    k.shed,
+                    k.dominant_phase(0.99).0.name(),
+                    phases.join(","),
+                    phase_json(&k.total),
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\"mode\":\"{}\",\"duration_secs\":{},\"served\":{},\"refused_at_submit\":{},\"shed_by_deadline\":{},\"jobs_per_sec\":{:.1},\"spans\":{{\"opened\":{},\"closed\":{},\"orphan_closes\":{},\"ring_dropped\":{},\"conserved\":{}}},\"kernels\":[{}]}}",
+            if args.open_loop { "open" } else { "closed" },
+            duration.as_secs_f64(),
+            done,
+            tally.shed_submit.load(Ordering::Relaxed),
+            tally.shed_deadline.load(Ordering::Relaxed),
+            done as f64 / duration.as_secs_f64(),
+            set.opened,
+            set.closed,
+            set.orphan_closes,
+            dropped,
+            set.conserved(),
+            kernels.join(","),
+        );
+        std::fs::write(path, &json).expect("write phase report");
+        println!("wrote {path}");
+    }
+    // Dropped ring events legitimately orphan spans; only a drop-free
+    // run is required to conserve.
+    dropped > 0 || set.conserved()
+}
+
+/// `--overhead-check`: the acceptance gate that span emission is cheap.
+/// Runs short closed-loop controls — untraced vs traced, same config
+/// and mix — and fails if the traced server serves more than 5% fewer
+/// jobs, minus a small fixed allowance absorbing scheduler noise at
+/// sub-second run lengths.
+#[cfg(feature = "obs")]
+fn overhead_check(mix: &[Mix]) -> bool {
+    let dur = Duration::from_millis(600);
+    let run_once = |traced: bool, seed: u64| -> u64 {
+        let hier = HwHierarchy::detect();
+        let cores = hier.cores();
+        let server = Server::start(hier, ServeConfig::default());
+        let sink = traced.then(|| {
+            let sink = std::sync::Arc::new(mo_obs::TraceSink::new(cores));
+            assert!(server.attach_sink(std::sync::Arc::clone(&sink)));
+            sink
+        });
+        let mut draw = Draw::new(mix.to_vec(), seed);
+        let tally = Tally::default();
+        closed_loop(&server, &mut draw, &tally, 2, Instant::now() + dur);
+        let snapshot = server.drain();
+        assert_eq!(snapshot.queue_depth, 0, "overhead control must drain clean");
+        if let Some(sink) = sink {
+            assert!(
+                !sink.drain().is_empty(),
+                "traced control emitted no span events"
+            );
+        }
+        tally.done.load(Ordering::Relaxed)
+    };
+    let (mut plain, mut traced) = (0u64, 0u64);
+    for round in 0..3 {
+        plain = plain.max(run_once(false, 0x0dd5 ^ round));
+        traced = traced.max(run_once(true, 0xace5 ^ round));
+    }
+    let floor = plain.saturating_sub(plain / 20 + 50);
+    println!(
+        "overhead: best-of-3 {dur:?} closed loops — untraced {plain} jobs, traced {traced} jobs (floor {floor})"
+    );
+    traced >= floor
 }
 
 fn main() {
@@ -328,6 +490,16 @@ fn main() {
     } else {
         None
     };
+    #[cfg(not(feature = "obs"))]
+    if args.phases || args.overhead_check || args.trace_out.is_some() || args.report.is_some() {
+        eprintln!(
+            "serve_load: --phases/--trace-out/--report/--overhead-check need the traced build; \
+             rerun with `--features obs`"
+        );
+        std::process::exit(2);
+    }
+    #[cfg(feature = "obs")]
+    let cores = hier.cores();
     let server = Server::start(
         hier,
         ServeConfig {
@@ -338,6 +510,15 @@ fn main() {
             ..ServeConfig::default()
         },
     );
+    #[cfg(feature = "obs")]
+    let sink = args.phases.then(|| {
+        // Serve events and the pool's helper-thread scheduler events
+        // share the external ring, so a load run needs more headroom
+        // than the default capacity to keep span conservation checkable.
+        let sink = std::sync::Arc::new(mo_obs::TraceSink::with_capacity(cores, 1 << 18));
+        assert!(server.attach_sink(std::sync::Arc::clone(&sink)));
+        sink
+    });
     let mut draw = Draw::new(mix, 0xfeed_face);
     let tally = Tally::default();
     let until = Instant::now() + duration;
@@ -355,6 +536,13 @@ fn main() {
         "client tally: {done} served, {shed_submit} refused at submit, {shed_deadline} shed by deadline ({:.1} jobs/s served)",
         done as f64 / duration.as_secs_f64()
     );
+    #[cfg(feature = "obs")]
+    let spans_ok = match &sink {
+        Some(sink) => phase_report(&args, sink, &tally, duration),
+        None => true,
+    };
+    #[cfg(not(feature = "obs"))]
+    let spans_ok = true;
     // The run doubles as an assertion: the drain must be clean and the
     // server must have made progress. In smoke mode this gates CI.
     let clean = snapshot.queue_depth == 0
@@ -365,5 +553,17 @@ fn main() {
         eprintln!("serve_load: drain was not clean");
         std::process::exit(1);
     }
+    if !spans_ok {
+        eprintln!("serve_load: span conservation failed on a drop-free run");
+        std::process::exit(1);
+    }
     println!("drain clean");
+    #[cfg(feature = "obs")]
+    if args.overhead_check {
+        if !overhead_check(&draw.mix) {
+            eprintln!("serve_load: span overhead above the 5% gate");
+            std::process::exit(1);
+        }
+        println!("overhead gate: traced within 5% of untraced");
+    }
 }

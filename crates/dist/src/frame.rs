@@ -253,6 +253,10 @@ pub enum Ctl {
         n: u64,
         /// Deterministic input seed.
         seed: u64,
+        /// Router-minted request trace id carried into the worker's
+        /// serve span, so one routed request keeps one span across the
+        /// fleet. `0` means untraced (the worker mints its own).
+        req: u64,
     },
     /// Reply to [`Ctl::RunKernel`]: checksum or a typed-shed string.
     KernelDone {
@@ -343,8 +347,13 @@ pub fn send_ctl(w: &mut impl Write, msg: &Ctl) -> io::Result<()> {
                 e.str(a);
             }
         }
-        Ctl::RunKernel { kernel, n, seed } => {
-            e.u8(T_RUN_KERNEL).str(kernel).u64(*n).u64(*seed);
+        Ctl::RunKernel {
+            kernel,
+            n,
+            seed,
+            req,
+        } => {
+            e.u8(T_RUN_KERNEL).str(kernel).u64(*n).u64(*seed).u64(*req);
         }
         Ctl::KernelDone { result } => {
             e.u8(T_KERNEL_DONE);
@@ -445,6 +454,7 @@ pub fn recv_ctl(r: &mut impl Read) -> io::Result<Ctl> {
             kernel: d.str()?,
             n: d.u64()?,
             seed: d.u64()?,
+            req: d.u64()?,
         }),
         T_KERNEL_DONE => {
             let ok = d.u8()? == 1;
@@ -554,6 +564,7 @@ mod tests {
             kernel: "sort".into(),
             n: 1000,
             seed: 7,
+            req: (0xFFFFu64 << 48) | 3,
         });
         roundtrip(Ctl::KernelDone { result: Ok(42) });
         roundtrip(Ctl::KernelDone {

@@ -43,11 +43,20 @@ pub struct ClockCal {
     pub rtt_ns: u64,
 }
 
+/// Pseudo-shard id in the top 16 bits of router-minted request trace
+/// ids. Worker-local servers use their real shard index (`< 0xFFFF`),
+/// so the namespaces never collide.
+const ROUTER_SHARD: u64 = 0xFFFF;
+
 struct Inner {
     shards: Vec<Shard>,
     ring: HashRing,
     jobs_routed: Vec<u64>,
     dist_jobs: u64,
+    /// Sequence behind router-minted request trace ids. Routed jobs get
+    /// `(ROUTER_SHARD << 48) | seq`, a namespace no worker-local server
+    /// can mint, so one request keeps one span across the fleet.
+    next_req: u64,
     /// The router's reference clock (all corrected fleet timestamps are
     /// nanoseconds since this instant). Monotonic — never wall clock.
     epoch: Instant,
@@ -150,6 +159,7 @@ impl Router {
                 ring: HashRing::new(0..workers as u32, 64),
                 jobs_routed: vec![0; workers],
                 dist_jobs: 0,
+                next_req: 0,
                 epoch: Instant::now(),
                 calibration: Vec::new(),
                 last_trace: None,
@@ -186,6 +196,8 @@ impl Router {
         let mut inner = self.inner.lock().unwrap();
         let shard = inner.ring.route(job_key(kernel, n, seed)) as usize;
         inner.jobs_routed[shard] += 1;
+        inner.next_req += 1;
+        let req = (ROUTER_SHARD << 48) | inner.next_req;
         let ctrl = &mut inner.shards[shard].ctrl;
         send_ctl(
             ctrl,
@@ -193,6 +205,7 @@ impl Router {
                 kernel: kernel.to_string(),
                 n,
                 seed,
+                req,
             },
         )?;
         match recv_ctl(ctrl)? {

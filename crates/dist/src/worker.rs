@@ -265,7 +265,11 @@ pub fn run_worker(cfg: WorkerConfig) -> io::Result<()> {
     ctrl.set_nodelay(true)?;
     let data_listener = TcpListener::bind("127.0.0.1:0")?;
     let hier = cfg.hierarchy.unwrap_or_else(HwHierarchy::detect);
-    let server = Server::start(hier, cfg.serve.clone());
+    // The local server mints request ids in this shard's namespace, so
+    // spans stay unique when fleet traces merge.
+    let mut serve_cfg = cfg.serve.clone();
+    serve_cfg.shard = cfg.index as u16;
+    let server = Server::start(hier, serve_cfg);
     let metrics = server.serve_metrics("127.0.0.1:0")?;
     send_ctl(
         &mut ctrl,
@@ -316,16 +320,27 @@ pub fn run_worker(cfg: WorkerConfig) -> io::Result<()> {
             Err(e) => return Err(e),
         };
         match msg {
-            Ctl::RunKernel { kernel, n, seed } => {
+            Ctl::RunKernel {
+                kernel,
+                n,
+                seed,
+                req,
+            } => {
                 let result = match Kernel::parse(&kernel) {
                     None => Err(format!("UnknownKernel:{kernel}")),
-                    Some(k) => match server.submit(JobSpec::new(k, n as usize, seed)) {
-                        Err(r) => Err(reject_name(&r)),
-                        Ok(ticket) => match ticket.wait() {
-                            Outcome::Done(d) => Ok(d.checksum),
-                            Outcome::Rejected(r) => Err(reject_name(&r)),
-                        },
-                    },
+                    Some(k) => {
+                        let mut spec = JobSpec::new(k, n as usize, seed);
+                        // The routed request carries one trace across
+                        // the fleet: keep the router's id for its span.
+                        spec.trace_id = (req != 0).then_some(req);
+                        match server.submit(spec) {
+                            Err(r) => Err(reject_name(&r)),
+                            Ok(ticket) => match ticket.wait() {
+                                Outcome::Done(d) => Ok(d.checksum),
+                                Outcome::Rejected(r) => Err(reject_name(&r)),
+                            },
+                        }
+                    }
                 };
                 send_ctl(&mut ctrl, &Ctl::KernelDone { result })?;
             }

@@ -186,6 +186,24 @@ pub fn to_chrome_json(events: &[Event]) -> String {
                     e.a, e.c
                 ));
             }
+            EventKind::ServeArrive
+            | EventKind::ServeAdmit
+            | EventKind::ServeEnqueue
+            | EventKind::ServeDequeue
+            | EventKind::ServeBatchForm
+            | EventKind::ServeExecute
+            | EventKind::ServeRespond
+            | EventKind::ServeShed => {
+                // Serve phase boundaries are instants, not B/E slices:
+                // a request hops threads (submitter -> worker), so a
+                // per-track slice pairing cannot hold. The span module
+                // reconstructs durations from the request id in `a`.
+                push_common(&mut out, e.kind.name(), 'i', e);
+                out.push_str(&format!(
+                    ",\"s\":\"t\",\"args\":{{\"req\":{},\"b\":{},\"c\":{}}}}}",
+                    e.a, e.b, e.c
+                ));
+            }
             EventKind::BarrierWait => {
                 // A complete ("X") event: renders as a slice of the wait
                 // duration without needing B/E balancing. The event is

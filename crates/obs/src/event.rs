@@ -31,6 +31,14 @@ pub const WORKER_EXTERNAL: u32 = u32::MAX;
 /// | [`BarrierWait`](Self::BarrierWait) | peer worker | [`pack_step_level`] | wait ns |
 /// | [`DistJobBegin`](Self::DistJobBegin) | fleet job id | kernel code | problem size `n` |
 /// | [`DistJobEnd`](Self::DistJobEnd) | fleet job id | supersteps executed | — |
+/// | [`ServeArrive`](Self::ServeArrive) | request id | kernel code | problem size `n` |
+/// | [`ServeAdmit`](Self::ServeAdmit) | request id | footprint (words) | anchor level |
+/// | [`ServeEnqueue`](Self::ServeEnqueue) | request id | queue depth after push | deadline budget ns |
+/// | [`ServeDequeue`](Self::ServeDequeue) | request id | queue wait ns | — |
+/// | [`ServeBatchForm`](Self::ServeBatchForm) | request id | batch size | batch footprint (words) |
+/// | [`ServeExecute`](Self::ServeExecute) | request id | batch size | anchor level |
+/// | [`ServeRespond`](Self::ServeRespond) | request id | service ns | batch size |
+/// | [`ServeShed`](Self::ServeShed) | request id | shed reason code | waited ns |
 ///
 /// The three fork kinds *are* the SB anchor decisions: the kind records
 /// the decision taken, `a` the declared space bound and `b` the level
@@ -44,6 +52,16 @@ pub const WORKER_EXTERNAL: u32 = u32::MAX;
 /// barrier-wait records how long the worker blocked on `peer`'s frame
 /// (load imbalance — the lateness the paper's per-level `H(n,p,B)`
 /// charge abstracts away).
+///
+/// The eight serve kinds trace one request through the mo-serve
+/// admission path — `arrive → admit/shed → enqueue → dequeue →
+/// batch-form → execute → respond` — keyed by a fleet-unique request
+/// id in `a` (shard tag in the high bits, per-shard counter in the
+/// low, the same scheme as the router's dist job ids). A span opens at
+/// `ServeArrive` and closes at exactly one of `ServeRespond` or
+/// `ServeShed`; everything in between is a phase boundary whose
+/// timestamp deltas the [`crate::span`] assembler turns into per-phase
+/// latency attribution.
 #[repr(u8)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
@@ -96,10 +114,35 @@ pub enum EventKind {
     DistJobBegin = 17,
     /// That kernel finished (`a` = fleet job id, `b` = supersteps).
     DistJobEnd = 18,
+    /// A request reached `Server::submit` (`a` = request id,
+    /// `b` = kernel code, `c` = problem size). Opens the span.
+    ServeArrive = 19,
+    /// The request passed admission control (`a` = request id,
+    /// `b` = analytic footprint in words, `c` = SB anchor level).
+    ServeAdmit = 20,
+    /// The request was pushed onto the bounded queue (`a` = request id,
+    /// `b` = queue depth after the push, `c` = deadline budget ns).
+    ServeEnqueue = 21,
+    /// A worker popped the request for batching (`a` = request id,
+    /// `b` = nanoseconds spent queued).
+    ServeDequeue = 22,
+    /// The request was folded into a same-kernel batch (`a` = request
+    /// id, `b` = batch size, `c` = batch footprint in words).
+    ServeBatchForm = 23,
+    /// The batch holding the request entered the SB pool (`a` = request
+    /// id, `b` = batch size, `c` = anchor level).
+    ServeExecute = 24,
+    /// The request's result was sent to the caller (`a` = request id,
+    /// `b` = service ns, `c` = batch size). Closes the span.
+    ServeRespond = 25,
+    /// The request was shed (`a` = request id, `b` = typed reason code
+    /// — see `mo-serve`'s shed metrics order, `c` = nanoseconds the
+    /// request had waited). Closes the span.
+    ServeShed = 26,
 }
 
 /// Number of distinct [`EventKind`]s (array-index bound for summaries).
-pub const NKINDS: usize = 19;
+pub const NKINDS: usize = 27;
 
 /// Pack a superstep index and a D-BSP cluster level into the single
 /// payload word the exchange/barrier events carry in `b`.
@@ -134,6 +177,14 @@ impl EventKind {
         EventKind::BarrierWait,
         EventKind::DistJobBegin,
         EventKind::DistJobEnd,
+        EventKind::ServeArrive,
+        EventKind::ServeAdmit,
+        EventKind::ServeEnqueue,
+        EventKind::ServeDequeue,
+        EventKind::ServeBatchForm,
+        EventKind::ServeExecute,
+        EventKind::ServeRespond,
+        EventKind::ServeShed,
     ];
 
     /// Stable lower-case name (report rows, chrome-trace event names).
@@ -158,6 +209,14 @@ impl EventKind {
             EventKind::BarrierWait => "barrier_wait",
             EventKind::DistJobBegin => "dist_job_begin",
             EventKind::DistJobEnd => "dist_job_end",
+            EventKind::ServeArrive => "serve_arrive",
+            EventKind::ServeAdmit => "serve_admit",
+            EventKind::ServeEnqueue => "serve_enqueue",
+            EventKind::ServeDequeue => "serve_dequeue",
+            EventKind::ServeBatchForm => "serve_batch_form",
+            EventKind::ServeExecute => "serve_execute",
+            EventKind::ServeRespond => "serve_respond",
+            EventKind::ServeShed => "serve_shed",
         }
     }
 

@@ -24,6 +24,14 @@
 //!   distributions, segment-size histograms — consumed by the
 //!   `obs_report` bench binary to compare measured scheduler behaviour
 //!   against the analytic predictions;
+//! * **request spans** ([`span`]) reassembling mo-serve's per-request
+//!   phase-boundary events (`arrive → admit → enqueue → dequeue →
+//!   batch-form → execute → respond`, or a typed shed) into per-kernel
+//!   per-phase latency histograms for tail attribution;
+//! * an **SLO burn-rate engine** ([`slo`]) evaluating latency/error
+//!   objectives as multi-window error-budget burn rates, behind
+//!   mo-serve's `moserve_slo_*` families and its dump-on-burn flight
+//!   recorder;
 //! * a **fleet trace merger** ([`fleet`]) turning per-process event
 //!   streams shipped by the distributed tier into one clock-aligned
 //!   Perfetto timeline (one process track per worker, send→recv flow
@@ -55,6 +63,8 @@ pub mod fleet;
 pub mod prom;
 mod ring;
 mod sink;
+pub mod slo;
+pub mod span;
 pub mod summary;
 pub mod witness;
 

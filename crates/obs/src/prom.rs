@@ -49,9 +49,19 @@ impl PromText {
                 if i > 0 {
                     self.buf.push(',');
                 }
-                // Values we emit never contain `"`, `\` or newlines, so
-                // no escaping is required (the parser rejects them too).
-                let _ = write!(self.buf, "{k}=\"{v}\"");
+                // The exposition format requires `\`, `"` and newline
+                // escaped inside label values (kernel/scenario names
+                // are caller-controlled strings).
+                let _ = write!(self.buf, "{k}=\"");
+                for ch in v.chars() {
+                    match ch {
+                        '\\' => self.buf.push_str("\\\\"),
+                        '"' => self.buf.push_str("\\\""),
+                        '\n' => self.buf.push_str("\\n"),
+                        c => self.buf.push(c),
+                    }
+                }
+                self.buf.push('"');
             }
             self.buf.push('}');
         }
@@ -159,41 +169,78 @@ pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
     Ok(out)
 }
 
+/// Parse a `{`-opened label body starting just after the brace: quoted
+/// values with `\\` / `\"` / `\n` escapes, comma-separated, up to the
+/// closing `}`. Returns the pairs and the byte offset past the brace.
+fn parse_labels(s: &str) -> Result<(Vec<(String, String)>, usize), String> {
+    let b = s.as_bytes();
+    let mut labels = Vec::new();
+    let mut i = 0usize;
+    loop {
+        if i >= s.len() {
+            return Err("unterminated label set".into());
+        }
+        if b[i] == b'}' {
+            return Ok((labels, i + 1));
+        }
+        let eq = s[i..].find('=').ok_or("label without '='")? + i;
+        let key = &s[i..eq];
+        if !valid_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        if b.get(eq + 1) != Some(&b'"') {
+            return Err("unquoted label value".into());
+        }
+        let mut j = eq + 2;
+        let mut val = String::new();
+        loop {
+            match b.get(j) {
+                None => return Err("unterminated label value".into()),
+                Some(b'"') => {
+                    j += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match b.get(j + 1) {
+                        Some(b'\\') => val.push('\\'),
+                        Some(b'"') => val.push('"'),
+                        Some(b'n') => val.push('\n'),
+                        _ => return Err("bad escape in label value".into()),
+                    }
+                    j += 2;
+                }
+                Some(_) => {
+                    let ch = s[j..].chars().next().expect("in-bounds char");
+                    val.push(ch);
+                    j += ch.len_utf8();
+                }
+            }
+        }
+        labels.push((key.to_string(), val));
+        match b.get(j) {
+            Some(b',') => i = j + 1,
+            Some(b'}') => return Ok((labels, j + 1)),
+            _ => return Err("expected ',' or '}' after label value".into()),
+        }
+    }
+}
+
 fn parse_sample(line: &str) -> Result<Sample, String> {
-    let (name_labels, value_str) = match line.find('{') {
-        Some(_) => {
-            let close = line.rfind('}').ok_or("unterminated label set")?;
-            (line[..close + 1].to_string(), line[close + 1..].trim())
+    let (name, labels, value_str) = match line.find('{') {
+        Some(open) => {
+            let (labels, consumed) = parse_labels(&line[open + 1..])?;
+            (
+                line[..open].to_string(),
+                labels,
+                line[open + 1 + consumed..].trim(),
+            )
         }
         None => {
             let mut it = line.split_whitespace();
             let name = it.next().ok_or("empty line")?;
             let value = it.next().ok_or("missing value")?;
-            (name.to_string(), value)
+            (name.to_string(), Vec::new(), value)
         }
-    };
-    let (name, labels) = match name_labels.find('{') {
-        Some(open) => {
-            let name = &name_labels[..open];
-            let body = &name_labels[open + 1..name_labels.len() - 1];
-            let mut labels = Vec::new();
-            for pair in body.split(',').filter(|p| !p.is_empty()) {
-                let (k, v) = pair.split_once('=').ok_or("label without '='")?;
-                if !valid_name(k) {
-                    return Err(format!("bad label name {k:?}"));
-                }
-                let v = v
-                    .strip_prefix('"')
-                    .and_then(|v| v.strip_suffix('"'))
-                    .ok_or("unquoted label value")?;
-                if v.contains('"') || v.contains('\\') {
-                    return Err("escaped label values unsupported".into());
-                }
-                labels.push((k.to_string(), v.to_string()));
-            }
-            (name.to_string(), labels)
-        }
-        None => (name_labels, Vec::new()),
     };
     if !valid_name(&name) {
         return Err(format!("bad metric name {name:?}"));
@@ -312,7 +359,31 @@ mod tests {
     }
 
     #[test]
+    fn hostile_label_values_round_trip() {
+        // Kernel/scenario names are caller-controlled: quotes,
+        // backslashes, newlines, commas and braces must survive a
+        // write → parse round trip escaped per the exposition format.
+        let hostile = "sort\"v2\\latest\nline2,x={y}";
+        let mut w = PromText::new();
+        w.header("jobs_total", "Jobs by kernel.", "counter");
+        w.sample_u64("jobs_total", &[("kernel", hostile), ("ok", "yes")], 3);
+        let text = w.finish();
+        // One escaped line on the wire: the newline is the two
+        // characters `\n`, not a line break.
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("kernel=\"sort\\\"v2\\\\latest\\nline2,x={y}\""));
+        let samples = parse(&text).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].label("kernel"), Some(hostile));
+        assert_eq!(samples[0].label("ok"), Some("yes"));
+        assert_eq!(samples[0].value, 3.0);
+    }
+
+    #[test]
     fn parser_rejects_malformed_lines() {
+        assert!(parse("m{x=\"a\\q\"} 1").is_err()); // bad escape
+        assert!(parse("m{x=\"a} 1").is_err()); // unterminated value
+        assert!(parse("m{x=\"a\" y=\"b\"} 1").is_err()); // missing comma
         assert!(parse("ok_metric 1\nbad metric name 2").is_err());
         assert!(parse("m{x=1} 2").is_err()); // unquoted label value
         assert!(parse("m{x=\"a\"}").is_err()); // missing value

@@ -22,16 +22,22 @@ pub struct JobSpec {
     /// Maximum time the job may wait in the queue before it is shed;
     /// `None` uses the server's default.
     pub deadline: Option<Duration>,
+    /// Fleet-unique request id carried by jobs that already belong to a
+    /// trace — the dist router stamps one before forwarding so a routed
+    /// job keeps a single span across shards. `None` lets the server
+    /// mint a fresh id (`(shard << 48) | seq`) at arrival.
+    pub trace_id: Option<u64>,
 }
 
 impl JobSpec {
-    /// A job with the default deadline.
+    /// A job with the default deadline and a server-minted trace id.
     pub fn new(kernel: Kernel, n: usize, seed: u64) -> Self {
         Self {
             kernel,
             n,
             seed,
             deadline: None,
+            trace_id: None,
         }
     }
 }

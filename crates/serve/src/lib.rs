@@ -22,7 +22,17 @@
 //!   deltas ([`MetricsSnapshot::delta_since`]) and a Prometheus text
 //!   `/metrics` endpoint ([`Server::serve_metrics`]);
 //! * **graceful drain** — shutdown stops intake, finishes (or sheds)
-//!   the queue, and resolves every outstanding [`Ticket`].
+//!   the queue, and resolves every outstanding [`Ticket`];
+//! * **request-path spans** — with the `obs` feature every submission
+//!   carries a fleet-unique request id through `arrive → admit →
+//!   enqueue → dequeue → batch-form → execute → respond` (or a typed
+//!   shed) phase events in the pool's trace sink, reassembled by
+//!   `mo_obs::span` into per-kernel per-phase tail-latency
+//!   attributions;
+//! * **SLO burn rates** — an optional [`SloConfig`] evaluates latency
+//!   and availability objectives as multi-window error-budget burn
+//!   rates (`moserve_slo_*` on `/metrics`) and dumps a validated
+//!   Perfetto flight-recorder artifact on the burn edge.
 //!
 //! ```
 //! use mo_serve::{JobSpec, Kernel, Server};
@@ -44,8 +54,10 @@ mod server;
 
 pub use expose::MetricsExposition;
 pub use job::{CertifyGap, Done, JobSpec, Kernel, Outcome, Rejected, Ticket};
-pub use metrics::{KernelSnapshot, LevelSnapshot, MetricsSnapshot};
-pub use server::{ServeConfig, Server};
+pub use metrics::{
+    KernelSnapshot, LevelSnapshot, MetricsSnapshot, SloObjectiveSnapshot, SloWindowSnapshot,
+};
+pub use server::{ServeConfig, Server, SloConfig};
 
 pub use mo_core::rt::HwHierarchy;
 
@@ -177,7 +189,16 @@ mod tests {
         // accepted job is exactly one of completed, deadline-shed, or
         // still in flight — never double-counted, never lost — in
         // *every* snapshot, not only at quiescence.
-        let server = Arc::new(small_server(512, 4));
+        let server = small_server(512, 4);
+        // With tracing on, the same run must also conserve *spans*:
+        // every submission opens one and closes it exactly once.
+        #[cfg(feature = "obs")]
+        let sink = {
+            let sink = Arc::new(mo_obs::TraceSink::new(4));
+            assert!(server.attach_sink(Arc::clone(&sink)));
+            sink
+        };
+        let server = Arc::new(server);
         let stop = Arc::new(AtomicBool::new(false));
         let submitters: Vec<_> = (0..3)
             .map(|t| {
@@ -193,6 +214,7 @@ mod tests {
                             // A sprinkle of instant deadlines exercises
                             // the shed_deadline leg of the invariant.
                             deadline: (i % 7 == 0).then_some(Duration::ZERO),
+                            trace_id: None,
                         };
                         if let Ok(ticket) = server.submit(spec) {
                             accepted += 1;
@@ -242,6 +264,23 @@ mod tests {
         assert_eq!(sort.completed + sort.shed_deadline, accepted);
         assert_eq!(snap.in_flight_total(), 0);
         assert!(sort.completed > 0, "no job ever completed");
+        #[cfg(feature = "obs")]
+        {
+            assert!(
+                snap.ring_dropped.iter().all(|&d| d == 0),
+                "rings dropped events; conservation check is void"
+            );
+            let set = mo_obs::span::assemble(&sink.drain());
+            // 600 submissions attempted: every one opened a span
+            // (queue-full rejects open and immediately close).
+            assert_eq!(set.opened, 600);
+            assert!(
+                set.conserved(),
+                "opened {} closed {}",
+                set.opened,
+                set.closed
+            );
+        }
     }
 
     #[test]
@@ -392,6 +431,7 @@ mod tests {
                 batch_words_max: Some(4096),
                 secure: true,
                 certificates: Some(set),
+                ..ServeConfig::default()
             },
         );
         // Certified oblivious: served normally.
@@ -433,6 +473,7 @@ mod tests {
                 batch_words_max: Some(4096),
                 secure: true,
                 certificates: None,
+                ..ServeConfig::default()
             },
         );
         for k in Kernel::ALL {
@@ -455,6 +496,214 @@ mod tests {
         }
     }
 
+    /// Every typed shed path must close its request span exactly once,
+    /// with the matching reason code (PR satellite: span lifecycle).
+    #[cfg(feature = "obs")]
+    #[test]
+    fn every_shed_path_closes_its_span_exactly_once() {
+        use mo_obs::span;
+        use std::sync::Arc;
+        // Secure server without certificates: the not_certified path.
+        let secure = Server::start(
+            HwHierarchy::flat(4, 2048, 1 << 16),
+            ServeConfig {
+                workers: 1,
+                secure: true,
+                ..ServeConfig::default()
+            },
+        );
+        let secure_sink = Arc::new(mo_obs::TraceSink::new(4));
+        assert!(secure.attach_sink(Arc::clone(&secure_sink)));
+        assert!(matches!(
+            secure.submit(JobSpec::new(Kernel::Sort, 1000, 0)),
+            Err(Rejected::NotCertified { .. })
+        ));
+        drop(secure);
+        let set = span::assemble(&secure_sink.drain());
+        assert!(set.conserved());
+        assert_eq!(
+            set.spans[0].shed.map(|(r, _)| r),
+            Some(span::SHED_NOT_CERTIFIED)
+        );
+
+        // One single-worker server walks the other four paths.
+        let server = Server::start(
+            HwHierarchy::flat(4, 2048, 1 << 16),
+            ServeConfig {
+                workers: 1,
+                queue_cap: 1,
+                default_deadline: Duration::from_secs(10),
+                batch_max: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let sink = Arc::new(mo_obs::TraceSink::new(4));
+        assert!(server.attach_sink(Arc::clone(&sink)));
+        // too_large: no level fits matmul n=512.
+        assert!(matches!(
+            server.submit(JobSpec::new(Kernel::Matmul, 512, 0)),
+            Err(Rejected::TooLarge { .. })
+        ));
+        // One job that completes, so one span closes via respond.
+        let blocker = server.submit(JobSpec::new(Kernel::Matmul, 96, 0)).unwrap();
+        // Zero-deadline jobs always shed (the worker runs shed_expired
+        // before admission, and their deadline is already past), and
+        // with a 1-slot queue some submissions catch the slot occupied:
+        // keep submitting until both legs have fired.
+        let mut doomed = Vec::new();
+        let mut queue_full = 0u64;
+        // Cap keeps the external ring (64Ki events) from overflowing
+        // even in the degenerate never-full case.
+        for i in 0..10_000u64 {
+            match server.submit(JobSpec {
+                kernel: Kernel::Sort,
+                n: 1000,
+                seed: i,
+                deadline: Some(Duration::ZERO),
+                trace_id: None,
+            }) {
+                Ok(t) => doomed.push(t),
+                Err(Rejected::QueueFull { .. }) => queue_full += 1,
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+            if !doomed.is_empty() && queue_full > 0 {
+                break;
+            }
+        }
+        assert!(!doomed.is_empty() && queue_full > 0);
+        assert!(blocker.wait().is_done());
+        let accepted = doomed.len() as u64;
+        for t in doomed {
+            assert!(matches!(
+                t.wait(),
+                Outcome::Rejected(Rejected::DeadlineExpired { .. })
+            ));
+        }
+        // shutting_down: refused after shutdown.
+        server.shutdown();
+        assert!(matches!(
+            server.submit(JobSpec::new(Kernel::Sort, 1000, 2)),
+            Err(Rejected::ShuttingDown)
+        ));
+        drop(server);
+        let set = span::assemble(&sink.drain());
+        assert_eq!(set.opened, 2 + accepted + queue_full + 1);
+        assert!(set.conserved());
+        let count = |reason: u64| {
+            set.spans
+                .iter()
+                .filter(|s| s.shed.map(|(r, _)| r) == Some(reason))
+                .count() as u64
+        };
+        assert_eq!(count(span::SHED_TOO_LARGE), 1);
+        assert_eq!(count(span::SHED_DEADLINE), accepted);
+        assert_eq!(count(span::SHED_QUEUE_FULL), queue_full);
+        assert_eq!(count(span::SHED_SHUTTING_DOWN), 1);
+        // The completed span is fully attributable to phases.
+        let done: Vec<_> = set.spans.iter().filter(|s| s.shed.is_none()).collect();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].complete());
+        assert_eq!(done[0].kernel, Kernel::Matmul.index() as u64);
+        assert!(done[0].phase_ns(span::Phase::Execute).unwrap() > 0);
+    }
+
+    #[test]
+    fn slo_families_stay_quiet_on_healthy_traffic() {
+        let server = Server::start(
+            HwHierarchy::flat(4, 2048, 1 << 16),
+            ServeConfig {
+                workers: 2,
+                slo: Some(SloConfig::default()),
+                ..ServeConfig::default()
+            },
+        );
+        for i in 0..10 {
+            assert!(server
+                .submit(JobSpec::new(Kernel::Sort, 1000, i))
+                .unwrap()
+                .wait()
+                .is_done());
+        }
+        let snap = server.metrics();
+        assert_eq!(snap.slo.len(), 2);
+        assert!(snap.slo.iter().all(|o| !o.burning));
+        assert_eq!(snap.slo_dumps, 0);
+        let text = snap.to_prometheus_text();
+        assert!(text.contains("moserve_slo_target{objective=\"latency\"} 0.99"));
+        assert!(text.contains("moserve_slo_burning{objective=\"availability\"} 0"));
+        let samples = mo_obs::prom::parse(&text).expect("valid exposition");
+        mo_obs::prom::check_histograms(&samples).expect("consistent");
+    }
+
+    /// An SLO burn must fire the flight recorder, and the artifact must
+    /// be valid Perfetto JSON containing the request spans.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn slo_burn_writes_validated_perfetto_dump() {
+        use std::sync::Arc;
+        let dump =
+            std::env::temp_dir().join(format!("moserve_slo_dump_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&dump);
+        let server = Server::start(
+            HwHierarchy::flat(4, 2048, 1 << 16),
+            ServeConfig {
+                workers: 1,
+                default_deadline: Duration::from_secs(10),
+                slo: Some(SloConfig {
+                    latency: Duration::from_millis(100),
+                    latency_target: 0.99,
+                    availability_target: 0.9,
+                    windows: vec![mo_obs::slo::BurnWindow {
+                        short_ns: 50_000_000,
+                        long_ns: 200_000_000,
+                        factor: 0.5,
+                    }],
+                    dump_path: Some(dump.clone()),
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        let sink = Arc::new(mo_obs::TraceSink::new(4));
+        assert!(server.attach_sink(Arc::clone(&sink)));
+        // Drive 100%-shed traffic (instant deadlines) until the burn
+        // edge fires the recorder; the background evaluator ticks every
+        // 20ms, so this converges in a few hundred ms.
+        let mut fired = false;
+        for round in 0..200 {
+            for i in 0..5u64 {
+                let t = server
+                    .submit(JobSpec {
+                        kernel: Kernel::Sort,
+                        n: 1000,
+                        seed: round * 10 + i,
+                        deadline: Some(Duration::ZERO),
+                        trace_id: None,
+                    })
+                    .unwrap();
+                let _ = t.wait();
+            }
+            let snap = server.metrics();
+            if snap.slo_dumps >= 1 {
+                assert!(
+                    snap.slo.iter().any(|o| o.burning),
+                    "dump without burn state"
+                );
+                fired = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(fired, "SLO burn never fired");
+        let json = std::fs::read_to_string(&dump).expect("flight-recorder artifact written");
+        mo_obs::chrome::validate(&json).expect("dump is valid Perfetto JSON");
+        assert!(
+            json.contains("serve_shed"),
+            "dump carries the request spans"
+        );
+        let _ = std::fs::remove_file(&dump);
+        drop(server);
+    }
+
     #[test]
     fn zero_deadline_jobs_are_shed_not_hung() {
         let server = small_server(64, 1);
@@ -469,6 +718,7 @@ mod tests {
                 n: 4096,
                 seed: 0,
                 deadline: Some(Duration::ZERO),
+                trace_id: None,
             })
             .unwrap();
         match doomed.wait() {

@@ -39,7 +39,7 @@ impl LatencyHist {
         self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> Vec<u64> {
+    pub(crate) fn snapshot(&self) -> Vec<u64> {
         self.buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
@@ -83,6 +83,10 @@ pub(crate) struct KernelCells {
     /// `instructions`). Measured on the serving thread that executed
     /// the batch (see `Server` docs for the attribution caveat).
     pub(crate) witness: [AtomicU64; NCOUNTERS],
+    /// Analytic expected cache transfers (`Q_i`, in cache lines) for
+    /// the same batches the witness measured, `[L1, LLC]`; the ratio
+    /// measured/expected feeds the `moserve_witness_divergence` gauges.
+    pub(crate) expected_transfers: [AtomicU64; 2],
 }
 
 impl KernelCells {
@@ -98,6 +102,7 @@ impl KernelCells {
             batched_jobs: AtomicU64::new(0),
             latency: LatencyHist::new(),
             witness: std::array::from_fn(|_| AtomicU64::new(0)),
+            expected_transfers: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -150,6 +155,14 @@ impl Metrics {
         }
     }
 
+    /// Credit the analytic expected transfers `[L1, LLC]` (in cache
+    /// lines) of a witnessed batch to `k`'s cells.
+    pub(crate) fn add_expected_transfers(&self, k: Kernel, expected: [u64; 2]) {
+        for (cell, e) in self.kernel(k).expected_transfers.iter().zip(expected) {
+            cell.fetch_add(e, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn note_peak_inflight(&self, level: usize, inflight: usize) {
         self.levels[level]
             .peak_inflight_words
@@ -197,9 +210,26 @@ pub struct KernelSnapshot {
     /// by witness counter id ([`mo_obs::witness::CTR_L1D_MISS`] etc.);
     /// all zero when the hardware witness is unavailable.
     pub witness: [u64; mo_obs::witness::NCOUNTERS],
+    /// Analytic expected transfers `[L1, LLC]` (cache lines) for the
+    /// witnessed batches — `registry::analytic_transfers` summed over
+    /// every batch that also carried a witness span.
+    pub expected_transfers: [u64; 2],
 }
 
 impl KernelSnapshot {
+    /// Measured-over-analytic transfer ratio `[L1, LLC]` — the value
+    /// behind the `moserve_witness_divergence` gauges. `None` at an
+    /// index without both a measurement and an expectation.
+    pub fn witness_divergence(&self) -> [Option<f64>; 2] {
+        let measured = [
+            self.witness[CTR_L1D_MISS as usize],
+            self.witness[CTR_LLC_MISS as usize],
+        ];
+        std::array::from_fn(|i| {
+            (self.expected_transfers[i] > 0 && measured[i] > 0)
+                .then(|| measured[i] as f64 / self.expected_transfers[i] as f64)
+        })
+    }
     /// All sheds for this kernel.
     pub fn shed_total(&self) -> u64 {
         self.shed_queue_full + self.shed_deadline + self.shed_too_large + self.shed_not_certified
@@ -241,6 +271,36 @@ pub struct LevelSnapshot {
     pub admitted_words: u64,
 }
 
+/// One evaluated SLO burn-rate window pair at snapshot time.
+#[derive(Debug, Clone, Copy)]
+pub struct SloWindowSnapshot {
+    /// Short-window length in seconds.
+    pub short_secs: f64,
+    /// Long-window length in seconds.
+    pub long_secs: f64,
+    /// Burn-rate factor both windows must exceed to page.
+    pub factor: f64,
+    /// Burn rate over the short window.
+    pub burn_short: f64,
+    /// Burn rate over the long window.
+    pub burn_long: f64,
+    /// Whether this pair is firing.
+    pub burning: bool,
+}
+
+/// One evaluated SLO objective at snapshot time.
+#[derive(Debug, Clone)]
+pub struct SloObjectiveSnapshot {
+    /// Objective name (`latency` or `availability`).
+    pub objective: String,
+    /// Required good fraction.
+    pub target: f64,
+    /// Whether any window pair is firing.
+    pub burning: bool,
+    /// Per-window-pair burn rates.
+    pub windows: Vec<SloWindowSnapshot>,
+}
+
 /// A point-in-time copy of every service metric.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
@@ -262,11 +322,17 @@ pub struct MetricsSnapshot {
     /// external ring); empty when no trace sink is attached (only the
     /// `obs` feature attaches one).
     pub ring_dropped: Vec<u64>,
+    /// Evaluated SLO objectives; empty when the server runs without an
+    /// SLO config.
+    pub slo: Vec<SloObjectiveSnapshot>,
+    /// Flight-recorder dumps written on not-burning → burning edges.
+    pub slo_dumps: u64,
     /// Time since the server started.
     pub uptime: Duration,
 }
 
 impl MetricsSnapshot {
+    #[allow(clippy::too_many_arguments)] // one field per server subsystem
     pub(crate) fn collect(
         m: &Metrics,
         level_caps: &[usize],
@@ -274,6 +340,8 @@ impl MetricsSnapshot {
         queue_depth: usize,
         rt: RtStats,
         ring_dropped: Vec<u64>,
+        slo: Vec<SloObjectiveSnapshot>,
+        slo_dumps: u64,
         uptime: Duration,
     ) -> Self {
         let kernels = Kernel::ALL
@@ -305,6 +373,9 @@ impl MetricsSnapshot {
                     latency_sum_us: c.latency.sum_us.load(Ordering::Relaxed),
                     latency_buckets: hist,
                     witness: std::array::from_fn(|i| c.witness[i].load(Ordering::Relaxed)),
+                    expected_transfers: std::array::from_fn(|i| {
+                        c.expected_transfers[i].load(Ordering::Relaxed)
+                    }),
                 }
             })
             .collect();
@@ -329,6 +400,8 @@ impl MetricsSnapshot {
             rt,
             witness_available: m.witness_available.load(Ordering::Relaxed) != 0,
             ring_dropped,
+            slo,
+            slo_dumps,
             uptime,
         }
     }
@@ -387,6 +460,9 @@ impl MetricsSnapshot {
                     latency_sum_us: now.latency_sum_us.saturating_sub(old.latency_sum_us),
                     latency_buckets: buckets,
                     witness: std::array::from_fn(|i| now.witness[i].saturating_sub(old.witness[i])),
+                    expected_transfers: std::array::from_fn(|i| {
+                        now.expected_transfers[i].saturating_sub(old.expected_transfers[i])
+                    }),
                 }
             })
             .collect();
@@ -424,6 +500,9 @@ impl MetricsSnapshot {
                 .zip(&prev.ring_dropped)
                 .map(|(n, o)| n.saturating_sub(*o))
                 .collect(),
+            // Burn rates are already windowed, so they stay point-in-time.
+            slo: self.slo.clone(),
+            slo_dumps: self.slo_dumps.saturating_sub(prev.slo_dumps),
             uptime: self.uptime.saturating_sub(prev.uptime),
         }
     }
@@ -623,6 +702,77 @@ impl MetricsSnapshot {
                 k.witness[CTR_INSTRUCTIONS as usize],
             );
         }
+        w.header(
+            "moserve_witness_divergence",
+            "Measured-over-analytic cache transfer ratio per kernel and \
+             level (witnessed batches only; absent without both sides).",
+            "gauge",
+        );
+        for k in &self.kernels {
+            let div = k.witness_divergence();
+            for (level, d) in [("1", div[0]), (last_level.as_str(), div[1])] {
+                if let Some(d) = d {
+                    w.sample_f64(
+                        "moserve_witness_divergence",
+                        &[("kernel", k.kernel.name()), ("level", level)],
+                        d,
+                    );
+                }
+            }
+        }
+        if !self.slo.is_empty() {
+            w.header(
+                "moserve_slo_target",
+                "Required good fraction per SLO objective.",
+                "gauge",
+            );
+            for o in &self.slo {
+                w.sample_f64(
+                    "moserve_slo_target",
+                    &[("objective", &o.objective)],
+                    o.target,
+                );
+            }
+            w.header(
+                "moserve_slo_burn_rate",
+                "Error-budget burn rate per objective, window pair, and horizon.",
+                "gauge",
+            );
+            for o in &self.slo {
+                for (i, wd) in o.windows.iter().enumerate() {
+                    let pair = i.to_string();
+                    for (horizon, rate) in [("short", wd.burn_short), ("long", wd.burn_long)] {
+                        w.sample_f64(
+                            "moserve_slo_burn_rate",
+                            &[
+                                ("objective", &o.objective),
+                                ("pair", &pair),
+                                ("horizon", horizon),
+                            ],
+                            rate,
+                        );
+                    }
+                }
+            }
+            w.header(
+                "moserve_slo_burning",
+                "1 while an objective's multi-window burn condition fires.",
+                "gauge",
+            );
+            for o in &self.slo {
+                w.sample_u64(
+                    "moserve_slo_burning",
+                    &[("objective", &o.objective)],
+                    o.burning as u64,
+                );
+            }
+            w.header(
+                "moserve_slo_dumps_total",
+                "Flight-recorder trace dumps written on burn edges.",
+                "counter",
+            );
+            w.sample_u64("moserve_slo_dumps_total", &[], self.slo_dumps);
+        }
         if !self.ring_dropped.is_empty() {
             w.header(
                 "moserve_ring_dropped_total",
@@ -720,6 +870,21 @@ impl std::fmt::Display for MetricsSnapshot {
                 l.admitted_words,
             )?;
         }
+        for o in &self.slo {
+            let peak = o
+                .windows
+                .iter()
+                .map(|w| w.burn_short.max(w.burn_long))
+                .fold(0.0f64, f64::max);
+            writeln!(
+                f,
+                "slo {:<13} target {:.4}  peak burn {:.2}  {}",
+                o.objective,
+                o.target,
+                peak,
+                if o.burning { "BURNING" } else { "ok" },
+            )?;
+        }
         Ok(())
     }
 }
@@ -769,6 +934,8 @@ mod tests {
             0,
             rt_hi,
             vec![4, 0, 0],
+            Vec::new(),
+            0,
             Duration::from_secs(10),
         );
         let rt_lo = RtStats {
@@ -782,6 +949,8 @@ mod tests {
             0,
             rt_lo,
             vec![1, 0, 0],
+            Vec::new(),
+            0,
             Duration::from_secs(11),
         );
         let d = now.delta_since(&prev);
@@ -807,6 +976,7 @@ mod tests {
         m.witness_available.store(1, Ordering::Relaxed);
         m.add_witness(Kernel::Matmul, [40, 4, 9000]);
         m.add_witness(Kernel::Matmul, [2, 1, 1000]);
+        m.add_expected_transfers(Kernel::Matmul, [21, 10]);
         let caps = [0usize; 3];
         let infl = [0usize; 3];
         let s = MetricsSnapshot::collect(
@@ -816,6 +986,8 @@ mod tests {
             0,
             RtStats::default(),
             vec![0, 3, 0, 0],
+            Vec::new(),
+            0,
             Duration::ZERO,
         );
         assert!(s.witness_available);
@@ -831,6 +1003,13 @@ mod tests {
             "moserve_cache_instructions_total{kernel=\"matmul\",backend=\"perf\"} 10000"
         ));
         assert!(text.contains("moserve_cache_witness_available 1"));
+        // 42 measured / 21 expected at L1, 5 / 10 at the LLC.
+        let row = &s.kernels[Kernel::Matmul.index()];
+        assert_eq!(row.witness_divergence(), [Some(2.0), Some(0.5)]);
+        assert!(text.contains("moserve_witness_divergence{kernel=\"matmul\",level=\"1\"} 2"));
+        assert!(text.contains("moserve_witness_divergence{kernel=\"matmul\",level=\"3\"} 0.5"));
+        // Kernels with no witnessed batches render no divergence sample.
+        assert!(!text.contains("moserve_witness_divergence{kernel=\"sort\""));
         assert!(text.contains("moserve_ring_dropped_total{worker=\"1\"} 3"));
         assert!(text.contains("moserve_ring_dropped_total{worker=\"external\"} 0"));
         let samples = mo_obs::prom::parse(&text).expect("valid exposition");
@@ -843,11 +1022,72 @@ mod tests {
             0,
             RtStats::default(),
             Vec::new(),
+            Vec::new(),
+            0,
             Duration::ZERO,
         );
         assert!(!bare
             .to_prometheus_text()
             .contains("moserve_ring_dropped_total"));
+    }
+
+    #[test]
+    fn slo_state_renders_typed_and_as_prometheus() {
+        let m = Metrics::new(1);
+        let slo = vec![SloObjectiveSnapshot {
+            objective: "latency".into(),
+            target: 0.99,
+            burning: true,
+            windows: vec![SloWindowSnapshot {
+                short_secs: 5.0,
+                long_secs: 60.0,
+                factor: 10.0,
+                burn_short: 25.0,
+                burn_long: 12.5,
+                burning: true,
+            }],
+        }];
+        let s = MetricsSnapshot::collect(
+            &m,
+            &[0],
+            &[0],
+            0,
+            RtStats::default(),
+            Vec::new(),
+            slo,
+            3,
+            Duration::ZERO,
+        );
+        let text = s.to_prometheus_text();
+        assert!(text.contains("moserve_slo_target{objective=\"latency\"} 0.99"));
+        assert!(text.contains(
+            "moserve_slo_burn_rate{objective=\"latency\",pair=\"0\",horizon=\"short\"} 25"
+        ));
+        assert!(text.contains(
+            "moserve_slo_burn_rate{objective=\"latency\",pair=\"0\",horizon=\"long\"} 12.5"
+        ));
+        assert!(text.contains("moserve_slo_burning{objective=\"latency\"} 1"));
+        assert!(text.contains("moserve_slo_dumps_total 3"));
+        let samples = mo_obs::prom::parse(&text).expect("valid exposition");
+        mo_obs::prom::check_histograms(&samples).expect("consistent");
+        assert!(s.to_string().contains("BURNING"));
+        // The delta keeps windowed rates point-in-time but deltas dumps.
+        let d = s.delta_since(&s);
+        assert_eq!(d.slo_dumps, 0);
+        assert_eq!(d.slo.len(), 1);
+        // Without an SLO config the families disappear entirely.
+        let bare = MetricsSnapshot::collect(
+            &m,
+            &[0],
+            &[0],
+            0,
+            RtStats::default(),
+            Vec::new(),
+            Vec::new(),
+            0,
+            Duration::ZERO,
+        );
+        assert!(!bare.to_prometheus_text().contains("moserve_slo_"));
     }
 
     #[test]

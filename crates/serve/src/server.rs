@@ -26,6 +26,23 @@
 //!   finish the queue (still shedding whatever expires) and exit;
 //!   [`Server::drain`] joins them and returns the final metrics
 //!   snapshot. Every ticket resolves exactly once.
+//! * **Request-path spans.** With the `obs` feature and a sink attached
+//!   ([`Server::attach_sink`]), every submission gets a fleet-unique
+//!   request id (`(shard << 48) | seq`, or the [`JobSpec::trace_id`]
+//!   the dist router already stamped) and emits monotonic
+//!   phase-boundary events — `serve_arrive → serve_admit →
+//!   serve_enqueue → serve_dequeue → serve_batch_form → serve_execute
+//!   → serve_respond`, or a typed `serve_shed` — into the same
+//!   timeline as the SB pool's scheduler and witness events. A span
+//!   opens at arrival and closes exactly once; `mo_obs::span`
+//!   reassembles the ring into per-kernel per-phase latency
+//!   histograms. Without the feature the emission macro compiles to
+//!   nothing.
+//! * **SLO burn rates.** An optional [`SloConfig`] evaluates a latency
+//!   and an availability objective as multi-window error-budget burn
+//!   rates ([`mo_obs::slo`]), exported as `moserve_slo_*` families on
+//!   `/metrics`; on the not-burning → burning edge a flight recorder
+//!   drains the span rings into a validated Perfetto artifact.
 
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
@@ -33,11 +50,34 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use mo_algorithms::real::registry::{footprint_words, run_batch_in};
+use mo_algorithms::real::registry::{
+    analytic_transfers, footprint_words, run_batch_in, BLOCK_WORDS,
+};
 use mo_core::rt::{HwHierarchy, PoolInfo, SbPool};
+use mo_obs::slo::{BurnTracker, BurnWindow, SloSpec};
 
 use crate::job::{Done, JobSpec, Outcome, Rejected, Ticket};
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{Metrics, MetricsSnapshot, SloObjectiveSnapshot, SloWindowSnapshot};
+
+/// Emit one request-span event into the pool's trace sink. Compiles to
+/// nothing — arguments unevaluated — without the `obs` feature, same
+/// contract as the runtime's `obs_event!`. Serve events are emitted
+/// from service threads (not pool residents), so they land in the
+/// sink's external ring and merge into the worker timeline at drain.
+macro_rules! serve_event {
+    ($sh:expr, $kind:ident, $a:expr, $b:expr, $c:expr) => {{
+        #[cfg(feature = "obs")]
+        if let Some(sink) = $sh.pool.sink() {
+            sink.emit(
+                None,
+                mo_obs::EventKind::$kind,
+                $a as u64,
+                $b as u64,
+                $c as u64,
+            );
+        }
+    }};
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -63,6 +103,51 @@ pub struct ServeConfig {
     /// loaded via [`mo_core::CertificateSet::from_json_str`]) consulted
     /// by secure mode. `None` with `secure` refuses everything.
     pub certificates: Option<mo_core::CertificateSet>,
+    /// Shard id folded into server-minted request ids
+    /// (`(shard << 48) | seq`) so spans stay unique across a fleet;
+    /// the dist tier sets it to the worker's shard index.
+    pub shard: u16,
+    /// Latency/availability service-level objectives; `None` disables
+    /// the burn-rate engine (no `moserve_slo_*` families, no dumps).
+    pub slo: Option<SloConfig>,
+}
+
+/// Service-level objectives evaluated by the server's burn-rate engine.
+///
+/// Two objectives share the multi-window machinery of [`mo_obs::slo`]:
+/// **latency** (a request is good when it completes within
+/// [`Self::latency`]; sheds count bad) and **availability** (good =
+/// completed; queue-full and deadline sheds count bad, while
+/// `too_large` / `not_certified` rejections are client errors and count
+/// toward neither). On the not-burning → burning edge the server
+/// drains the trace sink (when the `obs` feature is on and a sink is
+/// attached) into a validated Perfetto JSON flight-recorder artifact
+/// at [`Self::dump_path`].
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Latency threshold: completions at or under this are good.
+    pub latency: Duration,
+    /// Required good fraction for the latency objective.
+    pub latency_target: f64,
+    /// Required good fraction for the availability objective.
+    pub availability_target: f64,
+    /// Burn window pairs; empty uses [`SloSpec::default_windows`].
+    pub windows: Vec<BurnWindow>,
+    /// Where the flight recorder writes its Perfetto dump; `None`
+    /// counts burn edges without writing.
+    pub dump_path: Option<std::path::PathBuf>,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            latency: Duration::from_millis(100),
+            latency_target: 0.99,
+            availability_target: 0.999,
+            windows: Vec::new(),
+            dump_path: None,
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -75,6 +160,8 @@ impl Default for ServeConfig {
             batch_words_max: None,
             secure: false,
             certificates: None,
+            shard: 0,
+            slo: None,
         }
     }
 }
@@ -85,6 +172,10 @@ struct Queued {
     enqueued: Instant,
     deadline: Instant,
     tx: mpsc::Sender<Outcome>,
+    /// Request id for this job's span (only minted when tracing can
+    /// observe it).
+    #[cfg(feature = "obs")]
+    req: u64,
 }
 
 struct QueueState {
@@ -113,7 +204,46 @@ pub(crate) struct Shared {
     /// work (the root task plus whatever it help-executed) — a lower
     /// bound on the batch's true traffic, attributed per kernel.
     witness: Option<mo_obs::witness::PerfWitness>,
+    /// Sequence counter behind server-minted request ids.
+    #[cfg(feature = "obs")]
+    next_req: std::sync::atomic::AtomicU64,
+    /// Burn-rate trackers, present when an SLO config was given.
+    slo: Option<Mutex<SloRuntime>>,
     started: Instant,
+}
+
+/// Mutable state of the SLO burn-rate engine.
+struct SloRuntime {
+    cfg: SloConfig,
+    latency: BurnTracker,
+    availability: BurnTracker,
+    /// Whether any objective was burning at the last evaluation; the
+    /// false → true edge fires the flight recorder.
+    burning: bool,
+    /// Burn edges observed (dumps attempted).
+    dumps: u64,
+}
+
+impl SloRuntime {
+    fn new(cfg: SloConfig) -> Self {
+        let windows = if cfg.windows.is_empty() {
+            SloSpec::default_windows()
+        } else {
+            cfg.windows.clone()
+        };
+        let spec = |name: &str, target: f64| SloSpec {
+            name: name.to_string(),
+            target,
+            windows: windows.clone(),
+        };
+        Self {
+            latency: BurnTracker::new(spec("latency", cfg.latency_target)),
+            availability: BurnTracker::new(spec("availability", cfg.availability_target)),
+            cfg,
+            burning: false,
+            dumps: 0,
+        }
+    }
 }
 
 impl Shared {
@@ -128,6 +258,9 @@ impl Shared {
             .unwrap_or_default();
         #[cfg(not(feature = "obs"))]
         let ring_dropped = Vec::new();
+        // Evaluate SLOs before taking the state lock (the evaluator
+        // only touches its own mutex and the metric atomics).
+        let (slo, slo_dumps) = self.slo_eval();
         let st = self.state.lock().unwrap();
         MetricsSnapshot::collect(
             &self.metrics,
@@ -136,9 +269,102 @@ impl Shared {
             st.queue.len(),
             self.pool.stats(),
             ring_dropped,
+            slo,
+            slo_dumps,
             self.started.elapsed(),
         )
     }
+
+    /// Mint a fleet-unique request id for a job that arrived without
+    /// one: shard in the top 16 bits, a monotone sequence below.
+    #[cfg(feature = "obs")]
+    fn next_request_id(&self) -> u64 {
+        ((self.cfg.shard as u64) << 48) | (self.next_req.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Feed the burn trackers the current good/total counters, fire the
+    /// flight recorder on a fresh burn edge, and return the evaluated
+    /// objective states. `(empty, 0)` without an SLO config.
+    fn slo_eval(&self) -> (Vec<SloObjectiveSnapshot>, u64) {
+        let Some(slot) = self.slo.as_ref() else {
+            return (Vec::new(), 0);
+        };
+        let now_ns = self.started.elapsed().as_nanos() as u64;
+        // Good-for-latency = completions whose whole log₂ bucket sits
+        // at or under the threshold; sheds (overload-typed ones) count
+        // bad for both objectives, client errors for neither.
+        let mut rt = slot.lock().unwrap();
+        let threshold_us = rt.cfg.latency.as_micros().max(1) as u64;
+        let (mut lat_good, mut completed, mut shed) = (0u64, 0u64, 0u64);
+        for cells in &self.metrics.kernels {
+            for (idx, count) in cells.latency.snapshot().into_iter().enumerate() {
+                if idx < 63 && (1u64 << idx) <= threshold_us {
+                    lat_good += count;
+                }
+            }
+            completed += cells.completed.load(Ordering::SeqCst);
+            shed += cells.shed_queue_full.load(Ordering::Relaxed)
+                + cells.shed_deadline.load(Ordering::SeqCst);
+        }
+        let total = completed + shed;
+        rt.latency.observe(now_ns, lat_good.min(total), total);
+        rt.availability.observe(now_ns, completed, total);
+        let states = [rt.latency.state(now_ns), rt.availability.state(now_ns)];
+        let burning = states.iter().any(|s| s.burning);
+        if burning && !rt.burning {
+            rt.dumps += 1;
+            self.flight_record(&rt.cfg);
+        }
+        rt.burning = burning;
+        let snaps = states
+            .iter()
+            .map(|s| SloObjectiveSnapshot {
+                objective: s.name.clone(),
+                target: if s.name == "latency" {
+                    rt.latency.spec().target
+                } else {
+                    rt.availability.spec().target
+                },
+                burning: s.burning,
+                windows: s
+                    .windows
+                    .iter()
+                    .map(|w| SloWindowSnapshot {
+                        short_secs: w.window.short_ns as f64 / 1e9,
+                        long_secs: w.window.long_ns as f64 / 1e9,
+                        factor: w.window.factor,
+                        burn_short: w.burn_short,
+                        burn_long: w.burn_long,
+                        burning: w.burning(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        (snaps, rt.dumps)
+    }
+
+    /// Dump-on-burn flight recorder: drain the trace sink (request
+    /// spans plus the scheduler events around them) into a validated
+    /// Perfetto JSON artifact. Draining consumes the rings, so the dump
+    /// captures the window since the last drain — exactly the flight
+    /// these spans flew.
+    #[cfg(feature = "obs")]
+    fn flight_record(&self, cfg: &SloConfig) {
+        let Some(path) = cfg.dump_path.as_ref() else {
+            return;
+        };
+        let Some(sink) = self.pool.sink() else {
+            return;
+        };
+        let events = sink.drain();
+        let json = mo_obs::chrome::to_chrome_json(&events);
+        if mo_obs::chrome::validate(&json).is_ok() {
+            let _ = std::fs::write(path, json);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn flight_record(&self, _cfg: &SloConfig) {}
 
     /// Smallest level that fits `footprint` per-instance *and* still has
     /// room for it machine-wide: the admission query.
@@ -186,6 +412,8 @@ impl Server {
         } else {
             cfg.workers
         };
+        let slo = cfg.slo.clone().map(|c| Mutex::new(SloRuntime::new(c)));
+        let has_slo = slo.is_some();
         let shared = Arc::new(Shared {
             pool,
             cfg,
@@ -200,18 +428,33 @@ impl Server {
             cv: Condvar::new(),
             metrics: Metrics::new(nlevels),
             witness: mo_obs::witness::PerfWitness::try_new().ok(),
+            #[cfg(feature = "obs")]
+            next_req: std::sync::atomic::AtomicU64::new(0),
+            slo,
             started: Instant::now(),
         });
         shared.metrics.witness_available.store(
             shared.witness.is_some() as u64,
             std::sync::atomic::Ordering::Relaxed,
         );
-        let handles = (0..workers)
+        let mut handles: Vec<thread::JoinHandle<()>> = (0..workers)
             .map(|_| {
                 let sh = Arc::clone(&shared);
                 thread::spawn(move || worker_loop(&sh))
             })
             .collect();
+        if has_slo {
+            // Online SLO evaluation: burn edges (and their dumps) must
+            // fire even when nobody scrapes `/metrics`.
+            let sh = Arc::clone(&shared);
+            handles.push(thread::spawn(move || loop {
+                if sh.state.lock().unwrap().draining {
+                    return;
+                }
+                let _ = sh.slo_eval();
+                thread::sleep(SLO_TICK);
+            }));
+        }
         Self {
             shared,
             workers: handles,
@@ -234,6 +477,11 @@ impl Server {
         let sh = &self.shared;
         let footprint = footprint_words(spec.kernel, spec.n);
         let cells = sh.metrics.kernel(spec.kernel);
+        // Span opens here; every return below closes it exactly once
+        // (respond in `execute`, or one typed shed).
+        #[cfg(feature = "obs")]
+        let req = spec.trace_id.unwrap_or_else(|| sh.next_request_id());
+        serve_event!(sh, ServeArrive, req, spec.kernel.index(), spec.n);
         // The secure gate is checked first: certification is a static
         // property of the kernel, independent of load or size.
         if sh.cfg.secure {
@@ -251,35 +499,46 @@ impl Server {
             };
             if let Some(gap) = gap {
                 cells.shed_not_certified.fetch_add(1, Ordering::Relaxed);
+                serve_event!(sh, ServeShed, req, mo_obs::span::SHED_NOT_CERTIFIED, 0);
                 return Err(Rejected::NotCertified { gap });
             }
         }
         let hier = sh.pool.hierarchy();
-        if hier.anchor_level(footprint).is_none() {
+        let Some(static_anchor) = hier.anchor_level(footprint) else {
             cells.shed_too_large.fetch_add(1, Ordering::Relaxed);
+            serve_event!(sh, ServeShed, req, mo_obs::span::SHED_TOO_LARGE, 0);
             let largest = hier.levels().iter().map(|l| l.capacity).max().unwrap_or(0);
             return Err(Rejected::TooLarge { footprint, largest });
-        }
+        };
         let mut st = sh.state.lock().unwrap();
         if st.draining {
+            serve_event!(sh, ServeShed, req, mo_obs::span::SHED_SHUTTING_DOWN, 0);
             return Err(Rejected::ShuttingDown);
         }
         if st.queue.len() >= sh.cfg.queue_cap {
             cells.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            serve_event!(sh, ServeShed, req, mo_obs::span::SHED_QUEUE_FULL, 0);
             return Err(Rejected::QueueFull {
                 depth: st.queue.len(),
             });
         }
+        serve_event!(sh, ServeAdmit, req, footprint, static_anchor);
+        #[cfg(not(feature = "obs"))]
+        let _ = static_anchor; // only the admit event consumes it
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
-        let deadline = now + spec.deadline.unwrap_or(sh.cfg.default_deadline);
+        let budget = spec.deadline.unwrap_or(sh.cfg.default_deadline);
+        let deadline = now + budget;
         st.queue.push_back(Queued {
             spec,
             footprint,
             enqueued: now,
             deadline,
             tx,
+            #[cfg(feature = "obs")]
+            req,
         });
+        serve_event!(sh, ServeEnqueue, req, st.queue.len(), budget.as_nanos());
         // SeqCst: part of the submitted >= completed + shed_deadline
         // conservation protocol (see `MetricsSnapshot::collect`).
         cells.submitted.fetch_add(1, Ordering::SeqCst);
@@ -350,6 +609,10 @@ impl Drop for Server {
 /// a deadline check can get when no submissions or completions arrive.
 const IDLE_TICK: Duration = Duration::from_millis(5);
 
+/// Cadence of the background SLO evaluator; bounds both burn-detection
+/// latency and how long `drain` waits for the evaluator to exit.
+const SLO_TICK: Duration = Duration::from_millis(20);
+
 fn worker_loop(sh: &Shared) {
     let mut st = sh.state.lock().unwrap();
     loop {
@@ -357,6 +620,17 @@ fn worker_loop(sh: &Shared) {
         if let Some((idx, anchor)) = first_admissible(sh, &st) {
             let batch = gather_batch(sh, &mut st, idx, anchor);
             let total: usize = batch.jobs.iter().map(|q| q.footprint).sum();
+            #[cfg(feature = "obs")]
+            for q in &batch.jobs {
+                serve_event!(
+                    sh,
+                    ServeDequeue,
+                    q.req,
+                    q.enqueued.elapsed().as_nanos(),
+                    batch.anchor
+                );
+                serve_event!(sh, ServeBatchForm, q.req, batch.jobs.len(), total);
+            }
             st.inflight[batch.anchor] += total;
             sh.metrics
                 .note_peak_inflight(batch.anchor, st.inflight[batch.anchor]);
@@ -392,6 +666,13 @@ fn shed_expired(sh: &Shared, st: &mut QueueState) {
                 .kernel(q.spec.kernel)
                 .shed_deadline
                 .fetch_add(1, Ordering::SeqCst); // conservation protocol
+            serve_event!(
+                sh,
+                ServeShed,
+                q.req,
+                mo_obs::span::SHED_DEADLINE,
+                waited.as_nanos()
+            );
             let _ =
                 q.tx.send(Outcome::Rejected(Rejected::DeadlineExpired { waited }));
         } else {
@@ -454,11 +735,24 @@ fn execute(sh: &Shared, batch: Batch) {
     let kernel = jobs[0].spec.kernel;
     let n = jobs[0].spec.n;
     let seeds: Vec<u64> = jobs.iter().map(|q| q.spec.seed).collect();
+    #[cfg(feature = "obs")]
+    for q in &jobs {
+        serve_event!(sh, ServeExecute, q.req, jobs.len(), anchor);
+    }
     let t0 = Instant::now();
     let span = sh.witness.as_ref().and_then(|w| w.span());
     let sums = sh.pool.enter(|ctx| run_batch_in(ctx, kernel, n, &seeds));
     if let (Some(w), Some(span)) = (sh.witness.as_ref(), span.as_ref()) {
         sh.metrics.add_witness(kernel, w.span_delta(span));
+        // Pair the measured transfers with the analytic expectation for
+        // the same batch, per compared level, behind the
+        // `moserve_witness_divergence` gauges.
+        let hier = sh.pool.hierarchy();
+        let llc = hier.levels().len().saturating_sub(1);
+        let expected = [hier.l1_capacity(), hier.level_capacity(llc).unwrap_or(0)].map(|cap| {
+            (analytic_transfers(kernel, n, cap, BLOCK_WORDS) * jobs.len() as f64) as u64
+        });
+        sh.metrics.add_expected_transfers(kernel, expected);
     }
     let service = t0.elapsed();
     let batch_size = jobs.len();
@@ -474,6 +768,9 @@ fn execute(sh: &Shared, batch: Batch) {
         let queued = t0.saturating_duration_since(q.enqueued);
         cells.completed.fetch_add(1, Ordering::SeqCst); // conservation protocol
         cells.latency.record(queued + service);
+        // Respond closes the span; emitted before the ticket resolves
+        // so a drain racing the waiter still sees a closed span.
+        serve_event!(sh, ServeRespond, q.req, service.as_nanos(), batch_size);
         let _ = q.tx.send(Outcome::Done(Done {
             checksum,
             queued,
